@@ -1,0 +1,58 @@
+// A2 — sensor resolution ablation (Section 5 round-off discussion). Sweeps
+// the observation grid and measures delivery rates for the 2n-slice
+// protocol vs the k-segment variant: the crossover where fine slicing
+// becomes unreadable while wide slices survive is exactly the situation
+// the paper invents k-segment addressing for.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/chat_network.hpp"
+
+int main() {
+  using namespace stig;
+  std::cout << "== A2: delivery vs sensor grid — 2n slices vs k-segment ==\n\n";
+
+  const std::size_t n = 32;
+  const std::size_t kPairs = 10;
+  const auto pts = bench::scatter(n, 900, 60.0, 3.0);
+
+  const auto run_pairs = [&](core::ChatNetworkOptions opt) {
+    core::ChatNetwork net(pts, opt);
+    for (std::size_t p = 0; p < kPairs; ++p) {
+      net.send(p, n - 1 - p, bench::payload(4, p));
+    }
+    net.run_until_quiescent(500'000);
+    net.run(2);
+    std::size_t delivered = 0;
+    for (std::size_t p = 0; p < kPairs; ++p) {
+      delivered += net.received(n - 1 - p).size();
+    }
+    return 100.0 * static_cast<double>(delivered) /
+           static_cast<double>(kPairs);
+  };
+
+  bench::Table t({"grid q", "amp/q", "2n slices %", "k=2 %", "k=5 %"});
+  for (double q : {0.001, 0.01, 0.02, 0.05, 0.1, 0.2}) {
+    core::ChatNetworkOptions flat;
+    flat.synchrony = core::Synchrony::synchronous;
+    flat.caps.sense_of_direction = true;
+    flat.sigma = 1.0;  // Signal amplitude 0.8.
+    flat.observation_quantum = q;
+
+    core::ChatNetworkOptions k2 = flat;
+    k2.protocol = core::ProtocolKind::ksegment;
+    k2.ksegment_k = 2;
+    core::ChatNetworkOptions k5 = flat;
+    k5.protocol = core::ProtocolKind::ksegment;
+    k5.ksegment_k = 5;
+
+    t.row(q, 0.8 / q, run_pairs(flat), run_pairs(k2), run_pairs(k5));
+  }
+
+  std::cout << "\nexpected shape: the 2n-slice column degrades first as the "
+               "grid coarsens (slice half-width pi/64 needs amp/q >> 64/pi);"
+               " k=2 (slice width pi/3) keeps delivering one-to-two orders "
+               "of magnitude deeper into the sweep, k=5 in between — the "
+               "Section 5 resolution/steps trade-off, measured.\n";
+  return 0;
+}

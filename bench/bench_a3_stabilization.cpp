@@ -1,0 +1,95 @@
+// A3 — stabilization ablation. Injects transient position faults
+// (teleports) at increasing rates and measures how much traffic survives,
+// with and without the stream-resynchronization rule. Extends the paper's
+// Section 5 stabilization remark from a sketch to a measurement.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/chat_network.hpp"
+#include "geom/voronoi.hpp"
+#include "sim/rng.hpp"
+
+int main() {
+  using namespace stig;
+  std::cout << "== A3: delivery under transient position faults ==\n\n";
+
+  const std::size_t n = 6;
+  const auto pts = bench::scatter(n, 1000, 30.0, 4.0);
+  std::vector<double> radius(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    radius[i] = geom::granular_radius(pts, i);
+  }
+
+  // Send `rounds` messages; between messages, fault `faults_per_round`
+  // random robots to random points inside their granulars.
+  const auto run_with_faults = [&](int faults_per_round) {
+    core::ChatNetworkOptions opt;
+    opt.synchrony = core::Synchrony::synchronous;
+    opt.caps.sense_of_direction = true;
+    core::ChatNetwork net(pts, opt);
+    sim::Rng rng(77);
+    const int rounds = 20;
+    int delivered = 0;
+    for (int r = 0; r < rounds; ++r) {
+      for (int f = 0; f < faults_per_round; ++f) {
+        const auto victim =
+            static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+        const double rho = rng.uniform(0.1, 0.9) * radius[victim];
+        const double ang = rng.uniform(0.0, 6.28318);
+        net.engine().teleport(victim,
+                              pts[victim] + geom::Vec2{rho * std::cos(ang),
+                                                       rho * std::sin(ang)});
+      }
+      // Let self-healing settle: walking home across a granular of radius
+      // R takes up to R/sigma instants, then 3 quiet instants trigger the
+      // receivers' stream resync.
+      net.run(60);
+      const std::size_t from = static_cast<std::size_t>(r) % n;
+      const std::size_t to = (from + 2) % n;
+      const std::size_t before = net.received(to).size();
+      net.send(from, to, bench::payload(4, static_cast<std::uint64_t>(r)));
+      net.run_until_quiescent(100'000);
+      net.run(4);
+      if (net.received(to).size() > before) ++delivered;
+    }
+    return 100.0 * delivered / rounds;
+  };
+
+  bench::Table t({"faults/round", "delivered %"});
+  for (int f : {0, 1, 2, 5, 10}) t.row(f, run_with_faults(f));
+
+  std::cout << "\nexpected shape: 100% delivery at every fault rate — each "
+               "fault costs at most the frames in flight when it strikes "
+               "(here none: faults land between messages), because robots "
+               "walk back to their rest positions and receivers "
+               "resynchronize streams at the 3-instant quiet gap.\n\n";
+
+  // Fault DURING a transmission: the in-flight frame may be lost, but the
+  // system recovers by the next frame.
+  std::cout << "fault injected mid-frame (worst case):\n";
+  bench::Table t2({"trial", "frame 1 (hit)", "frame 2 (after)"});
+  for (int trial = 0; trial < 5; ++trial) {
+    core::ChatNetworkOptions opt;
+    opt.synchrony = core::Synchrony::synchronous;
+    opt.caps.sense_of_direction = true;
+    core::ChatNetwork net(pts, opt);
+    sim::Rng rng(200 + static_cast<std::uint64_t>(trial));
+    net.send(0, 3, bench::payload(16, 1));
+    net.run(10 + 2 * static_cast<sim::Time>(trial));  // Mid-frame...
+    net.engine().teleport(0, pts[0] + geom::Vec2{0.5 * radius[0], 0.01});
+    net.run_until_quiescent(100'000);
+    net.run(8);
+    const bool first = net.received(3).size() == 1;
+    net.send(0, 3, bench::payload(16, 2));
+    net.run_until_quiescent(100'000);
+    net.run(4);
+    const bool second = net.received(3).size() >= (first ? 2u : 1u);
+    t2.row(trial, first ? "delivered" : "lost (CRC)",
+           second ? "delivered" : "LOST");
+  }
+  std::cout << "\nexpected shape: the frame struck by the fault may be lost "
+               "(its CRC rejects the garbled bits) but the *next* frame "
+               "always arrives — transient faults do not leave permanent "
+               "damage.\n";
+  return 0;
+}

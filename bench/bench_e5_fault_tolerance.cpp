@@ -1,0 +1,76 @@
+// E5 — fault tolerance. The paper's Section 1 motivation quantified:
+// a lossy/jammed/faulty radio alone loses messages; with the motion
+// channel as a backup, delivery returns to 100%. Also demonstrates the
+// Section 3.4 redundancy: every robot overhears every motion message.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/backup_channel.hpp"
+#include "core/chat_network.hpp"
+#include "core/wireless.hpp"
+
+int main() {
+  using namespace stig;
+  std::cout << "== E5: wireless-only vs hybrid (motion backup) delivery ==\n\n";
+
+  const std::size_t n = 6;
+  const int kMessages = 60;
+
+  bench::Table t({"loss prob", "radio-only %", "hybrid %", "fallbacks"});
+  for (double loss : {0.0, 0.1, 0.3, 0.5, 0.8, 1.0}) {
+    // Radio-only.
+    core::WirelessOptions wopt;
+    wopt.loss_probability = loss;
+    wopt.seed = 41;
+    core::WirelessChannel radio_only(n, wopt);
+    int radio_delivered = 0;
+    for (int m = 0; m < kMessages; ++m) {
+      if (radio_only
+              .transmit(0, m % n, (m + 1) % n, bench::payload(2, m))
+              .delivered) {
+        ++radio_delivered;
+      }
+    }
+
+    // Hybrid.
+    core::ChatNetworkOptions mopt;
+    mopt.synchrony = core::Synchrony::synchronous;
+    mopt.caps.sense_of_direction = true;
+    core::ChatNetwork motion(bench::scatter(n, 600, 30.0, 4.0), mopt);
+    core::WirelessChannel radio(n, wopt);
+    core::HybridMessenger hybrid(motion, radio);
+    for (int m = 0; m < kMessages; ++m) {
+      hybrid.send(m % n, (m + 1) % n, bench::payload(2, m));
+    }
+    hybrid.flush(10'000'000);
+    motion.run(2);
+    std::size_t hybrid_delivered = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      hybrid_delivered += hybrid.received(j).size();
+    }
+
+    t.row(loss, 100.0 * radio_delivered / kMessages,
+          100.0 * static_cast<double>(hybrid_delivered) / kMessages,
+          hybrid.stats().motion_fallbacks);
+  }
+  std::cout << "\nexpected shape: radio-only delivery = 1 - loss; hybrid "
+               "stays at 100% regardless, every drop recovered over the "
+               "movement-signal channel.\n\n";
+
+  std::cout << "redundancy by eavesdropping (motion channel, one message "
+               "0 -> 1):\n";
+  core::ChatNetworkOptions mopt;
+  mopt.synchrony = core::Synchrony::synchronous;
+  mopt.caps.sense_of_direction = true;
+  core::ChatNetwork motion(bench::scatter(n, 600, 30.0, 4.0), mopt);
+  motion.send(0, 1, bench::payload(4, 99));
+  motion.run_until_quiescent(1'000'000);
+  motion.run(2);
+  std::size_t copies = motion.received(1).size();
+  for (std::size_t j = 2; j < n; ++j) copies += motion.overheard(j).size();
+  std::cout << "  decodable copies in the swarm: " << copies << " (1 "
+            << "addressee + " << n - 2
+            << " eavesdroppers) — any robot can replay the message if the "
+               "addressee's sensors later fail.\n";
+  return 0;
+}

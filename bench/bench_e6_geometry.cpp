@@ -1,0 +1,91 @@
+// E6 — geometry substrate scalability (google-benchmark): smallest
+// enclosing circle (expected O(n)), per-cell Voronoi construction
+// (O(n^2) for the full diagram), relative naming (O(n log n) after the
+// SEC), and the engine's full step cost.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/chat_network.hpp"
+#include "geom/sec.hpp"
+#include "geom/voronoi.hpp"
+#include "proto/naming.hpp"
+
+namespace {
+
+using namespace stig;
+
+void BM_SmallestEnclosingCircle(benchmark::State& state) {
+  const auto pts = bench::scatter(static_cast<std::size_t>(state.range(0)),
+                                  9, 1000.0, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::smallest_enclosing_circle(pts));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SmallestEnclosingCircle)->Range(8, 4096)->Complexity();
+
+void BM_VoronoiDiagram(benchmark::State& state) {
+  const auto pts = bench::scatter(static_cast<std::size_t>(state.range(0)),
+                                  11, 1000.0, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::VoronoiDiagram::compute(pts));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VoronoiDiagram)->Range(8, 512)->Complexity();
+
+void BM_GranularRadii(benchmark::State& state) {
+  const auto pts = bench::scatter(static_cast<std::size_t>(state.range(0)),
+                                  13, 1000.0, 0.5);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      acc += geom::granular_radius(pts, i);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_GranularRadii)->Range(8, 1024);
+
+void BM_RelativeNaming(benchmark::State& state) {
+  const auto pts = bench::scatter(static_cast<std::size_t>(state.range(0)),
+                                  17, 1000.0, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto::relative_naming(pts, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RelativeNaming)->Range(8, 2048)->Complexity();
+
+void BM_EngineStepAsyncN(benchmark::State& state) {
+  // Full simulator step cost with AsyncN robots idling on kappa — the
+  // per-instant price of a running swarm.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::ChatNetworkOptions opt;
+  opt.synchrony = core::Synchrony::asynchronous;
+  opt.seed = 3;
+  core::ChatNetwork net(bench::scatter(n, 70 + n, 120.0, 3.0), opt);
+  for (auto _ : state) {
+    net.step();
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EngineStepAsyncN)->Range(2, 64)->Complexity();
+
+void BM_EngineStepSyncSliced(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::ChatNetworkOptions opt;
+  opt.synchrony = core::Synchrony::synchronous;
+  opt.caps.sense_of_direction = true;
+  core::ChatNetwork net(bench::scatter(n, 90 + n, 120.0, 3.0), opt);
+  net.send(0, n - 1, bench::payload(64, 1));  // Keep a sender busy.
+  for (auto _ : state) {
+    net.step();
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EngineStepSyncSliced)->Range(2, 64)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Shared helpers for the figure-reproduction and evaluation binaries.
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "geom/vec.hpp"
+#include "sim/rng.hpp"
+
+namespace stig::bench {
+
+/// Scatters n pairwise-separated points in a box, deterministically.
+inline std::vector<geom::Vec2> scatter(std::size_t n, std::uint64_t seed,
+                                       double extent = 30.0,
+                                       double min_gap = 3.0) {
+  sim::Rng rng(seed);
+  std::vector<geom::Vec2> pts;
+  while (pts.size() < n) {
+    const geom::Vec2 p{rng.uniform(-extent, extent),
+                       rng.uniform(-extent, extent)};
+    bool ok = true;
+    for (const geom::Vec2& q : pts) {
+      if (geom::dist(p, q) < min_gap) ok = false;
+    }
+    if (ok) pts.push_back(p);
+  }
+  return pts;
+}
+
+/// Random payload bytes, deterministic.
+inline std::vector<std::uint8_t> payload(std::size_t len,
+                                         std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::uint8_t> p(len);
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return p;
+}
+
+/// Minimal fixed-width table printer for paper-style result rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 14)
+      : width_(width) {
+    for (const auto& h : headers) std::cout << std::setw(width_) << h;
+    std::cout << '\n';
+    for (std::size_t i = 0; i < headers.size(); ++i) {
+      std::cout << std::setw(width_) << std::string(width_ - 2, '-');
+    }
+    std::cout << '\n';
+  }
+
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    ((std::cout << std::setw(width_) << fmt(cells)), ...);
+    std::cout << '\n';
+  }
+
+ private:
+  static std::string fmt(double v) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2) << v;
+    return os.str();
+  }
+  static std::string fmt(const std::string& s) { return s; }
+  static std::string fmt(const char* s) { return s; }
+  template <typename T>
+  static std::string fmt(T v) {
+    return std::to_string(v);
+  }
+
+  int width_;
+};
+
+}  // namespace stig::bench

@@ -1,0 +1,87 @@
+#include "apps/aggregate.hpp"
+
+#include <algorithm>
+
+namespace stig::apps {
+
+AggregateResult aggregate(
+    core::ChatNetwork& net, sim::RobotIndex collector,
+    const std::vector<std::vector<std::uint8_t>>& values,
+    const std::function<std::vector<std::uint8_t>(
+        std::vector<std::uint8_t>, const std::vector<std::uint8_t>&)>&
+        combine,
+    bool announce, sim::Time budget) {
+  const std::size_t n = net.robot_count();
+  AggregateResult result;
+  const sim::Time start = net.engine().now();
+
+  // Phase 1: converge-cast.
+  const std::size_t already = net.received(collector).size();
+  for (sim::RobotIndex i = 0; i < n; ++i) {
+    if (i == collector) continue;
+    net.send(i, collector, values.at(i));
+  }
+  if (!net.run_until_quiescent(budget)) {
+    result.instants = net.engine().now() - start;
+    return result;
+  }
+  // A few settle steps so the last decode lands before we read the inbox.
+  net.run(net.protocol_kind() == core::ProtocolKind::sync2 ||
+                  net.protocol_kind() == core::ProtocolKind::sliced ||
+                  net.protocol_kind() == core::ProtocolKind::ksegment
+              ? 4
+              : 256);
+
+  result.value = values.at(collector);
+  result.contributions = 1;
+  const auto& inbox = net.received(collector);
+  for (std::size_t k = already; k < inbox.size(); ++k) {
+    result.value = combine(std::move(result.value), inbox[k].payload);
+    ++result.contributions;
+  }
+  if (result.contributions != n) {
+    result.instants = net.engine().now() - start;
+    return result;
+  }
+
+  // Phase 2: optional announcement.
+  if (announce) {
+    net.broadcast(collector, result.value);
+    if (!net.run_until_quiescent(budget)) {
+      result.instants = net.engine().now() - start;
+      return result;
+    }
+    net.run(4);
+    for (sim::RobotIndex i = 0; i < n; ++i) {
+      if (i == collector) continue;
+      const auto& got = net.received(i);
+      if (got.empty() || !got.back().broadcast ||
+          got.back().payload != result.value) {
+        result.instants = net.engine().now() - start;
+        return result;
+      }
+    }
+  }
+
+  result.instants = net.engine().now() - start;
+  result.complete = true;
+  return result;
+}
+
+AggregateResult max_byte(core::ChatNetwork& net, sim::RobotIndex collector,
+                         const std::vector<std::uint8_t>& bytes,
+                         bool announce, sim::Time budget) {
+  std::vector<std::vector<std::uint8_t>> values;
+  values.reserve(bytes.size());
+  for (std::uint8_t b : bytes) values.push_back({b});
+  return aggregate(
+      net, collector, values,
+      [](std::vector<std::uint8_t> acc,
+         const std::vector<std::uint8_t>& v) {
+        acc[0] = std::max(acc[0], v.at(0));
+        return acc;
+      },
+      announce, budget);
+}
+
+}  // namespace stig::apps

@@ -1,0 +1,55 @@
+// Converge-cast aggregation over the motion channel.
+//
+// "Our protocols enable the use of distributed algorithms based on message
+// exchanges among swarms of stigmergic robots." This header provides the
+// first classical such algorithm as a reusable component: every robot
+// contributes a value; a collector combines them with a user-supplied
+// associative operation and (optionally) broadcasts the result back, so the
+// whole swarm learns it.
+//
+// Works over any ChatNetwork (any protocol/synchrony the network was built
+// with); the driver runs the network until each phase completes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/chat_network.hpp"
+
+namespace stig::apps {
+
+/// Result of an aggregation round.
+struct AggregateResult {
+  std::vector<std::uint8_t> value;   ///< The combined value.
+  std::size_t contributions = 0;     ///< Values folded in (incl. collector).
+  sim::Time instants = 0;            ///< Simulation time consumed.
+  bool complete = false;             ///< All robots reported and (if
+                                     ///< requested) learned the result.
+};
+
+/// Runs one aggregation: every robot sends its value to `collector`, which
+/// folds them with `combine` (associative, order-independent for a
+/// deterministic result) and, when `announce` is set, broadcasts the
+/// result so every robot knows it.
+///
+/// `values[i]` is robot i's contribution (byte strings of any length;
+/// `combine` must handle them). Returns the combined value and whether the
+/// round completed within `budget` instants.
+[[nodiscard]] AggregateResult aggregate(
+    core::ChatNetwork& net, sim::RobotIndex collector,
+    const std::vector<std::vector<std::uint8_t>>& values,
+    const std::function<std::vector<std::uint8_t>(
+        std::vector<std::uint8_t>, const std::vector<std::uint8_t>&)>&
+        combine,
+    bool announce, sim::Time budget);
+
+/// Convenience: single-byte maximum over the swarm (the swarm_survey
+/// example, as a library call).
+[[nodiscard]] AggregateResult max_byte(core::ChatNetwork& net,
+                                       sim::RobotIndex collector,
+                                       const std::vector<std::uint8_t>& bytes,
+                                       bool announce, sim::Time budget);
+
+}  // namespace stig::apps

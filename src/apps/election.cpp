@@ -1,0 +1,86 @@
+#include "apps/election.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace stig::apps {
+namespace {
+
+std::vector<std::uint8_t> pack32(std::uint32_t v) {
+  return {static_cast<std::uint8_t>(v >> 24),
+          static_cast<std::uint8_t>(v >> 16),
+          static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+}
+
+std::uint32_t unpack32(const std::vector<std::uint8_t>& b) {
+  return (std::uint32_t{b.at(0)} << 24) | (std::uint32_t{b.at(1)} << 16) |
+         (std::uint32_t{b.at(2)} << 8) | std::uint32_t{b.at(3)};
+}
+
+}  // namespace
+
+ElectionResult elect_leader(core::ChatNetwork& net, std::uint64_t seed,
+                            sim::Time budget) {
+  const std::size_t n = net.robot_count();
+  ElectionResult result;
+  const sim::Time start = net.engine().now();
+  sim::Rng rng(seed);
+
+  // Track how much of each inbox we have already consumed so repeated
+  // rounds (and prior traffic on the network) do not confuse us.
+  std::vector<std::size_t> consumed(n);
+  for (sim::RobotIndex i = 0; i < n; ++i) {
+    consumed[i] = net.received(i).size();
+  }
+
+  for (unsigned round = 1; round <= 4; ++round) {
+    result.rounds = round;
+    std::vector<std::uint32_t> tokens(n);
+    for (auto& t : tokens) {
+      t = static_cast<std::uint32_t>(rng.uniform_int(0, 0xFFFFFFFFULL));
+    }
+    const bool distinct = [&] {
+      std::vector<std::uint32_t> sorted = tokens;
+      std::sort(sorted.begin(), sorted.end());
+      return std::adjacent_find(sorted.begin(), sorted.end()) ==
+             sorted.end();
+    }();
+    if (!distinct) continue;  // Re-draw; never transmit colliding tokens.
+
+    for (sim::RobotIndex i = 0; i < n; ++i) {
+      net.broadcast(i, pack32(tokens[i]));
+    }
+    if (!net.run_until_quiescent(budget)) break;
+    net.run(net.protocol_kind() == core::ProtocolKind::asyncn ? 256 : 4);
+
+    // Every robot folds its own token with all broadcasts of this round.
+    const sim::RobotIndex true_leader = static_cast<sim::RobotIndex>(
+        std::max_element(tokens.begin(), tokens.end()) - tokens.begin());
+    bool all_agree = true;
+    for (sim::RobotIndex i = 0; i < n; ++i) {
+      std::uint32_t best = tokens[i];
+      sim::RobotIndex leader = i;
+      const auto& inbox = net.received(i);
+      for (std::size_t k = consumed[i]; k < inbox.size(); ++k) {
+        if (!inbox[k].broadcast || inbox[k].payload.size() != 4) continue;
+        const std::uint32_t t = unpack32(inbox[k].payload);
+        if (t > best) {
+          best = t;
+          leader = inbox[k].from;
+        }
+      }
+      consumed[i] = inbox.size();
+      all_agree = all_agree && leader == true_leader;
+    }
+    if (all_agree) {
+      result.leader = true_leader;
+      result.token = tokens[true_leader];
+      result.complete = true;
+      break;
+    }
+  }
+  result.instants = net.engine().now() - start;
+  return result;
+}
+
+}  // namespace stig::apps

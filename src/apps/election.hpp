@@ -1,0 +1,36 @@
+// Leader election over the motion channel.
+//
+// Deterministic leader election among *anonymous* robots is exactly what
+// the paper's Section 3.4 shows to be impossible in symmetric
+// configurations — which is why this component uses the standard randomized
+// escape: robots draw random tokens, broadcast them, and elect the maximum
+// (ties broken by re-drawing). With distinct tokens all robots agree after
+// one round; the collision probability for 32-bit tokens is negligible and
+// handled by retrying.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/chat_network.hpp"
+#include "sim/rng.hpp"
+
+namespace stig::apps {
+
+/// Outcome of an election.
+struct ElectionResult {
+  sim::RobotIndex leader = 0;      ///< Simulator index of the winner.
+  std::uint32_t token = 0;         ///< The winning token.
+  unsigned rounds = 0;             ///< Broadcast rounds used (1 unless a
+                                   ///< token collision forced a re-draw).
+  sim::Time instants = 0;
+  bool complete = false;           ///< Every robot agrees on the leader.
+};
+
+/// Runs the election on `net`. Token randomness comes from `seed`
+/// (per-robot streams derived from it), so results are reproducible.
+[[nodiscard]] ElectionResult elect_leader(core::ChatNetwork& net,
+                                          std::uint64_t seed,
+                                          sim::Time budget);
+
+}  // namespace stig::apps

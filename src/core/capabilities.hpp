@@ -1,0 +1,30 @@
+// Capability model: which assumptions the swarm satisfies.
+//
+// The paper's protocols form a lattice by capability: identified vs
+// anonymous, with or without sense of direction, synchronous vs
+// asynchronous — chirality (common handedness) is assumed throughout. The
+// core API picks the right protocol from a Capabilities record instead of
+// making the user choose a class.
+#pragma once
+
+namespace stig::core {
+
+/// Timing model of the swarm.
+enum class Synchrony : unsigned char {
+  synchronous,   ///< Every robot active at every instant (Section 3).
+  asynchronous,  ///< Fair scheduler, at least one active (Section 4).
+};
+
+/// What the robots can perceive/agree on.
+struct Capabilities {
+  /// Robots carry observable identifiers (Section 3.2 routing).
+  bool visible_ids = false;
+  /// Robots agree on the orientation of the y axis (and with chirality, of
+  /// the x axis too).
+  bool sense_of_direction = false;
+  /// Common handedness. The paper assumes it throughout; the simulator can
+  /// model its absence, but no protocol here works without it.
+  bool chirality = true;
+};
+
+}  // namespace stig::core

@@ -1,0 +1,238 @@
+#include "core/chat_network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "proto/async2.hpp"
+#include "proto/asyncn.hpp"
+#include "proto/ksegment.hpp"
+#include "proto/sync2.hpp"
+#include "proto/sync_sliced.hpp"
+#include "sim/rng.hpp"
+
+namespace stig::core {
+namespace {
+
+proto::NamingMode naming_for(const Capabilities& caps) {
+  if (caps.visible_ids && caps.sense_of_direction) {
+    return proto::NamingMode::by_ids;
+  }
+  if (caps.sense_of_direction) return proto::NamingMode::lexicographic;
+  return proto::NamingMode::relative;
+}
+
+ProtocolKind resolve_protocol(const ChatNetworkOptions& opt, std::size_t n) {
+  if (opt.protocol != ProtocolKind::automatic) return opt.protocol;
+  if (opt.synchrony == Synchrony::synchronous) {
+    return n == 2 ? ProtocolKind::sync2 : ProtocolKind::sliced;
+  }
+  return n == 2 ? ProtocolKind::async2 : ProtocolKind::asyncn;
+}
+
+std::unique_ptr<sim::Scheduler> make_scheduler(
+    const ChatNetworkOptions& opt) {
+  if (opt.synchrony == Synchrony::synchronous) {
+    return std::make_unique<sim::SynchronousScheduler>();
+  }
+  switch (opt.scheduler) {
+    case SchedulerKind::bernoulli:
+      return std::make_unique<sim::BernoulliScheduler>(
+          opt.activation_probability, opt.seed ^ 0xabcdef, opt.fairness_bound);
+    case SchedulerKind::centralized:
+      return std::make_unique<sim::CentralizedScheduler>();
+    case SchedulerKind::ksubset:
+      return std::make_unique<sim::KSubsetScheduler>(
+          opt.subset_size, opt.seed ^ 0xabcdef, opt.fairness_bound);
+    case SchedulerKind::adversarial:
+      return std::make_unique<sim::AdversarialScheduler>(opt.fairness_bound);
+  }
+  throw std::logic_error("unknown scheduler kind");
+}
+
+}  // namespace
+
+ChatNetwork::ChatNetwork(std::vector<geom::Vec2> positions,
+                         ChatNetworkOptions options)
+    : options_(options) {
+  const std::size_t n = positions.size();
+  if (n < 2) {
+    throw std::invalid_argument("ChatNetwork needs at least two robots");
+  }
+  if (options_.visibility_radius > 0.0) {
+    // The paper's protocols assume every movement is observable by every
+    // robot; under limited visibility (Section 5 open problem) we require
+    // at least mutual visibility of the initial configuration.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (geom::dist(positions[i], positions[j]) >
+            options_.visibility_radius) {
+          throw std::invalid_argument(
+              "robots must be mutually visible at t0");
+        }
+      }
+    }
+  }
+  kind_ = resolve_protocol(options_, n);
+  const bool synchronous = options_.synchrony == Synchrony::synchronous;
+  if ((kind_ == ProtocolKind::sync2 || kind_ == ProtocolKind::async2) &&
+      n != 2) {
+    throw std::invalid_argument("2-robot protocol with n != 2");
+  }
+  if ((kind_ == ProtocolKind::sync2 || kind_ == ProtocolKind::sliced ||
+       kind_ == ProtocolKind::ksegment) != synchronous) {
+    throw std::invalid_argument("protocol/synchrony mismatch");
+  }
+
+  // Robot frames: randomized within the declared capabilities.
+  sim::Rng rng(options_.seed);
+  std::vector<sim::RobotSpec> specs;
+  specs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::RobotSpec s;
+    s.position = positions[i];
+    s.sigma = options_.sigma;
+    s.frame_unit = options_.randomize_frames ? rng.uniform(0.5, 2.0) : 1.0;
+    s.frame_rotation =
+        options_.caps.sense_of_direction || !options_.randomize_frames
+            ? 0.0
+            : rng.uniform(0.0, geom::kTwoPi);
+    s.frame_mirrored = options_.mirrored_frames;  // Chirality: all equal.
+    if (options_.caps.visible_ids) {
+      // Arbitrary unique, deliberately not 0..n-1, so nothing can conflate
+      // ids with simulator indices.
+      s.id = static_cast<sim::VisibleId>(1000 + 7 * i);
+    }
+    specs.push_back(s);
+  }
+
+  const proto::NamingMode naming = naming_for(options_.caps);
+  std::vector<std::unique_ptr<sim::Robot>> programs;
+  programs.reserve(n);
+  chat_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sigma_local = options_.sigma / specs[i].frame_unit;
+    std::unique_ptr<proto::ChatRobot> robot;
+    switch (kind_) {
+      case ProtocolKind::sync2: {
+        proto::Sync2Options o;
+        o.sigma_local = sigma_local;
+        o.bits_per_symbol = options_.sync2_bits_per_symbol;
+        robot = std::make_unique<proto::Sync2Robot>(o);
+        break;
+      }
+      case ProtocolKind::sliced: {
+        proto::SyncSlicedOptions o;
+        o.naming = naming;
+        o.sigma_local = sigma_local;
+        o.flock_velocity =
+            sim::Frame(geom::Vec2{0, 0}, specs[i].frame_rotation,
+                       specs[i].frame_unit, specs[i].frame_mirrored)
+                    .to_local(options_.flock_velocity);
+        robot = std::make_unique<proto::SyncSlicedRobot>(o);
+        break;
+      }
+      case ProtocolKind::ksegment: {
+        proto::KSegmentOptions o;
+        o.naming = naming;
+        o.k = options_.ksegment_k;
+        o.sigma_local = sigma_local;
+        robot = std::make_unique<proto::KSegmentRobot>(o);
+        break;
+      }
+      case ProtocolKind::async2: {
+        proto::Async2Options o;
+        o.sigma_local = sigma_local;
+        o.ack_changes = 2 + 2 * options_.observation_delay;
+        o.bound = options_.async2_banded ? proto::BoundKind::banded
+                                         : proto::BoundKind::unbounded;
+        robot = std::make_unique<proto::Async2Robot>(o);
+        break;
+      }
+      case ProtocolKind::asyncn: {
+        proto::AsyncNOptions o;
+        o.naming = naming;
+        o.sigma_local = sigma_local;
+        o.ack_changes = 2 + 2 * options_.observation_delay;
+        robot = std::make_unique<proto::AsyncNRobot>(o);
+        break;
+      }
+      case ProtocolKind::automatic:
+        throw std::logic_error("unresolved protocol kind");
+    }
+    chat_.push_back(robot.get());
+    programs.push_back(std::move(robot));
+  }
+
+  sim::EngineOptions eopt;
+  eopt.record_positions = options_.record_positions;
+  eopt.observation_quantum = options_.observation_quantum;
+  eopt.observation_delay = options_.observation_delay;
+  eopt.visibility_radius = options_.visibility_radius;
+  engine_ = std::make_unique<sim::Engine>(std::move(specs),
+                                          std::move(programs),
+                                          make_scheduler(options_), eopt);
+
+  // slot <-> simulator-index translation, per robot.
+  slot_to_engine_.assign(n, std::vector<sim::RobotIndex>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<sim::RobotIndex> order =
+        engine_->initial_observation_order(i);
+    for (std::size_t t0_index = 0; t0_index < n; ++t0_index) {
+      const std::size_t slot = chat_[i]->slot_of_t0_index(t0_index);
+      slot_to_engine_[i][slot] = order[t0_index];
+    }
+  }
+  received_.assign(n, {});
+  overheard_.assign(n, {});
+}
+
+void ChatNetwork::send(sim::RobotIndex from, sim::RobotIndex to,
+                       std::span<const std::uint8_t> payload) {
+  if (from == to) throw std::invalid_argument("from == to");
+  const std::vector<sim::RobotIndex>& slots = slot_to_engine_.at(from);
+  const auto it = std::find(slots.begin(), slots.end(), to);
+  const auto slot = static_cast<std::size_t>(it - slots.begin());
+  chat_.at(from)->send_message(slot, payload);
+}
+
+void ChatNetwork::broadcast(sim::RobotIndex from,
+                            std::span<const std::uint8_t> payload) {
+  chat_.at(from)->send_broadcast(payload);
+}
+
+void ChatNetwork::collect() {
+  for (std::size_t i = 0; i < chat_.size(); ++i) {
+    const std::vector<sim::RobotIndex>& slots = slot_to_engine_[i];
+    for (auto& m : chat_[i]->take_inbox()) {
+      received_[i].push_back(Delivery{slots[m.sender], slots[m.addressee],
+                                      m.broadcast, std::move(m.payload)});
+    }
+    for (auto& m : chat_[i]->take_overheard()) {
+      overheard_[i].push_back(Delivery{slots[m.sender], slots[m.addressee],
+                                       m.broadcast, std::move(m.payload)});
+    }
+  }
+}
+
+void ChatNetwork::step() {
+  engine_->step();
+  collect();
+}
+
+void ChatNetwork::run(sim::Time instants) {
+  for (sim::Time k = 0; k < instants; ++k) step();
+}
+
+bool ChatNetwork::quiescent() const {
+  return std::all_of(chat_.begin(), chat_.end(),
+                     [](const proto::ChatRobot* r) {
+                       return r->send_queue_empty();
+                     });
+}
+
+bool ChatNetwork::run_until_quiescent(sim::Time max_instants) {
+  for (sim::Time k = 0; k < max_instants && !quiescent(); ++k) step();
+  return quiescent();
+}
+
+}  // namespace stig::core

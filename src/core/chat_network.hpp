@@ -1,0 +1,168 @@
+// ChatNetwork — the library's main entry point.
+//
+// Wraps the SSM engine, a scheduler and a fleet of protocol robots behind a
+// message-passing API addressed by simulator robot index:
+//
+//   stig::core::ChatNetworkOptions opt;
+//   opt.synchrony = Synchrony::synchronous;
+//   opt.caps.sense_of_direction = true;
+//   ChatNetwork net(positions, opt);
+//   net.send(0, 3, payload);
+//   net.run_until_quiescent(100'000);
+//   for (const auto& m : net.received(3)) { ... }
+//
+// The protocol is selected from (synchrony, capabilities, robot count)
+// exactly along the paper's lattice: Sync2 / SyncSliced(by_ids |
+// lexicographic | relative) / Async2 / AsyncN, plus the k-segment variant on
+// request. Robot frames are randomized within what the declared
+// capabilities permit (rotation only without sense of direction, arbitrary
+// units always, one common handedness), so running the network *is* a test
+// that the protocols use no capability they were not granted.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/capabilities.hpp"
+#include "geom/vec.hpp"
+#include "proto/common.hpp"
+#include "sim/engine.hpp"
+
+namespace stig::core {
+
+/// Which protocol ChatNetwork instantiates.
+enum class ProtocolKind : unsigned char {
+  automatic,  ///< Pick from synchrony, capabilities and robot count.
+  sync2,      ///< Section 3.1 (requires n == 2, synchronous).
+  sliced,     ///< Sections 3.2-3.4 (synchronous, any n).
+  ksegment,   ///< Section 5 extension (synchronous, any n).
+  async2,     ///< Section 4.1 (requires n == 2, asynchronous).
+  asyncn,     ///< Section 4.2 (asynchronous, any n).
+};
+
+/// Scheduler used in asynchronous mode.
+enum class SchedulerKind : unsigned char {
+  bernoulli,    ///< Independent activation with probability p.
+  centralized,  ///< Exactly one robot per instant, round-robin.
+  ksubset,      ///< A random k-subset per instant.
+  adversarial,  ///< Starves one robot to the fairness bound, rotating.
+};
+
+/// Configuration for ChatNetwork.
+struct ChatNetworkOptions {
+  Synchrony synchrony = Synchrony::synchronous;
+  Capabilities caps;
+  ProtocolKind protocol = ProtocolKind::automatic;
+
+  double sigma = 0.25;  ///< Max travel per activation (global units).
+  std::uint64_t seed = 1;  ///< Frame randomization + scheduler randomness.
+  bool randomize_frames = true;  ///< Random units (and rotations when sense
+                                 ///< of direction is absent).
+  bool mirrored_frames = false;  ///< Left-handed frames for every robot
+                                 ///< (chirality holds either way).
+  bool record_positions = false;
+
+  // Asynchronous scheduling.
+  SchedulerKind scheduler = SchedulerKind::bernoulli;
+  double activation_probability = 0.5;
+  std::size_t subset_size = 1;
+  std::size_t fairness_bound = 64;
+
+  // Protocol extras.
+  unsigned sync2_bits_per_symbol = 1;        ///< Section 3.1 byte remark.
+  bool async2_banded = false;                ///< Bounded-footprint variant.
+  std::size_t ksegment_k = 4;                ///< Section 5 index base.
+  geom::Vec2 flock_velocity{0.0, 0.0};       ///< Section 5 flocking
+                                             ///< (global units/instant,
+                                             ///< sliced protocol only).
+
+  // Model stressors (Section 5 discussion), forwarded to the engine.
+  double observation_quantum = 0.0;  ///< Sensor grid; 0 = ideal.
+  sim::Time observation_delay = 0;   ///< Stale observations; 0 = atomic.
+  double visibility_radius = 0.0;    ///< Limited visibility; 0 = unlimited.
+};
+
+/// A delivered message, in simulator indices.
+struct Delivery {
+  sim::RobotIndex from = 0;
+  sim::RobotIndex to = 0;      ///< Equals `from` for broadcasts.
+  bool broadcast = false;      ///< One-to-all message.
+  std::vector<std::uint8_t> payload;
+};
+
+class ChatNetwork {
+ public:
+  /// Creates the swarm at the given global positions (pairwise distinct).
+  ChatNetwork(std::vector<geom::Vec2> positions, ChatNetworkOptions options);
+
+  /// Queues `payload` from robot `from` to robot `to` over the motion
+  /// channel.
+  void send(sim::RobotIndex from, sim::RobotIndex to,
+            std::span<const std::uint8_t> payload);
+
+  /// Queues `payload` from robot `from` to *every* robot: signaled once on
+  /// the sender's own diameter, decoded by all (Section 5 one-to-all).
+  void broadcast(sim::RobotIndex from,
+                 std::span<const std::uint8_t> payload);
+
+  /// Advances one instant and collects deliveries.
+  void step();
+  /// Advances `instants` instants.
+  void run(sim::Time instants);
+  /// Runs until every queued message has been fully transmitted (and hence
+  /// delivered — protocols only complete a bit once its receipt is
+  /// guaranteed), or `max_instants` elapse. Returns true on quiescence.
+  bool run_until_quiescent(sim::Time max_instants);
+
+  /// True when no robot has bits left to send.
+  [[nodiscard]] bool quiescent() const;
+
+  /// Messages delivered to robot `i` so far (in decode order).
+  [[nodiscard]] const std::vector<Delivery>& received(
+      sim::RobotIndex i) const {
+    return received_.at(i);
+  }
+  /// Drains robot `i`'s deliveries (for layered services such as
+  /// MulticastService that post-process them).
+  [[nodiscard]] std::vector<Delivery> take_received(sim::RobotIndex i) {
+    std::vector<Delivery> out;
+    out.swap(received_.at(i));
+    return out;
+  }
+  /// Messages robot `i` decoded that were addressed to someone else.
+  [[nodiscard]] const std::vector<Delivery>& overheard(
+      sim::RobotIndex i) const {
+    return overheard_.at(i);
+  }
+
+  [[nodiscard]] std::size_t robot_count() const {
+    return engine_->robot_count();
+  }
+  [[nodiscard]] const proto::ChatStats& stats(sim::RobotIndex i) const {
+    return chat_.at(i)->stats();
+  }
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] const sim::Engine& engine() const { return *engine_; }
+  [[nodiscard]] ProtocolKind protocol_kind() const { return kind_; }
+  /// The protocol robot driving simulator robot `i` (for inspection).
+  [[nodiscard]] const proto::ChatRobot& chat_robot(sim::RobotIndex i) const {
+    return *chat_.at(i);
+  }
+
+ private:
+  void collect();
+
+  ChatNetworkOptions options_;
+  ProtocolKind kind_ = ProtocolKind::automatic;
+  std::unique_ptr<sim::Engine> engine_;
+  std::vector<proto::ChatRobot*> chat_;  ///< Non-owning; engine owns.
+  /// slot_to_engine_[i][slot] = simulator index of the robot that robot i's
+  /// protocol calls `slot`.
+  std::vector<std::vector<sim::RobotIndex>> slot_to_engine_;
+  std::vector<std::vector<Delivery>> received_;
+  std::vector<std::vector<Delivery>> overheard_;
+};
+
+}  // namespace stig::core

@@ -1,0 +1,156 @@
+// A simulated wireless channel with fault injection.
+//
+// The paper motivates movement signaling as a *backup* for robots whose
+// communication devices are faulty (Section 1: "wireless devices are
+// faulty", "zones with blocked wireless communication"). This module
+// provides the thing that fails: a point-to-point radio with per-message
+// loss, per-robot device failure, and global jamming windows, all
+// deterministic under a seed. HybridMessenger (backup_channel.hpp) layers
+// the motion channel underneath it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace stig::core {
+
+/// Configuration of the simulated radio.
+struct WirelessOptions {
+  double loss_probability = 0.0;  ///< Independent per-message drop chance.
+  std::uint64_t seed = 7;
+  /// Instants [jam_from, jam_until) during which nothing is delivered
+  /// ("hostile environments where communication are scrambled").
+  sim::Time jam_from = 0;
+  sim::Time jam_until = 0;
+};
+
+/// A delivered or dropped radio message.
+struct WirelessResult {
+  bool delivered = false;
+};
+
+/// Point-to-point radio. Deliveries are instantaneous; the interesting part
+/// is the ways it fails.
+class WirelessChannel {
+ public:
+  WirelessChannel(std::size_t robots, WirelessOptions options)
+      : options_(options), rng_(options.seed), dead_(robots, false) {}
+
+  /// Permanently breaks robot `i`'s radio (device fault).
+  void break_device(sim::RobotIndex i) { dead_.at(i) = true; }
+  /// Repairs robot `i`'s radio.
+  void repair_device(sim::RobotIndex i) { dead_.at(i) = false; }
+  [[nodiscard]] bool device_broken(sim::RobotIndex i) const {
+    return dead_.at(i);
+  }
+
+  /// Permanently breaks the (symmetric) link between two robots — e.g. an
+  /// obstacle or interference between a specific pair. Devices stay up.
+  void break_link(sim::RobotIndex a, sim::RobotIndex b) {
+    broken_links_.insert(link_key(a, b));
+  }
+  /// Repairs the link.
+  void repair_link(sim::RobotIndex a, sim::RobotIndex b) {
+    broken_links_.erase(link_key(a, b));
+  }
+  [[nodiscard]] bool link_broken(sim::RobotIndex a,
+                                 sim::RobotIndex b) const {
+    return broken_links_.contains(link_key(a, b));
+  }
+
+  /// Attempts to transmit at instant `now`. On success the payload is
+  /// appended to the receiver's queue (drained with `take_received`). The
+  /// sender learns the outcome — radios have link-layer acks; that is what
+  /// lets the hybrid messenger fall back deterministically.
+  WirelessResult transmit(sim::Time now, sim::RobotIndex from,
+                          sim::RobotIndex to,
+                          std::span<const std::uint8_t> payload) {
+    ++sent_;
+    const bool jammed =
+        now >= options_.jam_from && now < options_.jam_until;
+    if (jammed || dead_.at(from) || dead_.at(to) ||
+        link_broken(from, to) ||
+        (options_.loss_probability > 0.0 &&
+         rng_.flip(options_.loss_probability))) {
+      ++dropped_;
+      return WirelessResult{false};
+    }
+    inboxes_.push_back({from, to, {payload.begin(), payload.end()}});
+    return WirelessResult{true};
+  }
+
+  /// Two-hop relayed transmission: from -> via -> to, atomically. Both
+  /// hops draw their own loss; only the final addressee's inbox receives
+  /// the payload (the relay forwards immediately and keeps no copy in its
+  /// delivery queue — its knowledge of the payload is the redundancy the
+  /// paper describes, not a queued message).
+  WirelessResult transmit_via(sim::Time now, sim::RobotIndex from,
+                              sim::RobotIndex via, sim::RobotIndex to,
+                              std::span<const std::uint8_t> payload) {
+    sent_ += 2;
+    const bool jammed =
+        now >= options_.jam_from && now < options_.jam_until;
+    const bool hop1_ok =
+        !jammed && !dead_.at(from) && !dead_.at(via) &&
+        !link_broken(from, via) &&
+        !(options_.loss_probability > 0.0 &&
+          rng_.flip(options_.loss_probability));
+    if (!hop1_ok) {
+      dropped_ += 2;
+      return WirelessResult{false};
+    }
+    const bool hop2_ok =
+        !dead_.at(to) && !link_broken(via, to) &&
+        !(options_.loss_probability > 0.0 &&
+          rng_.flip(options_.loss_probability));
+    if (!hop2_ok) {
+      ++dropped_;
+      return WirelessResult{false};
+    }
+    inboxes_.push_back({from, to, {payload.begin(), payload.end()}});
+    return WirelessResult{true};
+  }
+
+  /// Drains messages delivered to robot `i`.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> take_received(
+      sim::RobotIndex i) {
+    std::vector<std::vector<std::uint8_t>> out;
+    std::erase_if(inboxes_, [&](Entry& e) {
+      if (e.to != i) return false;
+      out.push_back(std::move(e.payload));
+      return true;
+    });
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  struct Entry {
+    sim::RobotIndex from;
+    sim::RobotIndex to;
+    std::vector<std::uint8_t> payload;
+  };
+  [[nodiscard]] static std::uint64_t link_key(sim::RobotIndex a,
+                                              sim::RobotIndex b) noexcept {
+    const auto lo = static_cast<std::uint64_t>(a < b ? a : b);
+    const auto hi = static_cast<std::uint64_t>(a < b ? b : a);
+    return (hi << 32) | lo;
+  }
+
+  WirelessOptions options_;
+  sim::Rng rng_;
+  std::vector<bool> dead_;
+  std::unordered_set<std::uint64_t> broken_links_;
+  std::vector<Entry> inboxes_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace stig::core

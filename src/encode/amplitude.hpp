@@ -1,0 +1,68 @@
+// Multi-level amplitude coding (Section 3.1 remark).
+//
+// "If each robot r knows the maximum distance sigma_r' that the other robot
+// r' can cover in one step, then the protocol can easily be adapted to
+// reduce the number of moves made by the robots to send bytes": the total
+// excursion 2*sigma (sigma to the right, sigma to the left) is divided into
+// equally spaced levels and one movement carries a whole symbol instead of a
+// single bit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+namespace stig::encode {
+
+/// Maps symbols in [0, 2^bits_per_symbol) to signed amplitudes in
+/// [-max_amplitude, +max_amplitude] and back.
+///
+/// Symbol s occupies amplitude `level(s)`; adjacent levels are separated by
+/// `2*max_amplitude / (levels - 1)`, so decoding tolerates perturbations up
+/// to half that spacing.
+class AmplitudeCodec {
+ public:
+  /// Preconditions: `bits_per_symbol >= 1`, `max_amplitude > 0`.
+  AmplitudeCodec(unsigned bits_per_symbol, double max_amplitude) noexcept
+      : bits_(bits_per_symbol),
+        levels_(1U << bits_per_symbol),
+        max_(max_amplitude) {}
+
+  [[nodiscard]] unsigned bits_per_symbol() const noexcept { return bits_; }
+  [[nodiscard]] std::uint32_t levels() const noexcept { return levels_; }
+
+  /// Signed amplitude carrying symbol `s`. Level 0 is -max, the top level
+  /// +max; zero displacement is never a symbol, so silence stays
+  /// distinguishable — the spacing leaves a dead zone around 0 only when
+  /// `levels` is even, which `2^bits` always is.
+  [[nodiscard]] double level(std::uint32_t s) const noexcept {
+    const double t =
+        static_cast<double>(s) / static_cast<double>(levels_ - 1);
+    return -max_ + 2.0 * max_ * t;
+  }
+
+  /// Half the spacing between adjacent levels: the decode tolerance.
+  [[nodiscard]] double tolerance() const noexcept {
+    return max_ / static_cast<double>(levels_ - 1);
+  }
+
+  /// Decodes an observed amplitude to the nearest symbol, or nullopt when
+  /// the amplitude is out of range by more than one tolerance (corruption).
+  [[nodiscard]] std::optional<std::uint32_t> decode(
+      double amplitude) const noexcept {
+    if (std::fabs(amplitude) > max_ + tolerance()) return std::nullopt;
+    const double t = (amplitude + max_) / (2.0 * max_);
+    const auto s = static_cast<std::int64_t>(
+        std::llround(t * static_cast<double>(levels_ - 1)));
+    if (s < 0) return 0;
+    if (s >= levels_) return levels_ - 1;
+    return static_cast<std::uint32_t>(s);
+  }
+
+ private:
+  unsigned bits_;
+  std::uint32_t levels_;
+  double max_;
+};
+
+}  // namespace stig::encode

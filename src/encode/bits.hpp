@@ -1,0 +1,60 @@
+// Bit-level primitives.
+//
+// Movement protocols transmit one bit per movement signal; everything above
+// (bytes, frames, messages) is built from the conversions here. Bits travel
+// MSB-first within each byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace stig::encode {
+
+/// A sequence of bits; each element is 0 or 1.
+///
+/// Deliberately a plain vector of bytes (values 0/1) rather than
+/// std::vector<bool>: protocols index, splice and span it heavily and the
+/// proxy-reference semantics of vector<bool> are a known trap.
+using BitString = std::vector<std::uint8_t>;
+
+/// Appends the 8 bits of `byte`, most significant first.
+inline void append_byte(BitString& bits, std::uint8_t byte) {
+  for (int i = 7; i >= 0; --i) {
+    bits.push_back(static_cast<std::uint8_t>((byte >> i) & 1U));
+  }
+}
+
+/// Converts bytes to bits, MSB-first.
+[[nodiscard]] inline BitString to_bits(std::span<const std::uint8_t> bytes) {
+  BitString bits;
+  bits.reserve(bytes.size() * 8);
+  for (std::uint8_t b : bytes) append_byte(bits, b);
+  return bits;
+}
+
+/// Converts a whole number of bytes' worth of bits back to bytes.
+/// Precondition: `bits.size()` is a multiple of 8.
+[[nodiscard]] inline std::vector<std::uint8_t> to_bytes(
+    std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(bits.size() / 8);
+  for (std::size_t i = 0; i + 8 <= bits.size(); i += 8) {
+    std::uint8_t b = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      b = static_cast<std::uint8_t>((b << 1) | (bits[i + j] & 1U));
+    }
+    bytes.push_back(b);
+  }
+  return bytes;
+}
+
+/// Converts a string to its byte representation (for examples/tests).
+[[nodiscard]] inline std::vector<std::uint8_t> bytes_of(
+    std::string_view text) {
+  return {text.begin(), text.end()};
+}
+
+}  // namespace stig::encode

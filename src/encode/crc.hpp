@@ -1,0 +1,29 @@
+// CRC-8 integrity check for message frames.
+//
+// The motion channel is noiseless in the idealized model, but the library is
+// meant to be usable as a *fault-tolerant backup* channel (paper Section 1),
+// so frames carry an 8-bit CRC allowing receivers to reject corrupted or
+// truncated frames — exercised by the fault-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace stig::encode {
+
+/// CRC-8/ATM (polynomial x^8 + x^2 + x + 1, i.e. 0x07), init 0x00.
+[[nodiscard]] constexpr std::uint8_t crc8(
+    std::span<const std::uint8_t> data) noexcept {
+  std::uint8_t crc = 0;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 0x80U) != 0
+                ? static_cast<std::uint8_t>((crc << 1) ^ 0x07U)
+                : static_cast<std::uint8_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+}  // namespace stig::encode

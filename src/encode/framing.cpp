@@ -1,0 +1,87 @@
+#include "encode/framing.hpp"
+
+#include "encode/crc.hpp"
+#include "encode/varint.hpp"
+
+namespace stig::encode {
+namespace {
+
+/// Upper bound on accepted payload sizes; anything larger on the wire is
+/// treated as corruption rather than waited for indefinitely.
+constexpr std::uint64_t kMaxPayload = 1 << 20;
+
+}  // namespace
+
+BitString encode_frame(std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> wire;
+  wire.reserve(payload.size() + 4);
+  append_varint(wire, payload.size());
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  wire.push_back(crc8(payload));
+  return to_bits(wire);
+}
+
+void FrameParser::push_bit(std::uint8_t bit) {
+  ++bits_;
+  partial_ = static_cast<std::uint8_t>((partial_ << 1) | (bit & 1U));
+  if (++partial_count_ == 8) {
+    buffer_.push_back(partial_);
+    partial_ = 0;
+    partial_count_ = 0;
+    try_parse();
+  }
+}
+
+void FrameParser::try_parse() {
+  for (;;) {
+    if (buffer_.empty()) return;
+    const auto header = decode_varint(buffer_);
+    if (!header) {
+      if (buffer_.size() >= 10) {
+        // Overlong varint can never complete: resynchronize by a byte.
+        ++corrupt_;
+        buffer_.erase(buffer_.begin());
+        continue;
+      }
+      return;  // Truncated varint: wait for more bits.
+    }
+    if (header->value > kMaxPayload) {
+      ++corrupt_;
+      buffer_.erase(buffer_.begin());
+      continue;
+    }
+    const std::size_t len = static_cast<std::size_t>(header->value);
+    const std::size_t total = header->consumed + len + 1;  // +1 for CRC.
+    if (buffer_.size() < total) return;  // Wait for the full frame.
+    const std::span<const std::uint8_t> payload(
+        buffer_.data() + header->consumed, len);
+    const std::uint8_t expected = buffer_[header->consumed + len];
+    if (crc8(payload) == expected) {
+      messages_.emplace_back(payload.begin(), payload.end());
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+    } else {
+      ++corrupt_;
+      // Drop the whole frame the length field described; if the length
+      // itself was corrupted this may eat good bytes, but the next CRC
+      // failure keeps resynchronizing.
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+    }
+  }
+}
+
+void FrameParser::reset() {
+  if (mid_frame()) ++corrupt_;
+  buffer_.clear();
+  partial_ = 0;
+  partial_count_ = 0;
+}
+
+std::vector<std::vector<std::uint8_t>> FrameParser::take_messages() {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.swap(messages_);
+  return out;
+}
+
+}  // namespace stig::encode

@@ -1,0 +1,64 @@
+// Message framing over a raw bit stream.
+//
+// The movement protocols deliver an ordered stream of bits per
+// (sender, addressee) pair. Frames make that stream carry whole messages:
+//
+//   frame := varint(payload_length) | payload bytes | crc8(payload)
+//
+// transmitted MSB-first bit by bit. The parser is incremental: feed it one
+// bit per decoded movement signal and collect completed messages.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "encode/bits.hpp"
+
+namespace stig::encode {
+
+/// Encodes one payload into its on-the-wire bit representation.
+[[nodiscard]] BitString encode_frame(std::span<const std::uint8_t> payload);
+
+/// Incremental frame parser; one instance per in-order bit stream.
+class FrameParser {
+ public:
+  /// Feeds one bit (0 or 1) into the parser.
+  void push_bit(std::uint8_t bit);
+
+  /// Completed, CRC-valid payloads accumulated so far; caller takes
+  /// ownership and the internal list is cleared.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> take_messages();
+
+  /// Number of frames dropped due to CRC mismatch or malformed length.
+  [[nodiscard]] std::uint64_t corrupt_frames() const noexcept {
+    return corrupt_;
+  }
+
+  /// Bits consumed over the parser's lifetime.
+  [[nodiscard]] std::uint64_t bits_consumed() const noexcept { return bits_; }
+
+  /// True when a frame is partially assembled (bits received since the
+  /// last completed frame).
+  [[nodiscard]] bool mid_frame() const noexcept {
+    return partial_count_ != 0 || !buffer_.empty();
+  }
+
+  /// Drops any partially assembled frame and realigns the bit stream.
+  /// Receivers call this when the sender provably sits at a frame boundary
+  /// (a correct sender never pauses mid-frame), healing streams corrupted
+  /// by transient faults — the stabilization mechanism of Section 5.
+  void reset();
+
+ private:
+  void try_parse();
+
+  std::vector<std::uint8_t> buffer_;  ///< Whole bytes assembled so far.
+  std::uint8_t partial_ = 0;          ///< Bits of the byte in flight.
+  std::size_t partial_count_ = 0;
+  std::vector<std::vector<std::uint8_t>> messages_;
+  std::uint64_t corrupt_ = 0;
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace stig::encode

@@ -1,0 +1,52 @@
+// Base-k index coding for the Section 5 extension.
+//
+// With limited angular resolution a robot may be unable to realize 2n
+// distinct slices. The paper proposes using only k+1 segments (2k+2 slices
+// in our diameter representation): one dedicated data diameter plus k index
+// diameters, and transmitting the *index of the addressee* as a base-k
+// numeral of ceil(log n / log k) digits ahead of each message. This module
+// provides the numeral conversion and the step-count model used by the E3
+// benchmark to check the paper's O(log n / log log n) slowdown claim.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stig::encode {
+
+/// Number of base-k digits needed to write any index in [0, n).
+/// Preconditions: k >= 2, n >= 1.
+[[nodiscard]] constexpr std::size_t digits_needed(std::size_t n,
+                                                  std::size_t k) noexcept {
+  std::size_t digits = 1;
+  std::size_t capacity = k;
+  while (capacity < n) {
+    capacity *= k;
+    ++digits;
+  }
+  return digits;
+}
+
+/// Encodes `index` (< n) as exactly `digits_needed(n, k)` base-k digits,
+/// most significant first.
+[[nodiscard]] inline std::vector<std::uint32_t> encode_index(
+    std::size_t index, std::size_t n, std::size_t k) {
+  const std::size_t d = digits_needed(n, k);
+  std::vector<std::uint32_t> digits(d, 0);
+  for (std::size_t i = d; i-- > 0;) {
+    digits[i] = static_cast<std::uint32_t>(index % k);
+    index /= k;
+  }
+  return digits;
+}
+
+/// Decodes a complete base-k numeral (most significant digit first).
+[[nodiscard]] inline std::size_t decode_index(
+    const std::vector<std::uint32_t>& digits, std::size_t k) noexcept {
+  std::size_t value = 0;
+  for (std::uint32_t d : digits) value = value * k + d;
+  return value;
+}
+
+}  // namespace stig::encode

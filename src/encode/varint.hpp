@@ -1,0 +1,47 @@
+// LEB128-style variable-length integers.
+//
+// Frames are self-delimiting on a pure bit stream: the payload length is
+// sent as a varint so a receiver decoding a sender's movements knows when a
+// message ends without any out-of-band signal.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace stig::encode {
+
+/// Appends `value` as an unsigned LEB128 varint (7 data bits per byte,
+/// continuation bit 0x80).
+inline void append_varint(std::vector<std::uint8_t>& out,
+                          std::uint64_t value) {
+  do {
+    std::uint8_t byte = value & 0x7FU;
+    value >>= 7;
+    if (value != 0) byte |= 0x80U;
+    out.push_back(byte);
+  } while (value != 0);
+}
+
+/// Result of a varint decode: the value and the number of bytes consumed.
+struct VarintDecode {
+  std::uint64_t value = 0;
+  std::size_t consumed = 0;
+};
+
+/// Decodes a varint from the front of `bytes`. Returns nullopt when the
+/// input is truncated (ends mid-varint) or overlong (more than 10 bytes).
+[[nodiscard]] inline std::optional<VarintDecode> decode_varint(
+    std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < bytes.size() && i < 10; ++i) {
+    value |= static_cast<std::uint64_t>(bytes[i] & 0x7FU) << (7 * i);
+    if ((bytes[i] & 0x80U) == 0) {
+      return VarintDecode{value, i + 1};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace stig::encode

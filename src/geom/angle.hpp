@@ -1,0 +1,73 @@
+// Angle utilities with explicit handedness.
+//
+// The paper's constructions label granular diameters "in the natural order
+// following the clockwise direction" — chirality (common handedness) is what
+// lets all robots agree on that order. This header centralizes every angular
+// computation so that the clockwise convention appears in exactly one place.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "geom/vec.hpp"
+
+namespace stig::geom {
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Normalizes an angle to the half-open interval [0, 2*pi).
+[[nodiscard]] inline double normalize_angle(double a) noexcept {
+  a = std::fmod(a, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  // fmod of a tiny negative can round to exactly kTwoPi after the add.
+  if (a >= kTwoPi) a -= kTwoPi;
+  return a;
+}
+
+/// Normalizes an angle to the interval (-pi, pi].
+[[nodiscard]] inline double normalize_angle_signed(double a) noexcept {
+  a = normalize_angle(a);
+  if (a > kPi) a -= kTwoPi;
+  return a;
+}
+
+/// Counterclockwise angle of vector `v` measured from the +x axis of the
+/// global frame, normalized to [0, 2*pi). Precondition: `v` is non-zero.
+[[nodiscard]] inline double polar_angle(const Vec2& v) noexcept {
+  return normalize_angle(std::atan2(v.y, v.x));
+}
+
+/// Clockwise angle from direction `from` to direction `to`, in [0, 2*pi).
+///
+/// "Clockwise" is the direction a right-handed observer of the standard
+/// global frame calls clockwise (negative mathematical rotation). Because
+/// every robot in a chiral system shares one handedness, the simulator uses
+/// this single global convention and maps per-robot mirrored frames on top
+/// of it (see sim/frame.hpp).
+[[nodiscard]] inline double clockwise_angle(const Vec2& from,
+                                            const Vec2& to) noexcept {
+  const double a = std::atan2(cross(to, from), dot(to, from));
+  return normalize_angle(a);
+}
+
+/// Counterclockwise angle from direction `from` to direction `to`, [0, 2*pi).
+[[nodiscard]] inline double counterclockwise_angle(const Vec2& from,
+                                                   const Vec2& to) noexcept {
+  return normalize_angle(kTwoPi - clockwise_angle(from, to));
+}
+
+/// Unit vector obtained by rotating unit direction `from` by `radians`
+/// clockwise (global convention).
+[[nodiscard]] inline Vec2 rotate_clockwise(const Vec2& from,
+                                           double radians) noexcept {
+  return from.rotated(-radians);
+}
+
+/// Smallest absolute angular difference between two angles, in [0, pi].
+[[nodiscard]] inline double angular_distance(double a, double b) noexcept {
+  const double d = std::fabs(normalize_angle_signed(a - b));
+  return d;
+}
+
+}  // namespace stig::geom

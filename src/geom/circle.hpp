@@ -1,0 +1,55 @@
+// Circles and exact small-set circumcircles — building blocks for the
+// smallest-enclosing-circle computation used by the Section 3.4 naming
+// scheme.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+
+#include "geom/vec.hpp"
+
+namespace stig::geom {
+
+/// A circle given by center and (non-negative) radius.
+struct Circle {
+  Vec2 center;
+  double radius = 0.0;
+
+  /// True when `p` lies inside or on the circle, with slack `eps` to absorb
+  /// floating-point noise (important inside Welzl's recursion).
+  [[nodiscard]] bool contains(const Vec2& p, double eps = kEps) const noexcept {
+    return dist2(p, center) <= (radius + eps) * (radius + eps);
+  }
+
+  /// True when `p` lies on the boundary within tolerance.
+  [[nodiscard]] bool on_boundary(const Vec2& p,
+                                 double eps = kEps) const noexcept {
+    return nearly_equal(dist(p, center), radius, eps);
+  }
+};
+
+/// Smallest circle through two points: diameter circle of [a, b].
+[[nodiscard]] inline Circle circle_from(const Vec2& a, const Vec2& b) noexcept {
+  return Circle{midpoint(a, b), dist(a, b) / 2.0};
+}
+
+/// Circumcircle of three points, or nullopt when they are (nearly) collinear.
+///
+/// Uses the standard determinant formula with coordinates translated to `a`
+/// for numerical stability.
+[[nodiscard]] inline std::optional<Circle> circumcircle(
+    const Vec2& a, const Vec2& b, const Vec2& c) noexcept {
+  const Vec2 ab = b - a;
+  const Vec2 ac = c - a;
+  const double d = 2.0 * cross(ab, ac);
+  const double scale = std::max({1.0, ab.norm2(), ac.norm2()});
+  if (std::fabs(d) <= kEps * scale) return std::nullopt;
+  const double ab2 = ab.norm2();
+  const double ac2 = ac.norm2();
+  const Vec2 center_rel{(ac.y * ab2 - ab.y * ac2) / d,
+                        (ab.x * ac2 - ac.x * ab2) / d};
+  const Vec2 center = a + center_rel;
+  return Circle{center, dist(center, a)};
+}
+
+}  // namespace stig::geom

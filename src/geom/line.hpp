@@ -1,0 +1,97 @@
+// Lines, segments and perpendicular bisectors.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+
+#include "geom/vec.hpp"
+
+namespace stig::geom {
+
+/// An infinite directed line through `point` with (non-zero) direction `dir`.
+///
+/// The direction matters to the protocols: the asynchronous schemes move
+/// "toward North_r" along a *directed* horizon line, and bits are coded on
+/// the East/West side of the directed line.
+struct Line {
+  Vec2 point;
+  Vec2 dir;  ///< Not required to be unit length, but must be non-zero.
+
+  /// Constructs the directed line through `a` and `b` (direction a -> b).
+  [[nodiscard]] static Line through(const Vec2& a, const Vec2& b) noexcept {
+    return Line{a, b - a};
+  }
+
+  /// Signed perpendicular offset of `p`: positive when `p` is on the left
+  /// (counterclockwise side) of the directed line, negative on the right,
+  /// measured in Euclidean distance units.
+  [[nodiscard]] double signed_offset(const Vec2& p) const noexcept {
+    return cross(dir.normalized(), p - point);
+  }
+
+  /// Euclidean distance from `p` to the line.
+  [[nodiscard]] double distance(const Vec2& p) const noexcept {
+    return std::fabs(signed_offset(p));
+  }
+
+  /// Orthogonal projection of `p` onto the line.
+  [[nodiscard]] Vec2 project(const Vec2& p) const noexcept {
+    const Vec2 u = dir.normalized();
+    return point + u * dot(p - point, u);
+  }
+
+  /// Parameter of the projection of `p`: `project(p) == point + t * dir_unit`.
+  [[nodiscard]] double param_of(const Vec2& p) const noexcept {
+    return dot(p - point, dir.normalized());
+  }
+
+  /// True when `p` lies on the line within tolerance `eps`.
+  [[nodiscard]] bool contains(const Vec2& p, double eps = kEps) const noexcept {
+    return distance(p) <= eps;
+  }
+};
+
+/// A closed segment between two endpoints.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  [[nodiscard]] double length() const noexcept { return dist(a, b); }
+
+  /// Closest point of the segment to `p`.
+  [[nodiscard]] Vec2 closest_point(const Vec2& p) const noexcept {
+    const Vec2 d = b - a;
+    const double len2 = d.norm2();
+    if (len2 <= kEps * kEps) return a;
+    double t = dot(p - a, d) / len2;
+    if (t < 0.0) t = 0.0;
+    if (t > 1.0) t = 1.0;
+    return a + d * t;
+  }
+
+  /// Euclidean distance from `p` to the segment.
+  [[nodiscard]] double distance(const Vec2& p) const noexcept {
+    return dist(p, closest_point(p));
+  }
+};
+
+/// Perpendicular bisector of the segment [a, b], directed so that `a` lies on
+/// its *left* side. Precondition: `a != b`.
+[[nodiscard]] inline Line perpendicular_bisector(const Vec2& a,
+                                                 const Vec2& b) noexcept {
+  // Direction (b - a) rotated +90deg puts `a` on the left of the line.
+  return Line{midpoint(a, b), (b - a).perp_ccw()};
+}
+
+/// Intersection point of two lines, or nullopt when (nearly) parallel.
+[[nodiscard]] inline std::optional<Vec2> intersect(const Line& l1,
+                                                   const Line& l2) noexcept {
+  const double den = cross(l1.dir, l2.dir);
+  const double scale =
+      std::max({1.0, l1.dir.norm(), l2.dir.norm()});
+  if (std::fabs(den) <= kEps * scale * scale) return std::nullopt;
+  const double t = cross(l2.point - l1.point, l2.dir) / den;
+  return l1.point + l1.dir * t;
+}
+
+}  // namespace stig::geom

@@ -1,0 +1,92 @@
+#include "geom/sec.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace stig::geom {
+namespace {
+
+// Welzl's recursion flattened into the usual incremental form:
+// for each point outside the current circle, recompute the circle with that
+// point on the boundary, recursing over prefixes. Deterministic shuffle
+// (splitmix64) keeps the expected-linear behaviour without depending on
+// global random state — crucial because every robot must compute the same
+// SEC and our tests must be reproducible.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Slack used while growing the circle; looser than kEps because the
+// incremental construction accumulates a few ulps of error per level.
+constexpr double kSecEps = 1e-10;
+
+Circle circle_two_boundary(std::span<const Vec2> pts, std::size_t limit,
+                           const Vec2& p, const Vec2& q) {
+  Circle c = circle_from(p, q);
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (!c.contains(pts[i], kSecEps)) {
+      // p, q and pts[i] must all be on the boundary now.
+      if (auto cc = circumcircle(p, q, pts[i])) {
+        c = *cc;
+      } else {
+        // Collinear triple: the farthest pair's diameter circle covers all.
+        Circle c1 = circle_from(p, pts[i]);
+        Circle c2 = circle_from(q, pts[i]);
+        const Circle& best =
+            c1.radius >= c2.radius ? c1 : c2;
+        c = best.contains(p, kSecEps) && best.contains(q, kSecEps)
+                ? best
+                : circle_from(p, q);
+      }
+    }
+  }
+  return c;
+}
+
+Circle circle_one_boundary(std::span<const Vec2> pts, std::size_t limit,
+                           const Vec2& p) {
+  Circle c{p, 0.0};
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (!c.contains(pts[i], kSecEps)) {
+      c = circle_two_boundary(pts, i, p, pts[i]);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Circle smallest_enclosing_circle(std::span<const Vec2> points) {
+  if (points.empty()) return Circle{Vec2{0.0, 0.0}, 0.0};
+  std::vector<Vec2> pts(points.begin(), points.end());
+  // Deterministic Fisher-Yates shuffle.
+  std::uint64_t rng_state = 0x5ec5ec5ec5ec5ecULL ^ pts.size();
+  for (std::size_t i = pts.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(splitmix64(rng_state) % i);
+    std::swap(pts[i - 1], pts[j]);
+  }
+
+  Circle c{pts[0], 0.0};
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (!c.contains(pts[i], kSecEps)) {
+      c = circle_one_boundary(pts, i, pts[i]);
+    }
+  }
+  return c;
+}
+
+std::vector<std::size_t> sec_support(std::span<const Vec2> points,
+                                     const Circle& sec, double eps) {
+  std::vector<std::size_t> support;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (sec.on_boundary(points[i], eps)) support.push_back(i);
+  }
+  return support;
+}
+
+}  // namespace stig::geom

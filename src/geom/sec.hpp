@@ -1,0 +1,35 @@
+// Smallest enclosing circle (SEC).
+//
+// Section 3.4 of the paper anchors the anonymous-without-sense-of-direction
+// naming scheme on the SEC of the initial configuration P(t0): its center O
+// defines each robot's horizon line H_r, and chirality gives a common
+// clockwise direction around it. The paper cites Megiddo's deterministic
+// linear-time algorithm; we implement Welzl's randomized move-to-front
+// algorithm, the standard practical equivalent (expected linear time), with
+// a deterministic seed so that every robot — and every test run — computes
+// the identical circle.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/circle.hpp"
+#include "geom/vec.hpp"
+
+namespace stig::geom {
+
+/// Computes the smallest circle enclosing all `points`.
+///
+/// The result is unique (the SEC of a point set always is). An empty input
+/// yields a zero circle at the origin; a single point yields a zero-radius
+/// circle at that point. Expected O(n) time, O(n) scratch space.
+[[nodiscard]] Circle smallest_enclosing_circle(std::span<const Vec2> points);
+
+/// Returns the indices of points lying on the SEC boundary (the support set;
+/// between 1 and all-cocircular many). Useful for tests and for detecting the
+/// degenerate "robot at center O" case handled by the naming scheme.
+[[nodiscard]] std::vector<std::size_t> sec_support(std::span<const Vec2> points,
+                                                   const Circle& sec,
+                                                   double eps = 1e-7);
+
+}  // namespace stig::geom

@@ -1,0 +1,11 @@
+#include "geom/vec.hpp"
+
+#include <ostream>
+
+namespace stig::geom {
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace stig::geom

@@ -1,0 +1,74 @@
+#include "geom/voronoi.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace stig::geom {
+
+VoronoiDiagram VoronoiDiagram::compute(std::span<const Vec2> sites,
+                                       double margin) {
+  VoronoiDiagram vd;
+  if (sites.empty()) return vd;
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+  for (const Vec2& s : sites) {
+    xmin = std::min(xmin, s.x);
+    ymin = std::min(ymin, s.y);
+    xmax = std::max(xmax, s.x);
+    ymax = std::max(ymax, s.y);
+  }
+  if (margin < 0.0) {
+    const double diam = std::hypot(xmax - xmin, ymax - ymin);
+    margin = std::max(diam, 1.0);
+  }
+  const ConvexPolygon box = ConvexPolygon::rectangle(
+      xmin - margin, ymin - margin, xmax + margin, ymax + margin);
+
+  vd.cells_.reserve(sites.size());
+  std::vector<HalfPlane> hps;
+  hps.reserve(sites.size() - 1);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    hps.clear();
+    for (std::size_t j = 0; j < sites.size(); ++j) {
+      if (j == i) continue;
+      assert(dist2(sites[i], sites[j]) > kEps * kEps &&
+             "Voronoi sites must be pairwise distinct");
+      hps.push_back(closer_halfplane(sites[i], sites[j]));
+    }
+    VoronoiCell cell;
+    cell.site_index = i;
+    cell.site = sites[i];
+    cell.polygon = intersect_halfplanes(box, hps);
+    vd.cells_.push_back(std::move(cell));
+  }
+  return vd;
+}
+
+std::size_t VoronoiDiagram::nearest_site(const Vec2& p) const noexcept {
+  std::size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (const VoronoiCell& c : cells_) {
+    const double d2 = dist2(p, c.site);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = c.site_index;
+    }
+  }
+  return best;
+}
+
+double granular_radius(std::span<const Vec2> sites, std::size_t i) noexcept {
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < sites.size(); ++j) {
+    if (j == i) continue;
+    best_d2 = std::min(best_d2, dist2(sites[i], sites[j]));
+  }
+  if (!std::isfinite(best_d2)) return 0.0;
+  return std::sqrt(best_d2) / 2.0;
+}
+
+}  // namespace stig::geom

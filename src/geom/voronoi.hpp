@@ -1,0 +1,63 @@
+// Voronoi diagram of the robot configuration.
+//
+// Section 3.2, preprocessing step 1: "Each robot computes the Voronoi
+// Diagram, each Voronoi cell being centered on a robot position. Every robot
+// is allowed to move into its Voronoi cell only. This ensures the collision
+// avoidance." We compute each cell independently as the intersection of the
+// n-1 bisector half-planes with a bounding box — O(n^2) per full diagram,
+// which is exactly what each simulated robot would do and is fast for the
+// swarm sizes of interest (hundreds).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/convex.hpp"
+#include "geom/vec.hpp"
+
+namespace stig::geom {
+
+/// Voronoi cell of one site, clipped to a bounding box.
+struct VoronoiCell {
+  std::size_t site_index = 0;  ///< Index into the site array.
+  Vec2 site;                   ///< The generating point (robot position).
+  ConvexPolygon polygon;       ///< Cell geometry (clipped; never empty for
+                               ///< distinct sites inside the box).
+};
+
+/// A Voronoi diagram represented cell-by-cell.
+///
+/// Precondition for `compute`: sites are pairwise distinct (robots occupy
+/// distinct points; the simulator's collision invariant guarantees this).
+class VoronoiDiagram {
+ public:
+  /// Computes the diagram of `sites`, clipping unbounded cells to the
+  /// bounding box of the sites inflated by `margin` (default: the
+  /// configuration diameter, so granulars are never artificially truncated).
+  [[nodiscard]] static VoronoiDiagram compute(std::span<const Vec2> sites,
+                                              double margin = -1.0);
+
+  [[nodiscard]] const std::vector<VoronoiCell>& cells() const noexcept {
+    return cells_;
+  }
+  [[nodiscard]] const VoronoiCell& cell(std::size_t i) const {
+    return cells_.at(i);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+
+  /// Index of the site whose cell contains `p` (i.e. the nearest site).
+  [[nodiscard]] std::size_t nearest_site(const Vec2& p) const noexcept;
+
+ private:
+  std::vector<VoronoiCell> cells_;
+};
+
+/// Radius of the largest disc centered at `sites[i]` and contained in the
+/// Voronoi cell of `sites[i]`: half the distance to the nearest other site
+/// (the nearest cell edge is the bisector to the nearest neighbour). This
+/// closed form is what robots actually use; the polygon-based
+/// `distance_to_boundary` is cross-checked against it in tests.
+[[nodiscard]] double granular_radius(std::span<const Vec2> sites,
+                                     std::size_t i) noexcept;
+
+}  // namespace stig::geom

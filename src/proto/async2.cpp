@@ -1,0 +1,100 @@
+#include "proto/async2.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "geom/angle.hpp"
+
+namespace stig::proto {
+
+void Async2Robot::initialize(const sim::Snapshot& snap) {
+  if (snap.robots.size() != 2) {
+    throw std::invalid_argument("Async2Robot requires exactly two robots");
+  }
+  self_t0_ = snap.self;
+  const geom::Vec2 self = snap.self_robot().position;
+  const geom::Vec2 peer = snap.robots[1 - snap.self].position;
+  sep_ = geom::dist(self, peer);
+  north_ = (self - peer).normalized();  // Away from the peer.
+  east_ = geom::rotate_clockwise(north_, geom::kPi / 2.0);
+  peer_east_ = geom::rotate_clockwise(-north_, geom::kPi / 2.0);
+  horizon_ = geom::Line{self, north_};
+  tolerance_ = 1e-7 * sep_;
+  // Initial march window doubles as the handshake: no bit is sent before
+  // the peer has been observed to change twice (Corollary 4.2).
+  barrier_.arm(tracker_, /*self_slot=*/1, options_.ack_changes);
+}
+
+double Async2Robot::step_size() const {
+  double step = options_.step_fraction * sep_;
+  step = std::min(step, 0.9 * options_.sigma_local);
+  if (options_.bound == BoundKind::banded) {
+    step = std::min(step, options_.band_fraction * sep_ / 4.0);
+  }
+  return step;
+}
+
+geom::Vec2 Async2Robot::march_move(const geom::Vec2& cur) {
+  const double step = step_size();
+  if (options_.bound == BoundKind::unbounded) {
+    return cur + north_ * step;
+  }
+  // Banded: bounce along H inside [0, band] North of the start position.
+  const double band = options_.band_fraction * sep_;
+  const double offset = geom::dot(cur - horizon_.point, north_);
+  if (march_sign_ > 0 && offset + step > band) march_sign_ = -1;
+  if (march_sign_ < 0 && offset - step < 0.0) march_sign_ = 1;
+  return cur + north_ * (static_cast<double>(march_sign_) * step);
+}
+
+geom::Vec2 Async2Robot::on_activate(const sim::Snapshot& snap) {
+  note_activation();
+  const geom::Vec2 self = snap.self_robot().position;
+  const geom::Vec2 peer = snap.robots[1 - snap.self].position;
+  tracker_.observe(0, peer);
+
+  // Decode the peer: which side of H is it on? (East/West are relative to
+  // the *peer's* North; chirality makes the convention common.)
+  const double e = geom::dot(peer - horizon_.project(peer), peer_east_);
+  const int cls = e > tolerance_ ? 1 : (e < -tolerance_ ? -1 : 0);
+  if (cls != 0 && cls != peer_state_) {
+    on_bit_decoded(/*sender=*/1, /*addressee=*/0, cls > 0 ? 0 : 1);
+  }
+  peer_state_ = cls;
+
+  // Our own move.
+  switch (phase_) {
+    case Phase::march: {
+      const auto bit = peek_bit();
+      if (bit && barrier_.satisfied(tracker_)) {
+        assert(bit->first == 1 && "2-robot chat: the peer is slot 1");
+        exc_dir_ = bit->second == 0 ? east_ : -east_;
+        barrier_.arm(tracker_, 1, options_.ack_changes);
+        phase_ = Phase::excurse;
+        return self + exc_dir_ * step_size();
+      }
+      return march_move(self);
+    }
+    case Phase::excurse: {
+      if (barrier_.satisfied(tracker_)) {
+        // Ack received: the peer saw this excursion. Head back to H.
+        advance_outbox();
+        phase_ = Phase::go_back;
+        return horizon_.project(self);
+      }
+      return self + exc_dir_ * step_size();
+    }
+    case Phase::go_back: {
+      if (horizon_.distance(self) <= 0.5 * tolerance_) {
+        phase_ = Phase::march;
+        barrier_.arm(tracker_, 1, options_.ack_changes);  // Separator window.
+        return march_move(self);
+      }
+      return horizon_.project(self);  // sigma-clamped by the engine.
+    }
+  }
+  return self;  // Unreachable.
+}
+
+}  // namespace stig::proto

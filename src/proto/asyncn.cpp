@@ -1,0 +1,164 @@
+#include "proto/asyncn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace stig::proto {
+namespace {
+
+/// Idle oscillation stays within this fraction of the radius on kappa.
+constexpr double kKappaBand = 0.7;
+/// Data-ray bounce band (fractions of the radius). The lower edge stays far
+/// above the at-center threshold so a bit in flight never reads as neutral.
+constexpr double kOutLow = 0.35;
+constexpr double kOutHigh = 0.85;
+/// Arrival threshold at the center, as a fraction of the radius; strictly
+/// below SlicedCore's at-center classification band.
+constexpr double kArrive = 1e-9;
+
+}  // namespace
+
+void AsyncNRobot::initialize(const sim::Snapshot& snap) {
+  // n + 1 diameters: kappa plus one per rank.
+  core_ = SlicedCore(snap, options_.naming, snap.robots.size() + 1);
+  double min_radius = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < core_.robot_count(); ++j) {
+    min_radius = std::min(min_radius, core_.radius(j));
+  }
+  tracker_ = sim::ChangeTracker(core_.robot_count(), 1e-9 * min_radius);
+  peer_state_.assign(core_.robot_count(), 0);
+  peer_idle_.assign(core_.robot_count(), 0);
+  phase_ = Phase::idle;
+}
+
+double AsyncNRobot::step_size() const {
+  return std::min(0.9 * options_.sigma_local,
+                  options_.step_fraction * core_.radius(core_.self_index()));
+}
+
+geom::Vec2 AsyncNRobot::kappa_move(const geom::Vec2& cur) {
+  const geom::Granular& g = core_.granular(core_.self_index());
+  const geom::Vec2 dir = g.direction(kKappa, geom::DiameterSide::positive);
+  const double band = kKappaBand * g.radius();
+  const double step = step_size();
+  const double offset = geom::dot(cur - g.center(), dir);
+  if (kappa_sign_ > 0 && offset + step > band) kappa_sign_ = -1;
+  if (kappa_sign_ < 0 && offset - step < -band) kappa_sign_ = 1;
+  // Recomputing from the center keeps the orbit exactly on the kappa line.
+  return g.center() +
+         dir * (offset + static_cast<double>(kappa_sign_) * step);
+}
+
+geom::Vec2 AsyncNRobot::out_move(const geom::Vec2& cur) {
+  const geom::Granular& g = core_.granular(core_.self_index());
+  const geom::Vec2 dir = g.direction(out_signal_.diameter, out_signal_.side);
+  const double step = step_size();
+  const double lo = kOutLow * g.radius();
+  const double hi = kOutHigh * g.radius();
+  const double offset = geom::dot(cur - g.center(), dir);
+  if (out_sign_ > 0 && offset + step > hi) out_sign_ = -1;
+  if (out_sign_ < 0 && offset - step < lo) out_sign_ = 1;
+  return g.center() + dir * (offset + static_cast<double>(out_sign_) * step);
+}
+
+geom::Vec2 AsyncNRobot::center_move(const geom::Vec2& /*cur*/) const {
+  // The engine clamps to sigma, preserving the direction.
+  return core_.center(core_.self_index());
+}
+
+void AsyncNRobot::decode(const std::vector<geom::Vec2>& pos) {
+  const std::size_t self = core_.self_index();
+  for (std::size_t j = 0; j < core_.robot_count(); ++j) {
+    if (j == self) continue;
+    const auto sig = core_.classify(j, pos[j]);
+    std::int64_t code = 0;
+    if (sig && sig->diameter != kKappa) {
+      code = static_cast<std::int64_t>(sig->diameter);
+      if (sig->side == geom::DiameterSide::negative) code = -code;
+    }
+    if (code != 0 && code != peer_state_[j]) {
+      const std::size_t rank = sig->diameter - 1;  // kappa shifts by one.
+      const std::size_t addressee = core_.robot_with_rank(j, rank);
+      on_bit_decoded(core_.rank(self, j), core_.rank(self, addressee),
+                     sig->side == geom::DiameterSide::positive ? 0 : 1);
+    }
+    peer_state_[j] = code;
+    if (options_.idle_resync_threshold != 0) {
+      if (code != 0) {
+        peer_idle_[j] = 0;
+      } else if (peer_idle_[j] < options_.idle_resync_threshold &&
+                 ++peer_idle_[j] == options_.idle_resync_threshold) {
+        reset_streams_from(core_.rank(self, j));
+      }
+    }
+  }
+}
+
+geom::Vec2 AsyncNRobot::on_activate(const sim::Snapshot& snap) {
+  note_activation();
+  const std::size_t self = core_.self_index();
+  const std::vector<geom::Vec2> pos = core_.associate(snap);
+  for (std::size_t j = 0; j < core_.robot_count(); ++j) {
+    if (j != self) tracker_.observe(j, pos[j]);
+  }
+  decode(pos);
+
+  const geom::Vec2 cur = pos[self];
+  const double arrive = kArrive * core_.radius(self);
+
+  if (phase_ == Phase::idle && peek_bit()) phase_ = Phase::go_center;
+
+  switch (phase_) {
+    case Phase::idle:
+      return kappa_move(cur);
+
+    case Phase::go_center: {
+      if (geom::dist(cur, core_.center(self)) > arrive) {
+        return center_move(cur);
+      }
+      // At the center: start the bit. The ack window opens with this move.
+      const auto bit = peek_bit();
+      assert(bit && "go_center without a pending bit");
+      // bit->first == self_slot() is the broadcast lane.
+      out_signal_ = Signal{bit->first + 1,  // kappa occupies diameter 0.
+                           bit->second == 0 ? geom::DiameterSide::positive
+                                            : geom::DiameterSide::negative};
+      barrier_.arm(tracker_, self, options_.ack_changes);
+      out_sign_ = 1;
+      phase_ = Phase::out;
+      return out_move(cur);
+    }
+
+    case Phase::out:
+      if (barrier_.satisfied(tracker_)) {
+        // Everyone observed the signal (Lemma 4.1): bit acknowledged.
+        advance_outbox();
+        phase_ = Phase::back;
+        return center_move(cur);
+      }
+      return out_move(cur);
+
+    case Phase::back:
+      if (geom::dist(cur, core_.center(self)) > arrive) {
+        return center_move(cur);
+      }
+      barrier_.arm(tracker_, self, options_.ack_changes);  // Separator.
+      kappa_sign_ = 1;
+      phase_ = Phase::separator;
+      return kappa_move(cur);
+
+    case Phase::separator:
+      if (barrier_.satisfied(tracker_)) {
+        phase_ = peek_bit() ? Phase::go_center : Phase::idle;
+        // Either way this activation still moves; go_center starts heading
+        // back from wherever the kappa oscillation left us.
+        return phase_ == Phase::go_center ? center_move(cur)
+                                          : kappa_move(cur);
+      }
+      return kappa_move(cur);
+  }
+  return cur;  // Unreachable.
+}
+
+}  // namespace stig::proto

@@ -1,0 +1,97 @@
+#include "proto/common.hpp"
+
+#include <cassert>
+
+namespace stig::proto {
+
+void ChatRobot::send_message(std::size_t to_slot,
+                             std::span<const std::uint8_t> payload) {
+  assert(to_slot != self_slot() && "a robot does not message itself");
+  assert(to_slot < slot_count());
+  OutMessage m;
+  m.to = to_slot;
+  m.bits = encode::encode_frame(payload);
+  outbox_.push_back(std::move(m));
+}
+
+void ChatRobot::send_broadcast(std::span<const std::uint8_t> payload) {
+  OutMessage m;
+  m.to = self_slot();  // The sender's own slot is the broadcast lane.
+  m.bits = encode::encode_frame(payload);
+  outbox_.push_back(std::move(m));
+}
+
+std::vector<ReceivedMessage> ChatRobot::take_inbox() {
+  std::vector<ReceivedMessage> out;
+  out.swap(inbox_);
+  return out;
+}
+
+std::vector<ReceivedMessage> ChatRobot::take_overheard() {
+  std::vector<ReceivedMessage> out;
+  out.swap(overheard_);
+  return out;
+}
+
+std::optional<std::pair<std::size_t, std::uint8_t>> ChatRobot::peek_bit()
+    const {
+  if (outbox_.empty()) return std::nullopt;
+  const OutMessage& m = outbox_.front();
+  return std::make_pair(m.to, m.bits[m.cursor]);
+}
+
+std::optional<std::pair<std::size_t, std::uint32_t>> ChatRobot::peek_symbol(
+    unsigned bits) const {
+  assert(bits >= 1 && 8 % bits == 0);
+  if (outbox_.empty()) return std::nullopt;
+  const OutMessage& m = outbox_.front();
+  assert(m.cursor + bits <= m.bits.size());
+  std::uint32_t symbol = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    symbol = (symbol << 1) | m.bits[m.cursor + i];
+  }
+  return std::make_pair(m.to, symbol);
+}
+
+void ChatRobot::advance_outbox(unsigned bits) {
+  assert(!outbox_.empty());
+  OutMessage& m = outbox_.front();
+  m.cursor += bits;
+  stats_.bits_sent += bits;
+  assert(m.cursor <= m.bits.size());
+  if (m.cursor == m.bits.size()) {
+    ++stats_.messages_sent;
+    outbox_.pop_front();
+  }
+}
+
+void ChatRobot::reset_streams_from(std::size_t sender_slot) {
+  for (auto& [key, parser] : parsers_) {
+    if (key.first == sender_slot) parser.reset();
+  }
+}
+
+void ChatRobot::on_bit_decoded(std::size_t sender_slot,
+                               std::size_t addressee_slot, std::uint8_t bit) {
+  ++stats_.bits_decoded;
+  encode::FrameParser& parser = parsers_[{sender_slot, addressee_slot}];
+  parser.push_bit(bit);
+  for (auto& payload : parser.take_messages()) {
+    ReceivedMessage msg;
+    msg.sender = sender_slot;
+    msg.addressee = addressee_slot;
+    // A message a sender addresses to itself is by convention a broadcast:
+    // the one diameter label unicast never uses.
+    msg.broadcast = sender_slot == addressee_slot;
+    msg.payload = std::move(payload);
+    if (msg.broadcast || addressee_slot == self_slot()) {
+      ++stats_.messages_received;
+      inbox_.push_back(std::move(msg));
+    } else {
+      ++stats_.messages_overheard;
+      overheard_.push_back(std::move(msg));
+    }
+  }
+}
+
+}  // namespace stig::proto

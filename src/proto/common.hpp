@@ -1,0 +1,142 @@
+// Shared infrastructure for all movement protocols.
+//
+// Every protocol robot is a `ChatRobot`: a sim::Robot with an outbox of
+// framed messages awaiting transmission (bit by bit), per-stream frame
+// parsers reassembling the bits it decodes from *other* robots' movements,
+// an inbox of messages addressed to it, an "overheard" list (every robot can
+// decode every message — the paper's redundancy/fault-tolerance remark), and
+// motion/energy statistics for the evaluation harness.
+//
+// Addressing is in protocol-local *slots*: what a slot means (an ID rank, a
+// lexicographic rank, a relative SEC rank, or "the only peer") is defined by
+// each protocol; `self_slot()` says which slot the robot itself occupies.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "encode/bits.hpp"
+#include "encode/framing.hpp"
+#include "sim/robot.hpp"
+
+namespace stig::proto {
+
+/// Counters for the evaluation harness (experiments E1, E2, E4).
+struct ChatStats {
+  std::uint64_t activations = 0;
+  std::uint64_t idle_activations = 0;  ///< Activations with an empty outbox.
+  std::uint64_t bits_sent = 0;         ///< Signals completed by this robot.
+  std::uint64_t bits_decoded = 0;      ///< Signals decoded from any sender.
+  std::uint64_t messages_sent = 0;     ///< Frames fully transmitted.
+  std::uint64_t messages_received = 0; ///< Frames addressed to this robot.
+  std::uint64_t messages_overheard = 0;///< Frames addressed to others.
+};
+
+/// A decoded message as seen by one robot. All fields are in the *receiving
+/// robot's* slot space.
+struct ReceivedMessage {
+  std::size_t sender = 0;
+  std::size_t addressee = 0;  ///< Equals `sender` for broadcasts.
+  bool broadcast = false;     ///< One-to-all message (Section 5 remark).
+  std::vector<std::uint8_t> payload;
+};
+
+/// Base class for protocol robots: message queues + stream reassembly.
+class ChatRobot : public sim::Robot {
+ public:
+  /// Queues `payload` for transmission to the robot in slot `to_slot`.
+  /// The payload is framed (length, CRC) and transmitted bit by bit in FIFO
+  /// order. Precondition: `to_slot != self_slot()`.
+  void send_message(std::size_t to_slot,
+                    std::span<const std::uint8_t> payload);
+
+  /// Queues `payload` as a one-to-all message: it is signaled once and
+  /// decoded by every robot (Section 5: "our protocols can be easily
+  /// adapted to implement efficiently one-to-many or one-to-all explicit
+  /// communication"). The granular protocols carry it on the sender's *own*
+  /// diameter — the one label unicast never uses.
+  void send_broadcast(std::span<const std::uint8_t> payload);
+
+  /// Messages addressed to this robot, in decode order; clears the inbox.
+  [[nodiscard]] std::vector<ReceivedMessage> take_inbox();
+
+  /// Messages this robot decoded but that were addressed to someone else;
+  /// clears the list. This is the paper's redundancy: any robot can replay
+  /// any overheard message.
+  [[nodiscard]] std::vector<ReceivedMessage> take_overheard();
+
+  [[nodiscard]] const ChatStats& stats() const noexcept { return stats_; }
+
+  /// True when nothing is queued and the last frame finished transmitting.
+  [[nodiscard]] bool send_queue_empty() const noexcept {
+    return outbox_.empty();
+  }
+
+  /// The slot this robot occupies in its own addressing space.
+  [[nodiscard]] virtual std::size_t self_slot() const = 0;
+  /// Number of slots (robots) in this robot's addressing space.
+  [[nodiscard]] virtual std::size_t slot_count() const = 0;
+  /// Maps an index into the t0 snapshot's robot list (the order
+  /// `initialize` saw) to this robot's slot space. This is how an
+  /// application layer on the robot names peers; the core ChatNetwork uses
+  /// it to translate between simulator indices and slots.
+  [[nodiscard]] virtual std::size_t slot_of_t0_index(
+      std::size_t t0_index) const = 0;
+
+ protected:
+  /// One queued frame in flight.
+  struct OutMessage {
+    std::size_t to = 0;
+    encode::BitString bits;
+    std::size_t cursor = 0;
+  };
+
+  /// Next bit to transmit and its addressee, or nullopt when idle. Does not
+  /// consume the bit — call `advance_outbox()` once the corresponding
+  /// movement signal has been *completed* per the protocol's rules.
+  [[nodiscard]] std::optional<std::pair<std::size_t, std::uint8_t>>
+  peek_bit() const;
+
+  /// Next `bits`-wide symbol (MSB-first) and its addressee, or nullopt when
+  /// idle. Precondition: `bits` divides 8, so a frame always contains a
+  /// whole number of symbols.
+  [[nodiscard]] std::optional<std::pair<std::size_t, std::uint32_t>>
+  peek_symbol(unsigned bits) const;
+
+  /// Consumes `bits` bits returned by peek_bit/peek_symbol; updates stats.
+  void advance_outbox(unsigned bits = 1);
+
+  /// Feeds one decoded signal into the (sender, addressee) stream and files
+  /// any completed frames into inbox/overheard. Slots are in this robot's
+  /// own addressing space.
+  void on_bit_decoded(std::size_t sender_slot, std::size_t addressee_slot,
+                      std::uint8_t bit);
+
+  /// Drops partial frames on every stream originating at `sender_slot`.
+  /// Protocols call this when they determine the sender is at a frame
+  /// boundary (e.g. it has been silent for several instants — a correct
+  /// synchronous sender never pauses mid-frame), so that a transient fault
+  /// (a spurious or missed signal) cannot misalign a stream forever.
+  void reset_streams_from(std::size_t sender_slot);
+
+  /// Bookkeeping helper: call at the top of on_activate.
+  void note_activation() {
+    ++stats_.activations;
+    if (outbox_.empty()) ++stats_.idle_activations;
+  }
+
+  std::deque<OutMessage> outbox_;
+  ChatStats stats_;
+
+ private:
+  std::map<std::pair<std::size_t, std::size_t>, encode::FrameParser>
+      parsers_;
+  std::vector<ReceivedMessage> inbox_;
+  std::vector<ReceivedMessage> overheard_;
+};
+
+}  // namespace stig::proto

@@ -1,0 +1,48 @@
+// Trace conformance checking.
+//
+// The movement protocols are *total* about where a robot may ever be: a
+// sliced-protocol robot is at its granular center, on one of its labeled
+// rays, or (asynchronously) on its kappa lane; an Async2 robot is on the
+// horizon line or perpendicular to it. These validators replay a recorded
+// position history (Trace::positions()) and report every violation — the
+// repo's equivalent of a model checker for the implementation, used by the
+// conformance test suite on every protocol run.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/vec.hpp"
+#include "proto/slices.hpp"
+
+namespace stig::proto {
+
+/// One conformance violation: which robot, which instant, what rule.
+struct Violation {
+  std::size_t robot = 0;
+  std::size_t instant = 0;
+  std::string rule;
+};
+
+/// Checks a synchronous sliced-protocol trace: every robot, at every
+/// recorded instant, is (a) strictly inside its granular and (b) at its
+/// center or on one of the `diameters` labeled rays of its own slicing.
+/// `naming` selects the per-robot reference direction, exactly as the
+/// protocol uses it.
+[[nodiscard]] std::vector<Violation> validate_sliced_trace(
+    std::span<const geom::Vec2> t0_positions,
+    const std::vector<std::vector<geom::Vec2>>& history,
+    NamingMode naming, std::size_t diameters,
+    double angle_tolerance = 1e-6);
+
+/// Checks an Async2 trace: both robots stay on the common horizon line or
+/// strictly perpendicular to it (excursion columns), and never cross to the
+/// peer's side of its own base.
+[[nodiscard]] std::vector<Violation> validate_async2_trace(
+    const geom::Vec2& base_a, const geom::Vec2& base_b,
+    const std::vector<std::vector<geom::Vec2>>& history,
+    double tolerance = 1e-6);
+
+}  // namespace stig::proto

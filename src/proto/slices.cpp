@@ -1,0 +1,120 @@
+#include "proto/slices.hpp"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "geom/voronoi.hpp"
+
+namespace stig::proto {
+namespace {
+
+/// Displacements below this fraction of the granular radius read as "at the
+/// center". Signal amplitudes are >= 1e-3 of the radius by construction, and
+/// coordinate round-trip noise is ~1e-13 absolute, so the band is safe on
+/// both sides. Being radius-relative makes the threshold frame-invariant.
+constexpr double kCenterFraction = 1e-7;
+
+}  // namespace
+
+SlicedCore::SlicedCore(const sim::Snapshot& t0, NamingMode naming,
+                       std::size_t diameter_count)
+    : n_(t0.robots.size()), self_(t0.self), diameters_(diameter_count) {
+  assert(diameter_count >= 1);
+  centers_.reserve(n_);
+  for (const sim::ObservedRobot& r : t0.robots) {
+    centers_.push_back(r.position);
+  }
+
+  // Reference directions and per-robot labelings.
+  std::vector<geom::Vec2> references(n_);
+  ranks_.assign(n_, {});
+  switch (naming) {
+    case NamingMode::by_ids: {
+      std::vector<sim::VisibleId> ids;
+      ids.reserve(n_);
+      for (const sim::ObservedRobot& r : t0.robots) {
+        if (!r.id) {
+          throw std::invalid_argument(
+              "NamingMode::by_ids requires an identified system");
+        }
+        ids.push_back(*r.id);
+      }
+      const std::vector<std::size_t> shared = id_ranks(ids);
+      for (std::size_t i = 0; i < n_; ++i) {
+        ranks_[i] = shared;
+        references[i] = geom::Vec2{0.0, 1.0};  // North (sense of direction).
+      }
+      break;
+    }
+    case NamingMode::lexicographic: {
+      const std::vector<std::size_t> shared = lex_ranks(centers_);
+      for (std::size_t i = 0; i < n_; ++i) {
+        ranks_[i] = shared;
+        references[i] = geom::Vec2{0.0, 1.0};
+      }
+      break;
+    }
+    case NamingMode::relative: {
+      for (std::size_t i = 0; i < n_; ++i) {
+        RelativeNaming rel = relative_naming(centers_, i);
+        ranks_[i] = std::move(rel.ranks);
+        references[i] = rel.reference;
+      }
+      break;
+    }
+  }
+
+  inverse_ranks_.assign(n_, std::vector<std::size_t>(n_));
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      inverse_ranks_[i][ranks_[i][j]] = j;
+    }
+  }
+
+  granulars_.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double r = geom::granular_radius(centers_, i);
+    if (r <= 0.0) {
+      throw std::invalid_argument("granular radius must be positive");
+    }
+    granulars_.emplace_back(centers_[i], r, diameters_, references[i]);
+  }
+}
+
+std::vector<geom::Vec2> SlicedCore::associate(
+    const sim::Snapshot& snap) const {
+  assert(snap.robots.size() == n_);
+  std::vector<geom::Vec2> positions(n_);
+  std::vector<bool> filled(n_, false);
+  for (const sim::ObservedRobot& obs : snap.robots) {
+    // Nearest granular center; robots never leave their granulars, and
+    // granular interiors are pairwise disjoint, so this is unambiguous.
+    std::size_t best = 0;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double d2 = geom::dist2(obs.position, centers_[i]);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = i;
+      }
+    }
+    assert(!filled[best] && "two robots associated to one granular");
+    assert(best_d2 <= granulars_[best].radius() * granulars_[best].radius() &&
+           "observed robot outside every granular");
+    positions[best] = obs.position;
+    filled[best] = true;
+  }
+  return positions;
+}
+
+std::optional<Signal> SlicedCore::classify(std::size_t i,
+                                           const geom::Vec2& pos) const {
+  const geom::Granular& g = granulars_.at(i);
+  const auto fix = g.classify(pos, kCenterFraction * g.radius());
+  if (!fix) return std::nullopt;
+  if (fix->angular_error > g.slice_width() / 4.0) return std::nullopt;
+  return Signal{fix->diameter, fix->side};
+}
+
+}  // namespace stig::proto

@@ -1,0 +1,121 @@
+// SlicedCore: the Voronoi/granular/naming substrate shared by every n-robot
+// movement protocol (Sections 3.2–3.4 synchronous, 4.2 asynchronous, and the
+// Section 5 k-segment extension).
+//
+// Built once from the t0 snapshot, it provides, in the owning robot's local
+// frame:
+//   * each robot's granular (largest disc centered on the robot inside its
+//     Voronoi cell) sliced into a protocol-chosen number of diameters;
+//   * each robot's reference direction (North with sense of direction, or
+//     the horizon line H_r of the SEC-based relative naming);
+//   * each robot's labeling of all robots (every observer can reconstruct
+//     every sender's labeling — the property Section 3.4 relies on);
+//   * association of an observed configuration back to persistent robot
+//     identities (granulars are disjoint, so nearest-center is unambiguous);
+//   * classification of a robot's displacement into (diameter, side).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "geom/granular.hpp"
+#include "geom/vec.hpp"
+#include "proto/naming.hpp"
+#include "sim/robot.hpp"
+
+namespace stig::proto {
+
+/// Which naming scheme labels the diameters.
+enum class NamingMode : unsigned char {
+  by_ids,         ///< Rank of visible IDs (Section 3.2). Requires an
+                  ///< identified system and sense of direction.
+  lexicographic,  ///< Rank of coordinates in the shared axes (Section 3.3).
+                  ///< Requires sense of direction (+ chirality).
+  relative,       ///< Per-robot SEC naming (Section 3.4). Chirality only.
+};
+
+/// A movement signal: which labeled diameter, which half.
+struct Signal {
+  std::size_t diameter = 0;
+  geom::DiameterSide side{};
+
+  friend constexpr bool operator==(const Signal&, const Signal&) = default;
+};
+
+class SlicedCore {
+ public:
+  SlicedCore() = default;
+
+  /// Builds the substrate from the t0 snapshot.
+  ///
+  /// `diameter_count`: slices per granular — n for the synchronous
+  /// protocols, n+1 for the asynchronous one (diameter 0 is then kappa),
+  /// k+1 for the k-segment variant.
+  /// Precondition for `NamingMode::by_ids`: the snapshot carries visible
+  /// ids.
+  SlicedCore(const sim::Snapshot& t0, NamingMode naming,
+             std::size_t diameter_count);
+
+  [[nodiscard]] std::size_t robot_count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t self_index() const noexcept { return self_; }
+  [[nodiscard]] std::size_t diameter_count() const noexcept {
+    return diameters_;
+  }
+
+  /// t0 position of robot `i` (local frame) — its granular center.
+  [[nodiscard]] const geom::Vec2& center(std::size_t i) const {
+    return centers_.at(i);
+  }
+
+  /// Granular of robot `i`, sliced with `i`'s reference direction.
+  [[nodiscard]] const geom::Granular& granular(std::size_t i) const {
+    return granulars_.at(i);
+  }
+
+  /// Rank of robot `j` in robot `i`'s labeling.
+  [[nodiscard]] std::size_t rank(std::size_t i, std::size_t j) const {
+    return ranks_.at(i).at(j);
+  }
+
+  /// Robot whose rank in `i`'s labeling is `r`.
+  [[nodiscard]] std::size_t robot_with_rank(std::size_t i,
+                                            std::size_t r) const {
+    return inverse_ranks_.at(i).at(r);
+  }
+
+  /// Associates the observed configuration to persistent robot indices:
+  /// result[i] is the current position of robot i. Every observed point is
+  /// assigned to the granular that contains it.
+  [[nodiscard]] std::vector<geom::Vec2> associate(
+      const sim::Snapshot& snap) const;
+
+  /// Classifies robot `i`'s current position against its granular slicing.
+  /// Returns nullopt when the robot is at (indistinguishable from) its
+  /// center. A genuine signal has negligible angular error; fixes whose
+  /// error exceeds a quarter slice are rejected as noise.
+  [[nodiscard]] std::optional<Signal> classify(std::size_t i,
+                                               const geom::Vec2& pos) const;
+
+  /// Movement target on robot self's own granular.
+  [[nodiscard]] geom::Vec2 signal_point(const Signal& s,
+                                        double distance) const {
+    return granulars_.at(self_).point_on(s.diameter, s.side, distance);
+  }
+
+  /// Granular radius of robot `i`.
+  [[nodiscard]] double radius(std::size_t i) const {
+    return granulars_.at(i).radius();
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t self_ = 0;
+  std::size_t diameters_ = 0;
+  std::vector<geom::Vec2> centers_;
+  std::vector<geom::Granular> granulars_;
+  std::vector<std::vector<std::size_t>> ranks_;
+  std::vector<std::vector<std::size_t>> inverse_ranks_;
+};
+
+}  // namespace stig::proto

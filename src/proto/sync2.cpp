@@ -1,0 +1,87 @@
+#include "proto/sync2.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "geom/angle.hpp"
+
+namespace stig::proto {
+
+Sync2Robot::Sync2Robot(Sync2Options options)
+    : options_(options),
+      codec_(options.bits_per_symbol, /*max_amplitude=*/1.0) {
+  if (options.bits_per_symbol == 0 || 8 % options.bits_per_symbol != 0) {
+    throw std::invalid_argument("bits_per_symbol must divide 8");
+  }
+}
+
+void Sync2Robot::initialize(const sim::Snapshot& snap) {
+  if (snap.robots.size() != 2) {
+    throw std::invalid_argument("Sync2Robot requires exactly two robots");
+  }
+  self_t0_ = snap.self;
+  base_self_ = snap.self_robot().position;
+  base_peer_ = snap.robots[1 - snap.self].position;
+  const geom::Vec2 facing = (base_peer_ - base_self_).normalized();
+  // "Right with respect to the direction given by the peer": 90 degrees
+  // clockwise from the facing direction, in the shared handedness.
+  right_self_ = geom::rotate_clockwise(facing, geom::kPi / 2.0);
+  right_peer_ = geom::rotate_clockwise(-facing, geom::kPi / 2.0);
+  const double sep = geom::dist(base_self_, base_peer_);
+  const double max_amp =
+      std::min(options_.amplitude_fraction * sep, 0.8 * options_.sigma_local);
+  assert(max_amp > 0.0);
+  codec_ = encode::AmplitudeCodec(options_.bits_per_symbol, max_amp);
+  tolerance_ = 1e-9 * sep;
+}
+
+double Sync2Robot::symbol_amplitude(std::uint32_t symbol) const {
+  // Map so that the all-zero symbol lands on +max ("0 -> right") and the
+  // all-one symbol on -max ("1 -> left"), generalizing the basic protocol.
+  return codec_.level(codec_.levels() - 1 - symbol);
+}
+
+geom::Vec2 Sync2Robot::on_activate(const sim::Snapshot& snap) {
+  note_activation();
+  const geom::Vec2 peer = snap.robots[1 - snap.self].position;
+
+  // Decode: the peer's displacement from its base along its "right" axis.
+  const geom::Vec2 disp = peer - base_peer_;
+  const bool off = disp.norm() > tolerance_;
+  if (off && !peer_was_off_) {
+    const double amplitude = geom::dot(disp, right_peer_);
+    if (const auto level = codec_.decode(amplitude)) {
+      const std::uint32_t symbol = codec_.levels() - 1 - *level;
+      for (unsigned i = options_.bits_per_symbol; i-- > 0;) {
+        on_bit_decoded(/*sender=*/1, /*addressee=*/0,
+                       static_cast<std::uint8_t>((symbol >> i) & 1U));
+      }
+    }
+  }
+  peer_was_off_ = off;
+  // Stream resynchronization: 3 consecutive at-base observations mean the
+  // peer sits at a frame boundary (a correct sender rests at most 1 instant
+  // between bits); heal any fault-misaligned stream.
+  if (off) {
+    peer_idle_ = 0;
+  } else if (peer_idle_ < 3 && ++peer_idle_ == 3) {
+    reset_streams_from(1);
+  }
+
+  // Our own move: out on even signals, back on the following step; silent
+  // when nothing is queued.
+  if (displaced_) {
+    displaced_ = false;
+    advance_outbox(options_.bits_per_symbol);
+    return base_self_;
+  }
+  if (const auto sym = peek_symbol(options_.bits_per_symbol)) {
+    displaced_ = true;
+    return base_self_ + right_self_ * symbol_amplitude(sym->second);
+  }
+  // Silent — resting at the base also walks a fault-displaced robot home.
+  return base_self_;
+}
+
+}  // namespace stig::proto

@@ -1,0 +1,91 @@
+#include "proto/sync_sliced.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stig::proto {
+
+namespace {
+/// Consecutive at-center observations of a sender after which its streams
+/// are reset to a frame boundary. A correct sender pauses at most one
+/// instant between bits of a frame (the return step), so 3 is safe; after
+/// a transient fault this is what heals misaligned streams.
+constexpr std::uint8_t kResyncGap = 3;
+}  // namespace
+
+void SyncSlicedRobot::initialize(const sim::Snapshot& snap) {
+  core_ = SlicedCore(snap, options_.naming, snap.robots.size());
+  peer_was_off_.assign(core_.robot_count(), false);
+  peer_idle_.assign(core_.robot_count(), 0);
+}
+
+geom::Vec2 SyncSlicedRobot::on_activate(const sim::Snapshot& snap) {
+  note_activation();
+  const std::size_t self = core_.self_index();
+  const geom::Vec2 drift = drift_at(step_);
+  ++step_;
+
+  // Undo the common flocking drift to recover protocol-space positions.
+  std::vector<geom::Vec2> pos = [&] {
+    if (options_.flock_velocity == geom::Vec2{0.0, 0.0}) {
+      return core_.associate(snap);
+    }
+    sim::Snapshot shifted = snap;
+    for (sim::ObservedRobot& r : shifted.robots) r.position -= drift;
+    return core_.associate(shifted);
+  }();
+
+  // Decode every other robot's movement signal. A bit is emitted on the
+  // center -> off-center transition; the sender names the addressee by the
+  // diameter label *in its own labeling*, which we reconstruct.
+  for (std::size_t j = 0; j < core_.robot_count(); ++j) {
+    if (j == self) continue;
+    const auto signal = core_.classify(j, pos[j]);
+    if (signal && !peer_was_off_[j]) {
+      const std::size_t addressee_robot =
+          core_.robot_with_rank(j, signal->diameter);
+      on_bit_decoded(core_.rank(self, j), core_.rank(self, addressee_robot),
+                     signal->side == geom::DiameterSide::positive ? 0 : 1);
+    }
+    peer_was_off_[j] = signal.has_value();
+    // Stream resynchronization (stabilization): a sender at rest for
+    // several instants is at a frame boundary; drop any partial frame a
+    // transient fault may have left in its streams.
+    if (signal) {
+      peer_idle_[j] = 0;
+    } else if (peer_idle_[j] < kResyncGap &&
+               ++peer_idle_[j] == kResyncGap) {
+      reset_streams_from(core_.rank(self, j));
+    }
+  }
+
+  // Our own move (protocol space), then re-apply drift for the next instant.
+  geom::Vec2 target = pos[self];
+  if (displaced_) {
+    target = core_.center(self);
+    displaced_ = false;
+    advance_outbox();  // The out-and-back signal is now complete.
+  } else if (const auto bit = peek_bit()) {
+    const double headroom =
+        std::max(0.0, options_.sigma_local - drift_speed());
+    const double amp =
+        std::min(0.8 * headroom,
+                 options_.amplitude_fraction * core_.radius(self));
+    assert(amp > 0.0 && "sigma too small to signal");
+    const Signal s{bit->first, bit->second == 0
+                                   ? geom::DiameterSide::positive
+                                   : geom::DiameterSide::negative};
+    target = core_.signal_point(s, amp);
+    displaced_ = true;
+  }
+  else {
+    // Silent — and self-healing: the rest position is the granular center,
+    // so a robot displaced by a transient fault walks back instead of
+    // resting wherever the fault left it. In a correct run this is a no-op.
+    target = core_.center(self);
+  }
+
+  return target + drift_at(step_);
+}
+
+}  // namespace stig::proto

@@ -1,0 +1,214 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace stig::sim {
+
+Engine::Engine(std::vector<RobotSpec> specs,
+               std::vector<std::unique_ptr<Robot>> programs,
+               std::unique_ptr<Scheduler> scheduler, EngineOptions options)
+    : specs_(std::move(specs)),
+      programs_(std::move(programs)),
+      scheduler_(std::move(scheduler)),
+      options_(options),
+      trace_(specs_.size(), options.record_positions) {
+  if (specs_.empty() || specs_.size() != programs_.size() || !scheduler_) {
+    throw std::invalid_argument("Engine: inconsistent construction");
+  }
+  const std::size_t with_id = static_cast<std::size_t>(
+      std::count_if(specs_.begin(), specs_.end(),
+                    [](const RobotSpec& s) { return s.id.has_value(); }));
+  if (with_id != 0 && with_id != specs_.size()) {
+    throw std::invalid_argument(
+        "Engine: either all robots or none must have visible ids");
+  }
+  identified_ = with_id == specs_.size();
+
+  frames_.reserve(specs_.size());
+  positions_.reserve(specs_.size());
+  for (const RobotSpec& s : specs_) {
+    if (s.frame_unit <= 0.0) {
+      throw std::invalid_argument("Engine: frame_unit must be positive");
+    }
+    if (s.sigma <= 0.0) {
+      throw std::invalid_argument("Engine: sigma must be positive");
+    }
+    frames_.emplace_back(s.position, s.frame_rotation, s.frame_unit,
+                         s.frame_mirrored);
+    positions_.push_back(s.position);
+  }
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions_.size(); ++j) {
+      if (geom::dist(positions_[i], positions_[j]) <=
+          options_.collision_distance) {
+        throw std::invalid_argument(
+            "Engine: initial positions must be pairwise distinct");
+      }
+    }
+  }
+
+  if (options_.observation_delay > 0) recent_.push_back(positions_);
+
+  // Paper Section 4.2: every robot knows P(t0) — wake all at t0 once.
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    programs_[i]->initialize(make_snapshot_at(i, positions_, positions_, 0));
+  }
+}
+
+Snapshot Engine::make_snapshot(RobotIndex i) const {
+  const std::vector<geom::Vec2>& stale =
+      options_.observation_delay > 0 ? recent_.front() : positions_;
+  return make_snapshot_at(i, positions_, stale, t_);
+}
+
+void Engine::teleport(RobotIndex i, const geom::Vec2& global_position) {
+  positions_.at(i) = global_position;
+  if (options_.check_collisions) {
+    for (std::size_t j = 0; j < positions_.size(); ++j) {
+      if (j != i && geom::dist(positions_[i], positions_[j]) <=
+                        options_.collision_distance) {
+        throw CollisionError("teleport collided robots " + std::to_string(i) +
+                             " and " + std::to_string(j));
+      }
+    }
+  }
+}
+
+std::vector<RobotIndex> Engine::initial_observation_order(
+    RobotIndex i) const {
+  const Frame& f = frames_.at(i);
+  std::vector<RobotIndex> order(specs_.size());
+  for (std::size_t j = 0; j < specs_.size(); ++j) order[j] = j;
+  if (identified_) {
+    std::sort(order.begin(), order.end(),
+              [&](RobotIndex a, RobotIndex b) {
+                return specs_[a].id.value() < specs_[b].id.value();
+              });
+  } else {
+    std::sort(order.begin(), order.end(),
+              [&](RobotIndex a, RobotIndex b) {
+                return f.to_local(specs_[a].position) <
+                       f.to_local(specs_[b].position);
+              });
+  }
+  return order;
+}
+
+Snapshot Engine::make_snapshot_at(RobotIndex i,
+                                  const std::vector<geom::Vec2>& config,
+                                  const std::vector<geom::Vec2>& stale_config,
+                                  Time t) const {
+  const Frame& f = frames_.at(i);
+  struct Entry {
+    ObservedRobot obs;
+    RobotIndex index;
+  };
+  const double q = options_.observation_quantum;
+  const auto quantize = [q](const geom::Vec2& p) {
+    if (q <= 0.0) return p;
+    return geom::Vec2{std::round(p.x / q) * q, std::round(p.y / q) * q};
+  };
+  std::vector<Entry> entries;
+  entries.reserve(config.size());
+  for (std::size_t j = 0; j < config.size(); ++j) {
+    // Self: current and exact (odometry). Others: possibly stale (CORDA-ish
+    // delay), quantized (sensor resolution), and dropped when out of the
+    // visibility radius.
+    const geom::Vec2 global = j == i ? config[j] : stale_config[j];
+    if (j != i && options_.visibility_radius > 0.0 &&
+        geom::dist(global, config[i]) > options_.visibility_radius) {
+      continue;
+    }
+    Entry e;
+    e.obs.position = f.to_local(j == i ? global : quantize(global));
+    e.obs.id = identified_ ? specs_[j].id : std::nullopt;
+    e.index = j;
+    entries.push_back(e);
+  }
+  // Identified systems expose entries sorted by id; anonymous systems sort
+  // lexicographically by local position, which carries no identity.
+  if (identified_) {
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.obs.id.value() < b.obs.id.value();
+              });
+  } else {
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.obs.position < b.obs.position;
+              });
+  }
+  Snapshot snap;
+  snap.t = t;
+  snap.robots.reserve(entries.size());
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    if (entries[k].index == i) snap.self = k;
+    snap.robots.push_back(entries[k].obs);
+  }
+  return snap;
+}
+
+void Engine::step() {
+  const std::size_t n = specs_.size();
+  const ActivationSet active = scheduler_->activate(t_, n);
+  assert(std::any_of(active.begin(), active.end(),
+                     [](bool b) { return b; }) &&
+         "scheduler must activate at least one robot");
+
+  const std::vector<geom::Vec2> before = positions_;
+  if (options_.observation_delay > 0) {
+    recent_.push_back(before);
+    while (recent_.size() > options_.observation_delay + 1) {
+      recent_.pop_front();
+    }
+  }
+  const std::vector<geom::Vec2>& stale =
+      options_.observation_delay > 0 ? recent_.front() : before;
+  std::vector<geom::Vec2> after = before;
+  // Phase 1: all active robots observe `before` and commit to destinations;
+  // phase 2: all moves are applied. No robot sees a same-instant move.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!active[i]) continue;
+    const geom::Vec2 local_target =
+        programs_[i]->on_activate(make_snapshot_at(i, before, stale, t_));
+    const geom::Vec2 target = frames_[i].to_global(local_target);
+    const geom::Vec2 d = target - before[i];
+    const double len = d.norm();
+    after[i] = len <= specs_[i].sigma
+                   ? target
+                   : before[i] + d * (specs_[i].sigma / len);
+  }
+
+  if (options_.check_collisions) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (geom::dist(after[i], after[j]) <= options_.collision_distance) {
+          throw CollisionError("robots " + std::to_string(i) + " and " +
+                               std::to_string(j) + " collided at instant " +
+                               std::to_string(t_));
+        }
+      }
+    }
+  }
+
+  positions_ = after;
+  trace_.record_step(active, before, positions_);
+  ++t_;
+}
+
+void Engine::run(Time instants) {
+  for (Time k = 0; k < instants; ++k) step();
+}
+
+bool Engine::run_until(const std::function<bool()>& done, Time max_instants) {
+  for (Time k = 0; k < max_instants; ++k) {
+    if (done()) return true;
+    step();
+  }
+  return done();
+}
+
+}  // namespace stig::sim

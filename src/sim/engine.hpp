@@ -1,0 +1,147 @@
+// The SSM execution engine.
+//
+// Drives robot programs through the Suzuki–Yamashita semi-synchronous cycle:
+// at each instant the scheduler picks a non-empty active set; every active
+// robot observes the configuration *at that instant* (a two-phase update —
+// all observations happen before any move is applied, matching "computes a
+// position depending only on the system configuration at t_j"), computes a
+// destination in its local frame, and travels toward it by at most sigma_r.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "geom/vec.hpp"
+#include "sim/frame.hpp"
+#include "sim/robot.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace stig::sim {
+
+/// Static description of one robot: where it starts, how far it can travel
+/// per activation, and how its private coordinate frame is oriented.
+struct RobotSpec {
+  geom::Vec2 position;          ///< Global position at t0.
+  double sigma = 1.0;           ///< Max distance per activation (sigma_r).
+  double frame_rotation = 0.0;  ///< CCW angle of local +y from global +y.
+  double frame_unit = 1.0;      ///< Global length of one local unit (> 0).
+  bool frame_mirrored = false;  ///< Left-handed frame when true.
+  std::optional<VisibleId> id;  ///< Visible identifier (identified systems).
+};
+
+/// Engine construction options.
+struct EngineOptions {
+  bool record_positions = false;  ///< Keep full per-instant history.
+  /// Two robots closer than this after a step is reported as a collision.
+  double collision_distance = 1e-12;
+  bool check_collisions = true;  ///< Throw CollisionError on collision.
+
+  /// Sensor resolution (Section 5 "computation errors due to round off"):
+  /// when positive, every *observed* position of another robot is snapped
+  /// to this global grid before entering the observer's snapshot. The
+  /// observer's own entry stays exact (odometry). 0 = ideal sensors.
+  double observation_quantum = 0.0;
+
+  /// Observation staleness (a step toward the CORDA-style non-atomic
+  /// look-compute-move cycle): observed positions of *other* robots are
+  /// `observation_delay` instants old; the robot's own entry stays current
+  /// (odometry). 0 = the SSM's atomic cycle.
+  Time observation_delay = 0;
+
+  /// Limited visibility (Section 5 open problem): when positive, a robot's
+  /// snapshot contains only robots within this global distance of it (the
+  /// robot itself always included). 0 = unlimited visibility.
+  double visibility_radius = 0.0;
+};
+
+/// Thrown when the collision-avoidance invariant is violated.
+class CollisionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Owns the robots, the scheduler and the world state; advances time.
+class Engine {
+ public:
+  /// Precondition: specs and programs have equal non-zero size; positions
+  /// are pairwise distinct; either every spec has a visible id (identified
+  /// system) or none has (anonymous system).
+  ///
+  /// The constructor calls `Robot::initialize` on every program with the
+  /// t0 snapshot (the paper's "all the robots are awake in t0").
+  Engine(std::vector<RobotSpec> specs,
+         std::vector<std::unique_ptr<Robot>> programs,
+         std::unique_ptr<Scheduler> scheduler, EngineOptions options = {});
+
+  /// Advances one instant.
+  void step();
+
+  /// Advances `instants` instants.
+  void run(Time instants);
+
+  /// Advances until `done()` returns true or `max_instants` elapse; returns
+  /// true when the predicate fired.
+  bool run_until(const std::function<bool()>& done, Time max_instants);
+
+  [[nodiscard]] Time now() const noexcept { return t_; }
+  [[nodiscard]] std::size_t robot_count() const noexcept {
+    return specs_.size();
+  }
+  [[nodiscard]] const std::vector<geom::Vec2>& positions() const noexcept {
+    return positions_;
+  }
+  [[nodiscard]] const RobotSpec& spec(RobotIndex i) const {
+    return specs_.at(i);
+  }
+  [[nodiscard]] const Frame& frame(RobotIndex i) const { return frames_.at(i); }
+  [[nodiscard]] Robot& program(RobotIndex i) { return *programs_.at(i); }
+  [[nodiscard]] const Robot& program(RobotIndex i) const {
+    return *programs_.at(i);
+  }
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+  [[nodiscard]] bool identified() const noexcept { return identified_; }
+
+  /// Builds the snapshot robot `i` would observe right now (exposed for
+  /// tests; the engine itself uses it during `step`).
+  [[nodiscard]] Snapshot make_snapshot(RobotIndex i) const;
+
+  /// Engine indices in the order robot `i` observed them at t0 (the order
+  /// of `Snapshot::robots` passed to `Robot::initialize`). Lets the
+  /// application layer translate between simulator indices and each robot's
+  /// local peer numbering.
+  [[nodiscard]] std::vector<RobotIndex> initial_observation_order(
+      RobotIndex i) const;
+
+  /// Fault injection: instantly moves robot `i` to `global_position`
+  /// (bypassing its program and sigma). Models a transient fault — a shove,
+  /// a sensor glitch that mislocalized a recovery move, a restart at the
+  /// wrong point. Used by the stabilization tests; never called by
+  /// protocols. Throws CollisionError if the new position collides.
+  void teleport(RobotIndex i, const geom::Vec2& global_position);
+
+ private:
+  [[nodiscard]] Snapshot make_snapshot_at(
+      RobotIndex i, const std::vector<geom::Vec2>& config,
+      const std::vector<geom::Vec2>& stale_config, Time t) const;
+
+  std::vector<RobotSpec> specs_;
+  std::vector<std::unique_ptr<Robot>> programs_;
+  std::unique_ptr<Scheduler> scheduler_;
+  EngineOptions options_;
+  std::vector<Frame> frames_;
+  std::vector<geom::Vec2> positions_;
+  /// Configurations of the last `observation_delay + 1` instants (front is
+  /// the stalest); only maintained when observation_delay > 0.
+  std::deque<std::vector<geom::Vec2>> recent_;
+  Trace trace_;
+  Time t_ = 0;
+  bool identified_ = false;
+};
+
+}  // namespace stig::sim

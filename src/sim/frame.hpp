@@ -1,0 +1,95 @@
+// Per-robot local coordinate frames.
+//
+// "Each robot r has its own local x-y Cartesian coordinate system with its
+// own unit measure." Capabilities are modeled by how frames are constructed:
+//
+//  * chirality        — all frames share one handedness (mirrored flag);
+//  * sense of direction — all frames additionally share the orientation of
+//    the y axis (and then, with chirality, of the x axis too);
+//  * nothing shared   — rotation differs arbitrarily per robot.
+//
+// A frame transforms between global simulator coordinates and the robot's
+// local coordinates. The frame is *anchored*: its origin is the robot's
+// position at t0, not its current position. This models odometry — a robot
+// knows how far it has moved — and is what lets a non-oblivious robot relate
+// observations across steps (e.g. find its own granular center again). It
+// grants no information about other robots beyond the SSM.
+#pragma once
+
+#include <cmath>
+
+#include "geom/vec.hpp"
+
+namespace stig::sim {
+
+/// A similarity transform global <-> local: rotation, uniform positive
+/// scale, optional reflection (handedness), translation.
+class Frame {
+ public:
+  /// Constructs a frame.
+  ///
+  /// `origin_global`: the global point that maps to local (0,0) — the
+  ///   robot's position at t0.
+  /// `rotation`: counterclockwise angle (radians, global convention) from
+  ///   the global +y axis to the robot's local +y axis; 0 means the robot's
+  ///   "up" is global North.
+  /// `unit`: length of one local unit in global units (> 0).
+  /// `mirrored`: true for a left-handed frame (local x axis flipped).
+  Frame(geom::Vec2 origin_global, double rotation, double unit,
+        bool mirrored) noexcept
+      : origin_(origin_global),
+        cos_(std::cos(rotation)),
+        sin_(std::sin(rotation)),
+        unit_(unit),
+        mirrored_(mirrored) {}
+
+  /// Identity frame: local == global.
+  Frame() noexcept : Frame(geom::Vec2{0.0, 0.0}, 0.0, 1.0, false) {}
+
+  [[nodiscard]] const geom::Vec2& origin() const noexcept { return origin_; }
+  [[nodiscard]] double unit() const noexcept { return unit_; }
+  [[nodiscard]] bool mirrored() const noexcept { return mirrored_; }
+
+  /// Maps a global point to local coordinates.
+  [[nodiscard]] geom::Vec2 to_local(const geom::Vec2& g) const noexcept {
+    geom::Vec2 d = (g - origin_) / unit_;
+    // Inverse rotation by `rotation`.
+    geom::Vec2 r{cos_ * d.x + sin_ * d.y, -sin_ * d.x + cos_ * d.y};
+    if (mirrored_) r.x = -r.x;
+    return r;
+  }
+
+  /// Maps a local point to global coordinates.
+  [[nodiscard]] geom::Vec2 to_global(const geom::Vec2& l) const noexcept {
+    geom::Vec2 p = l;
+    if (mirrored_) p.x = -p.x;
+    geom::Vec2 r{cos_ * p.x - sin_ * p.y, sin_ * p.x + cos_ * p.y};
+    return origin_ + r * unit_;
+  }
+
+  /// Maps a local *displacement* (direction/offset) to a global one.
+  [[nodiscard]] geom::Vec2 dir_to_global(const geom::Vec2& l) const noexcept {
+    geom::Vec2 p = l;
+    if (mirrored_) p.x = -p.x;
+    return geom::Vec2{cos_ * p.x - sin_ * p.y, sin_ * p.x + cos_ * p.y} *
+           unit_;
+  }
+
+  /// Converts a global length to local units.
+  [[nodiscard]] double length_to_local(double g) const noexcept {
+    return g / unit_;
+  }
+  /// Converts a local length to global units.
+  [[nodiscard]] double length_to_global(double l) const noexcept {
+    return l * unit_;
+  }
+
+ private:
+  geom::Vec2 origin_;
+  double cos_;
+  double sin_;
+  double unit_;
+  bool mirrored_;
+};
+
+}  // namespace stig::sim

@@ -1,0 +1,92 @@
+#include "sim/jsonl.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace stig::sim {
+
+bool write_trace_jsonl(std::ostream& out, const Trace& trace) {
+  const auto& history = trace.positions();
+  if (history.empty()) return false;
+  const std::size_t n = history.front().size();
+  out << "{\"type\":\"header\",\"robots\":" << n
+      << ",\"instants\":" << history.size() << "}\n";
+  out << std::setprecision(17);
+  for (std::size_t t = 0; t < history.size(); ++t) {
+    out << "{\"type\":\"config\",\"t\":" << t << ",\"p\":[";
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != 0) out << ',';
+      out << '[' << history[t][i].x << ',' << history[t][i].y << ']';
+    }
+    out << "]}\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool write_trace_jsonl(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) return false;
+  return write_trace_jsonl(out, trace);
+}
+
+namespace {
+
+/// Pulls the numeric value following `"key":` in `line`, or nullopt.
+std::optional<double> field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  try {
+    return std::stod(line.substr(pos + needle.size()));
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<ParsedTrace> read_trace_jsonl(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  if (line.find("\"type\":\"header\"") == std::string::npos) {
+    return std::nullopt;
+  }
+  const auto robots = field(line, "robots");
+  const auto instants = field(line, "instants");
+  if (!robots || !instants) return std::nullopt;
+
+  ParsedTrace parsed;
+  parsed.robots = static_cast<std::size_t>(*robots);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.find("\"type\":\"config\"") == std::string::npos) {
+      return std::nullopt;
+    }
+    const auto open = line.find("\"p\":[");
+    if (open == std::string::npos) return std::nullopt;
+    std::vector<geom::Vec2> config;
+    config.reserve(parsed.robots);
+    std::istringstream pts(line.substr(open + 5));
+    char c = 0;
+    while (pts >> c) {
+      if (c == ']') break;  // End of the outer array.
+      if (c != '[') continue;
+      geom::Vec2 p;
+      char comma = 0, close = 0;
+      if (!(pts >> p.x >> comma >> p.y >> close) || comma != ',' ||
+          close != ']') {
+        return std::nullopt;
+      }
+      config.push_back(p);
+    }
+    if (config.size() != parsed.robots) return std::nullopt;
+    parsed.configs.push_back(std::move(config));
+  }
+  if (parsed.configs.size() != static_cast<std::size_t>(*instants)) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace stig::sim

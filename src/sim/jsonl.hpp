@@ -1,0 +1,43 @@
+// JSONL trace export/import.
+//
+// Serializes a recorded run as JSON Lines — one header record plus one
+// record per instant — so external tooling (notebooks, plotters, replay)
+// can consume simulator output without linking against the library:
+//
+//   {"type":"header","robots":3,"instants":120}
+//   {"type":"config","t":0,"p":[[0.0,0.0],[5.0,0.0],[2.0,4.0]]}
+//   {"type":"config","t":1,"p":[...]}
+//
+// The importer reads exactly this dialect back (used by tests and by any
+// future replay tooling); it is not a general JSON parser.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/vec.hpp"
+#include "sim/trace.hpp"
+
+namespace stig::sim {
+
+/// Writes the position history of `trace` (which must have been recorded
+/// with `record_positions = true`) to `out`. Returns false when the trace
+/// has no recorded positions.
+bool write_trace_jsonl(std::ostream& out, const Trace& trace);
+
+/// Convenience: writes to a file; false on I/O failure or empty trace.
+bool write_trace_jsonl(const std::string& path, const Trace& trace);
+
+/// A parsed trace: per-instant configurations.
+struct ParsedTrace {
+  std::size_t robots = 0;
+  std::vector<std::vector<geom::Vec2>> configs;
+};
+
+/// Reads a trace written by `write_trace_jsonl`. Returns nullopt on any
+/// structural mismatch (wrong header, ragged rows, parse errors).
+[[nodiscard]] std::optional<ParsedTrace> read_trace_jsonl(std::istream& in);
+
+}  // namespace stig::sim

@@ -1,0 +1,65 @@
+// The robot program interface and what a robot can observe.
+//
+// Per the SSM: an active robot observes the instantaneous configuration
+// (positions of all robots, in its own local coordinate system), computes a
+// destination in that local system, and moves toward it by at most sigma_r.
+// Robots are non-oblivious: implementations keep whatever state they like.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/vec.hpp"
+#include "sim/types.hpp"
+
+namespace stig::sim {
+
+/// One robot as seen by an observer.
+struct ObservedRobot {
+  /// Position in the observer's (anchored) local frame.
+  geom::Vec2 position;
+  /// Visible identifier; present only in identified systems.
+  std::optional<VisibleId> id;
+};
+
+/// Everything an active robot perceives at one instant.
+///
+/// `robots` contains *all* robots, the observer included. In anonymous
+/// systems entries are sorted lexicographically by local position so that
+/// the ordering leaks no identity; in identified systems they are sorted by
+/// visible id. `self` is the index of the observer's own entry — a robot can
+/// always recognize itself (it knows its own position by odometry; see
+/// sim/frame.hpp on anchored frames).
+struct Snapshot {
+  Time t = 0;
+  std::vector<ObservedRobot> robots;
+  std::size_t self = 0;
+
+  [[nodiscard]] const ObservedRobot& self_robot() const {
+    return robots[self];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return robots.size(); }
+};
+
+/// A robot program.
+///
+/// The engine calls `initialize` exactly once for every robot at t0 (the
+/// paper's Section 4.2 assumption that all robots know P(t0) / are awake at
+/// t0), then `on_activate` at every instant the scheduler activates the
+/// robot. The return value is the destination point in the robot's local
+/// frame; returning the current position means "stay".
+class Robot {
+ public:
+  Robot() = default;
+  Robot(const Robot&) = delete;
+  Robot& operator=(const Robot&) = delete;
+  virtual ~Robot() = default;
+
+  /// One-time preprocessing with the initial configuration P(t0).
+  virtual void initialize(const Snapshot& snap) = 0;
+
+  /// Activation: observe, compute, return destination (local frame).
+  virtual geom::Vec2 on_activate(const Snapshot& snap) = 0;
+};
+
+}  // namespace stig::sim

@@ -1,0 +1,80 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace stig::sim {
+
+namespace {
+
+// Applies the fairness bound and the non-empty guarantee shared by the
+// randomized schedulers.
+void enforce_fairness(ActivationSet& a, std::vector<std::size_t>& streak,
+                      std::size_t bound, Rng& rng) {
+  const std::size_t n = a.size();
+  streak.resize(n, 0);
+  bool any = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!a[i] && streak[i] + 1 >= bound) a[i] = true;
+    any = any || a[i];
+  }
+  if (!any) {
+    a[static_cast<std::size_t>(rng.uniform_int(0, n - 1))] = true;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    streak[i] = a[i] ? 0 : streak[i] + 1;
+  }
+}
+
+}  // namespace
+
+BernoulliScheduler::BernoulliScheduler(double p, std::uint64_t seed,
+                                       std::size_t fairness_bound)
+    : p_(p), rng_(seed), fairness_bound_(fairness_bound) {
+  assert(p > 0.0 && p <= 1.0);
+  assert(fairness_bound >= 1);
+}
+
+ActivationSet BernoulliScheduler::activate(Time /*t*/, std::size_t n) {
+  ActivationSet a(n, false);
+  for (std::size_t i = 0; i < n; ++i) a[i] = rng_.flip(p_);
+  enforce_fairness(a, idle_streak_, fairness_bound_, rng_);
+  return a;
+}
+
+KSubsetScheduler::KSubsetScheduler(std::size_t k, std::uint64_t seed,
+                                   std::size_t fairness_bound)
+    : k_(k), rng_(seed), fairness_bound_(fairness_bound) {
+  assert(k >= 1);
+}
+
+ActivationSet KSubsetScheduler::activate(Time /*t*/, std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::shuffle(idx.begin(), idx.end(), rng_.engine());
+  ActivationSet a(n, false);
+  for (std::size_t i = 0; i < std::min(k_, n); ++i) a[idx[i]] = true;
+  enforce_fairness(a, idle_streak_, fairness_bound_, rng_);
+  return a;
+}
+
+ActivationSet AdversarialScheduler::activate(Time /*t*/, std::size_t n) {
+  ActivationSet a(n, true);
+  if (n <= 1) return a;
+  victim_ %= n;
+  if (starved_for_ + 1 >= fairness_bound_) {
+    // Must activate the victim now; move on to starving the next robot.
+    starved_for_ = 0;
+    victim_ = (victim_ + 1) % n;
+    // Starve the *new* victim from this instant on.
+    a[victim_] = false;
+    starved_for_ = 1;
+  } else {
+    a[victim_] = false;
+    ++starved_for_;
+  }
+  return a;
+}
+
+}  // namespace stig::sim

@@ -1,0 +1,106 @@
+// Activation schedulers for the SSM.
+//
+// "At each time instant each robot is either active or inactive. [...] The
+// concurrent activation of robots is modeled by the interleaving model in
+// which the robot activations are driven by a uniform fair scheduler."
+// Synchronous = every robot active at each instant; asynchronous = at least
+// one robot active at each instant, fairness guaranteed.
+//
+// Fairness here is enforced mechanically: every scheduler takes a
+// `fairness_bound` B and force-activates any robot that has been inactive
+// for B consecutive instants, so no execution starves a robot — the premise
+// the paper's Lemma 4.4 (liveness of Async2) rests on.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace stig::sim {
+
+/// Which robots act at an instant. `active[i]` is true when robot i is
+/// activated.
+using ActivationSet = std::vector<bool>;
+
+/// Abstract activation policy.
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  virtual ~Scheduler() = default;
+
+  /// Returns the activation set for instant `t` over `n` robots.
+  /// Postcondition: at least one robot is active.
+  [[nodiscard]] virtual ActivationSet activate(Time t, std::size_t n) = 0;
+};
+
+/// Synchronous scheduler: all robots active at every instant.
+class SynchronousScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] ActivationSet activate(Time /*t*/, std::size_t n) override {
+    return ActivationSet(n, true);
+  }
+};
+
+/// Each robot is active independently with probability `p`, with a fairness
+/// bound; the empty set is re-rolled into a single uniformly chosen robot.
+class BernoulliScheduler final : public Scheduler {
+ public:
+  BernoulliScheduler(double p, std::uint64_t seed,
+                     std::size_t fairness_bound = 64);
+  [[nodiscard]] ActivationSet activate(Time t, std::size_t n) override;
+
+ private:
+  double p_;
+  Rng rng_;
+  std::size_t fairness_bound_;
+  std::vector<std::size_t> idle_streak_;
+};
+
+/// Exactly one robot active per instant, in round-robin order (the fully
+/// sequential "centralized" schedule — the slowest fair schedule and the one
+/// that maximizes the asynchronous acknowledgment overhead).
+class CentralizedScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] ActivationSet activate(Time t, std::size_t n) override {
+    ActivationSet a(n, false);
+    a[static_cast<std::size_t>(t) % n] = true;
+    return a;
+  }
+};
+
+/// A uniformly random non-empty subset of `k` robots per instant (sampled
+/// without replacement), with a fairness bound.
+class KSubsetScheduler final : public Scheduler {
+ public:
+  KSubsetScheduler(std::size_t k, std::uint64_t seed,
+                   std::size_t fairness_bound = 64);
+  [[nodiscard]] ActivationSet activate(Time t, std::size_t n) override;
+
+ private:
+  std::size_t k_;
+  Rng rng_;
+  std::size_t fairness_bound_;
+  std::vector<std::size_t> idle_streak_;
+};
+
+/// Adversarial-but-fair scheduler: starves one victim robot for as long as
+/// the fairness bound permits while activating everyone else, then rotates
+/// the victim. Exercises the worst cases of the Lemma 4.1 implicit-ack
+/// argument.
+class AdversarialScheduler final : public Scheduler {
+ public:
+  explicit AdversarialScheduler(std::size_t fairness_bound = 64)
+      : fairness_bound_(fairness_bound) {}
+  [[nodiscard]] ActivationSet activate(Time t, std::size_t n) override;
+
+ private:
+  std::size_t fairness_bound_;
+  std::size_t victim_ = 0;
+  std::size_t starved_for_ = 0;
+};
+
+}  // namespace stig::sim

@@ -1,0 +1,30 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace stig::sim {
+
+void Trace::record_step(const std::vector<bool>& active,
+                        const std::vector<geom::Vec2>& before,
+                        const std::vector<geom::Vec2>& after) {
+  const std::size_t n = stats_.size();
+  if (record_positions_ && history_.empty()) history_.push_back(before);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!active[i]) continue;
+    ++stats_[i].activations;
+    const double d = geom::dist(before[i], after[i]);
+    if (d > geom::kEps) {
+      ++stats_[i].moves;
+      stats_[i].distance += d;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      min_separation_ = std::min(min_separation_, geom::dist(after[i], after[j]));
+    }
+  }
+  if (record_positions_) history_.push_back(after);
+  ++instants_;
+}
+
+}  // namespace stig::sim

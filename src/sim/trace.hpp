@@ -1,0 +1,70 @@
+// Execution traces and motion statistics.
+//
+// The quantitative harness (EXPERIMENTS.md, experiments E1–E8) is built on
+// these counters: steps and distance per bit, movements while idle (the
+// "silent protocol" property of Section 5), minimum pairwise separation
+// (collision avoidance), and full position histories for the figure
+// reproductions.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "geom/vec.hpp"
+#include "sim/types.hpp"
+
+namespace stig::sim {
+
+/// Per-robot cumulative motion statistics.
+struct MotionStats {
+  std::uint64_t activations = 0;  ///< Times the scheduler activated it.
+  std::uint64_t moves = 0;        ///< Activations that changed its position.
+  double distance = 0.0;          ///< Total Euclidean distance traveled.
+};
+
+/// Records what happened during a run.
+class Trace {
+ public:
+  /// When `record_positions` is true the full per-instant configuration is
+  /// kept (memory O(instants * n)); otherwise only counters are updated.
+  explicit Trace(std::size_t n, bool record_positions = false)
+      : stats_(n), record_positions_(record_positions) {}
+
+  /// Called by the engine after each instant with the activation set and the
+  /// configuration before/after the moves.
+  void record_step(const std::vector<bool>& active,
+                   const std::vector<geom::Vec2>& before,
+                   const std::vector<geom::Vec2>& after);
+
+  [[nodiscard]] const MotionStats& stats(RobotIndex i) const {
+    return stats_.at(i);
+  }
+  [[nodiscard]] std::size_t robot_count() const noexcept {
+    return stats_.size();
+  }
+  [[nodiscard]] Time instants() const noexcept { return instants_; }
+
+  /// Smallest pairwise robot separation seen at any recorded instant
+  /// (+infinity before the first step). The collision-avoidance invariant is
+  /// `min_separation() > 0` throughout.
+  [[nodiscard]] double min_separation() const noexcept {
+    return min_separation_;
+  }
+
+  /// Per-instant configurations (only when position recording is on;
+  /// `positions_at(0)` is P(t0) and `positions_at(k)` the configuration
+  /// after instant k-1).
+  [[nodiscard]] const std::vector<std::vector<geom::Vec2>>& positions()
+      const noexcept {
+    return history_;
+  }
+
+ private:
+  std::vector<MotionStats> stats_;
+  bool record_positions_;
+  Time instants_ = 0;
+  double min_separation_ = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<geom::Vec2>> history_;
+};
+
+}  // namespace stig::sim

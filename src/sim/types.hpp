@@ -1,0 +1,20 @@
+// Shared vocabulary types for the Semi-Synchronous Model simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace stig::sim {
+
+/// Discrete time instant t0, t1, ... of the SSM.
+using Time = std::uint64_t;
+
+/// Simulator-internal robot index (0..n-1). In anonymous systems this index
+/// is *never* revealed to robot programs; it exists only for engine
+/// bookkeeping, tests and benchmarks.
+using RobotIndex = std::size_t;
+
+/// Observable identifier of a robot in identified systems (the paper's
+/// `id_r`, visible to every observer). Values are arbitrary but unique.
+using VisibleId = std::uint32_t;
+
+}  // namespace stig::sim

@@ -1,0 +1,188 @@
+#include "viz/svg.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace stig::viz {
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << v;
+  return os.str();
+}
+
+std::string style_attrs(const Style& s) {
+  std::ostringstream os;
+  os << "stroke=\"" << s.stroke << "\" stroke-width=\"" << fmt(s.stroke_width)
+     << "\" fill=\"" << s.fill << "\" opacity=\"" << fmt(s.opacity) << "\"";
+  if (!s.dash.empty()) os << " stroke-dasharray=\"" << s.dash << "\"";
+  return os.str();
+}
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void SvgScene::track(const geom::Vec2& p) {
+  xmin_ = std::min(xmin_, p.x);
+  ymin_ = std::min(ymin_, p.y);
+  xmax_ = std::max(xmax_, p.x);
+  ymax_ = std::max(ymax_, p.y);
+}
+
+void SvgScene::track(const geom::Vec2& p, double radius) {
+  track(p + geom::Vec2{radius, radius});
+  track(p - geom::Vec2{radius, radius});
+}
+
+void SvgScene::circle(const geom::Vec2& center, double radius,
+                      const Style& style) {
+  track(center, radius);
+  Shape s;
+  s.kind = Shape::Kind::circle;
+  s.pts = {center};
+  s.radius = radius;
+  s.style = style;
+  shapes_.push_back(std::move(s));
+}
+
+void SvgScene::line(const geom::Vec2& a, const geom::Vec2& b,
+                    const Style& style) {
+  track(a);
+  track(b);
+  Shape s;
+  s.kind = Shape::Kind::line;
+  s.pts = {a, b};
+  s.style = style;
+  shapes_.push_back(std::move(s));
+}
+
+void SvgScene::polygon(const geom::ConvexPolygon& poly, const Style& style) {
+  if (poly.empty()) return;
+  Shape s;
+  s.kind = Shape::Kind::poly;
+  s.pts = poly.vertices();
+  for (const geom::Vec2& v : s.pts) track(v);
+  s.style = style;
+  shapes_.push_back(std::move(s));
+}
+
+void SvgScene::polyline(std::span<const geom::Vec2> points,
+                        const Style& style) {
+  if (points.empty()) return;
+  Shape s;
+  s.kind = Shape::Kind::polyline;
+  s.pts.assign(points.begin(), points.end());
+  for (const geom::Vec2& v : s.pts) track(v);
+  s.style = style;
+  shapes_.push_back(std::move(s));
+}
+
+void SvgScene::dot(const geom::Vec2& p, double radius,
+                   const std::string& color) {
+  Style s;
+  s.stroke = "none";
+  s.fill = color;
+  circle(p, radius, s);
+}
+
+void SvgScene::text(const geom::Vec2& p, const std::string& label,
+                    double font_size, const std::string& color) {
+  track(p);
+  Shape s;
+  s.kind = Shape::Kind::text;
+  s.pts = {p};
+  s.label = label;
+  s.font = font_size;
+  s.style.fill = color;
+  shapes_.push_back(std::move(s));
+}
+
+void SvgScene::granular(const geom::Granular& g, const Style& disc_style,
+                        const Style& diameter_style, bool label_diameters) {
+  circle(g.center(), g.radius(), disc_style);
+  for (std::size_t d = 0; d < g.diameter_count(); ++d) {
+    line(g.point_on(d, geom::DiameterSide::negative, g.radius()),
+         g.point_on(d, geom::DiameterSide::positive, g.radius()),
+         diameter_style);
+    if (label_diameters) {
+      text(g.point_on(d, geom::DiameterSide::positive, g.radius() * 1.12),
+           std::to_string(d), 10.0, diameter_style.stroke);
+    }
+  }
+}
+
+std::string SvgScene::str() const {
+  const double w = std::max(xmax_ - xmin_, 1e-9);
+  const double h = std::max(ymax_ - ymin_, 1e-9);
+  const double scale = (canvas_ - 2 * margin_) / std::max(w, h);
+  const double width = w * scale + 2 * margin_;
+  const double height = h * scale + 2 * margin_;
+  const auto X = [&](const geom::Vec2& p) {
+    return fmt((p.x - xmin_) * scale + margin_);
+  };
+  const auto Y = [&](const geom::Vec2& p) {
+    return fmt(height - ((p.y - ymin_) * scale + margin_));  // Flip y.
+  };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << fmt(width)
+     << "\" height=\"" << fmt(height) << "\">\n";
+  for (const Shape& s : shapes_) {
+    switch (s.kind) {
+      case Shape::Kind::circle:
+        os << "  <circle cx=\"" << X(s.pts[0]) << "\" cy=\"" << Y(s.pts[0])
+           << "\" r=\"" << fmt(s.radius * scale) << "\" "
+           << style_attrs(s.style) << "/>\n";
+        break;
+      case Shape::Kind::line:
+        os << "  <line x1=\"" << X(s.pts[0]) << "\" y1=\"" << Y(s.pts[0])
+           << "\" x2=\"" << X(s.pts[1]) << "\" y2=\"" << Y(s.pts[1]) << "\" "
+           << style_attrs(s.style) << "/>\n";
+        break;
+      case Shape::Kind::poly:
+      case Shape::Kind::polyline: {
+        os << (s.kind == Shape::Kind::poly ? "  <polygon points=\""
+                                           : "  <polyline points=\"");
+        for (const geom::Vec2& p : s.pts) {
+          os << X(p) << ',' << Y(p) << ' ';
+        }
+        os << "\" " << style_attrs(s.style) << "/>\n";
+        break;
+      }
+      case Shape::Kind::text:
+        os << "  <text x=\"" << X(s.pts[0]) << "\" y=\"" << Y(s.pts[0])
+           << "\" font-size=\"" << fmt(s.font) << "\" fill=\""
+           << s.style.fill << "\" text-anchor=\"middle\">"
+           << escape(s.label) << "</text>\n";
+        break;
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+bool SvgScene::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << str();
+  return static_cast<bool>(out);
+}
+
+}  // namespace stig::viz

@@ -1,0 +1,87 @@
+// Minimal SVG scene builder for rendering configurations, Voronoi cells,
+// granulars with their slicing, SEC/horizon constructions and trajectories
+// — the library's counterpart to the paper's figures. Pure string building,
+// no external dependencies; the figure benches emit .svg files with it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/circle.hpp"
+#include "geom/convex.hpp"
+#include "geom/granular.hpp"
+#include "geom/vec.hpp"
+
+namespace stig::viz {
+
+/// Style of a drawn element. Colors are any SVG color string.
+struct Style {
+  std::string stroke = "black";
+  double stroke_width = 1.0;
+  std::string fill = "none";
+  double opacity = 1.0;
+  /// Dash pattern, e.g. "4 2"; empty = solid.
+  std::string dash;
+};
+
+/// Accumulates shapes in *world* coordinates (y up); `str()` flips the axis
+/// and fits everything into the requested canvas with a margin.
+class SvgScene {
+ public:
+  /// `canvas`: output width in pixels (height follows the world aspect).
+  explicit SvgScene(double canvas = 800.0, double margin = 20.0)
+      : canvas_(canvas), margin_(margin) {}
+
+  void circle(const geom::Vec2& center, double radius, const Style& style);
+  void circle(const geom::Circle& c, const Style& style) {
+    circle(c.center, c.radius, style);
+  }
+  void line(const geom::Vec2& a, const geom::Vec2& b, const Style& style);
+  void polygon(const geom::ConvexPolygon& poly, const Style& style);
+  void polyline(std::span<const geom::Vec2> points, const Style& style);
+  void dot(const geom::Vec2& p, double radius, const std::string& color);
+  /// Text label anchored at `p` (world coordinates).
+  void text(const geom::Vec2& p, const std::string& label,
+            double font_size = 12.0, const std::string& color = "black");
+
+  /// Draws a granular: its disc, all half-diameters, and slice labels.
+  /// `label_offset` shifts diameter labels outward from the rim.
+  void granular(const geom::Granular& g, const Style& disc_style,
+                const Style& diameter_style, bool label_diameters = true);
+
+  /// Serializes the scene to a complete SVG document.
+  [[nodiscard]] std::string str() const;
+
+  /// Writes the document to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Element {
+    std::string body;  ///< SVG fragment with %X/%Y/%L placeholders resolved
+                       ///< at str() time via the recorded world points.
+  };
+
+  void track(const geom::Vec2& p);
+  void track(const geom::Vec2& p, double radius);
+  [[nodiscard]] std::string transform(const geom::Vec2& p, double scale,
+                                      const geom::Vec2& origin) const;
+
+  double canvas_;
+  double margin_;
+  double xmin_ = 1e300, ymin_ = 1e300, xmax_ = -1e300, ymax_ = -1e300;
+
+  struct Shape {
+    enum class Kind : unsigned char { circle, line, poly, polyline, text };
+    Kind kind{};
+    std::vector<geom::Vec2> pts;
+    double radius = 0.0;
+    std::string label;
+    double font = 12.0;
+    Style style;
+  };
+  std::vector<Shape> shapes_;
+};
+
+}  // namespace stig::viz

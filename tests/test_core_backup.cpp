@@ -1,0 +1,146 @@
+// Wireless channel and hybrid (wireless + motion backup) tests — the
+// paper's fault-tolerance motivation made executable.
+#include <gtest/gtest.h>
+
+#include "core/backup_channel.hpp"
+#include "core/chat_network.hpp"
+#include "core/wireless.hpp"
+#include "encode/bits.hpp"
+
+namespace stig {
+namespace {
+
+using core::ChatNetwork;
+using core::ChatNetworkOptions;
+using core::HybridMessenger;
+using core::Synchrony;
+using core::WirelessChannel;
+using core::WirelessOptions;
+
+std::vector<geom::Vec2> square() {
+  return {geom::Vec2{0, 0}, geom::Vec2{10, 0}, geom::Vec2{10, 10},
+          geom::Vec2{0, 10}};
+}
+
+ChatNetwork motion_net() {
+  ChatNetworkOptions opt;
+  opt.synchrony = Synchrony::synchronous;
+  opt.caps.sense_of_direction = true;
+  return ChatNetwork(square(), opt);
+}
+
+TEST(Wireless, DeliversWhenHealthy) {
+  WirelessChannel radio(4, WirelessOptions{});
+  const auto r = radio.transmit(0, 0, 1, encode::bytes_of("hi"));
+  EXPECT_TRUE(r.delivered);
+  const auto got = radio.take_received(1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], encode::bytes_of("hi"));
+  EXPECT_TRUE(radio.take_received(1).empty());  // Drained.
+  EXPECT_EQ(radio.sent(), 1u);
+  EXPECT_EQ(radio.dropped(), 0u);
+}
+
+TEST(Wireless, BrokenDeviceDropsBothDirections) {
+  WirelessChannel radio(4, WirelessOptions{});
+  radio.break_device(2);
+  EXPECT_TRUE(radio.device_broken(2));
+  EXPECT_FALSE(radio.transmit(0, 2, 1, encode::bytes_of("x")).delivered);
+  EXPECT_FALSE(radio.transmit(0, 0, 2, encode::bytes_of("x")).delivered);
+  radio.repair_device(2);
+  EXPECT_TRUE(radio.transmit(0, 0, 2, encode::bytes_of("x")).delivered);
+}
+
+TEST(Wireless, JammingWindow) {
+  WirelessOptions opt;
+  opt.jam_from = 10;
+  opt.jam_until = 20;
+  WirelessChannel radio(2, opt);
+  EXPECT_TRUE(radio.transmit(9, 0, 1, encode::bytes_of("a")).delivered);
+  EXPECT_FALSE(radio.transmit(10, 0, 1, encode::bytes_of("b")).delivered);
+  EXPECT_FALSE(radio.transmit(19, 0, 1, encode::bytes_of("c")).delivered);
+  EXPECT_TRUE(radio.transmit(20, 0, 1, encode::bytes_of("d")).delivered);
+}
+
+TEST(Wireless, LossRateRoughlyRespected) {
+  WirelessOptions opt;
+  opt.loss_probability = 0.3;
+  opt.seed = 5;
+  WirelessChannel radio(2, opt);
+  for (int i = 0; i < 2000; ++i) {
+    (void)radio.transmit(0, 0, 1, encode::bytes_of("x"));
+  }
+  const double rate =
+      static_cast<double>(radio.dropped()) / static_cast<double>(radio.sent());
+  EXPECT_NEAR(rate, 0.3, 0.05);
+}
+
+TEST(Hybrid, WirelessPathUsedWhenHealthy) {
+  ChatNetwork net = motion_net();
+  WirelessChannel radio(4, WirelessOptions{});
+  HybridMessenger hybrid(net, radio);
+  hybrid.send(0, 1, encode::bytes_of("fast path"));
+  EXPECT_TRUE(hybrid.flush(10)); // Nothing queued on motion: instant.
+  const auto got = hybrid.received(1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], encode::bytes_of("fast path"));
+  EXPECT_EQ(hybrid.stats().wireless_delivered, 1u);
+  EXPECT_EQ(hybrid.stats().motion_fallbacks, 0u);
+}
+
+TEST(Hybrid, FallsBackWhenDeviceBroken) {
+  ChatNetwork net = motion_net();
+  WirelessChannel radio(4, WirelessOptions{});
+  radio.break_device(1);
+  HybridMessenger hybrid(net, radio);
+  hybrid.send(0, 1, encode::bytes_of("via movement"));
+  ASSERT_TRUE(hybrid.flush(100'000));
+  net.run(4);
+  const auto got = hybrid.received(1);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], encode::bytes_of("via movement"));
+  EXPECT_EQ(hybrid.stats().motion_fallbacks, 1u);
+  EXPECT_EQ(hybrid.stats().wireless_delivered, 0u);
+}
+
+TEST(Hybrid, EveryMessageArrivesUnderHeavyLoss) {
+  ChatNetwork net = motion_net();
+  WirelessOptions wopt;
+  wopt.loss_probability = 0.5;
+  wopt.seed = 9;
+  WirelessChannel radio(4, wopt);
+  HybridMessenger hybrid(net, radio);
+  const int kMessages = 20;
+  for (int m = 0; m < kMessages; ++m) {
+    const std::vector<std::uint8_t> one{static_cast<std::uint8_t>(m)};
+    hybrid.send(0, 2, one);
+  }
+  ASSERT_TRUE(hybrid.flush(1'000'000));
+  net.run(4);
+  const auto got = hybrid.received(2);
+  EXPECT_EQ(got.size(), static_cast<std::size_t>(kMessages));
+  EXPECT_EQ(hybrid.stats().wireless_delivered +
+                hybrid.stats().motion_fallbacks,
+            static_cast<std::uint64_t>(kMessages));
+  EXPECT_GT(hybrid.stats().motion_fallbacks, 0u);
+  EXPECT_GT(hybrid.stats().wireless_delivered, 0u);
+}
+
+TEST(Hybrid, JammedSwarmStillCommunicates) {
+  ChatNetwork net = motion_net();
+  WirelessOptions wopt;
+  wopt.jam_from = 0;
+  wopt.jam_until = ~0ULL;  // Permanently jammed environment.
+  WirelessChannel radio(4, wopt);
+  HybridMessenger hybrid(net, radio);
+  hybrid.send(3, 0, encode::bytes_of("all motion"));
+  hybrid.send(1, 2, encode::bytes_of("still works"));
+  ASSERT_TRUE(hybrid.flush(1'000'000));
+  net.run(4);
+  EXPECT_EQ(hybrid.received(0).size(), 1u);
+  EXPECT_EQ(hybrid.received(2).size(), 1u);
+  EXPECT_EQ(hybrid.stats().wireless_delivered, 0u);
+}
+
+}  // namespace
+}  // namespace stig

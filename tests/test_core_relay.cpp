@@ -1,0 +1,141 @@
+// RoutedMessenger tests: direct -> relay -> motion escalation, per-link
+// faults, and exactly-once delivery across paths.
+#include <gtest/gtest.h>
+
+#include "core/relay.hpp"
+#include "encode/bits.hpp"
+
+namespace stig {
+namespace {
+
+using core::ChatNetwork;
+using core::ChatNetworkOptions;
+using core::RoutedMessenger;
+using core::Synchrony;
+using core::WirelessChannel;
+using core::WirelessOptions;
+
+std::vector<geom::Vec2> square() {
+  return {geom::Vec2{0, 0}, geom::Vec2{10, 0}, geom::Vec2{10, 10},
+          geom::Vec2{0, 10}};
+}
+
+ChatNetwork motion_net() {
+  ChatNetworkOptions opt;
+  opt.synchrony = Synchrony::synchronous;
+  opt.caps.sense_of_direction = true;
+  return ChatNetwork(square(), opt);
+}
+
+TEST(WirelessLinks, LinkFaultIsSymmetricAndRepairable) {
+  WirelessChannel radio(4, WirelessOptions{});
+  radio.break_link(0, 2);
+  EXPECT_TRUE(radio.link_broken(0, 2));
+  EXPECT_TRUE(radio.link_broken(2, 0));
+  EXPECT_FALSE(radio.link_broken(0, 1));
+  EXPECT_FALSE(radio.transmit(0, 0, 2, encode::bytes_of("x")).delivered);
+  EXPECT_FALSE(radio.transmit(0, 2, 0, encode::bytes_of("x")).delivered);
+  EXPECT_TRUE(radio.transmit(0, 0, 1, encode::bytes_of("x")).delivered);
+  radio.repair_link(0, 2);
+  EXPECT_TRUE(radio.transmit(0, 0, 2, encode::bytes_of("x")).delivered);
+}
+
+TEST(WirelessLinks, TransmitViaDeliversOnlyToAddressee) {
+  WirelessChannel radio(4, WirelessOptions{});
+  EXPECT_TRUE(
+      radio.transmit_via(0, 0, 1, 2, encode::bytes_of("hop")).delivered);
+  EXPECT_TRUE(radio.take_received(1).empty());  // Relay keeps no copy.
+  const auto got = radio.take_received(2);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], encode::bytes_of("hop"));
+}
+
+TEST(WirelessLinks, TransmitViaRespectsBothHops) {
+  WirelessChannel radio(4, WirelessOptions{});
+  radio.break_link(0, 1);
+  EXPECT_FALSE(
+      radio.transmit_via(0, 0, 1, 2, encode::bytes_of("x")).delivered);
+  radio.repair_link(0, 1);
+  radio.break_link(1, 2);
+  EXPECT_FALSE(
+      radio.transmit_via(0, 0, 1, 2, encode::bytes_of("x")).delivered);
+}
+
+TEST(Routed, DirectPathPreferred) {
+  ChatNetwork net = motion_net();
+  WirelessChannel radio(4, WirelessOptions{});
+  RoutedMessenger router(net, radio);
+  router.send(0, 2, encode::bytes_of("direct"));
+  EXPECT_EQ(router.stats().direct, 1u);
+  EXPECT_EQ(router.stats().relayed, 0u);
+  const auto got = router.received(2);
+  ASSERT_EQ(got.size(), 1u);
+}
+
+TEST(Routed, BrokenLinkUsesRelay) {
+  ChatNetwork net = motion_net();
+  WirelessChannel radio(4, WirelessOptions{});
+  radio.break_link(0, 2);  // Direct path down; devices healthy.
+  RoutedMessenger router(net, radio);
+  router.send(0, 2, encode::bytes_of("around"));
+  EXPECT_EQ(router.stats().direct, 0u);
+  EXPECT_EQ(router.stats().relayed, 1u);
+  EXPECT_EQ(router.stats().motion_fallbacks, 0u);
+  const auto got = router.received(2);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], encode::bytes_of("around"));
+}
+
+TEST(Routed, NoRelayFallsBackToMotion) {
+  ChatNetwork net = motion_net();
+  WirelessChannel radio(4, WirelessOptions{});
+  // Isolate robot 0's radio entirely via links (device still "works").
+  for (sim::RobotIndex j = 1; j < 4; ++j) radio.break_link(0, j);
+  RoutedMessenger router(net, radio);
+  router.send(0, 2, encode::bytes_of("swim"));
+  EXPECT_EQ(router.stats().motion_fallbacks, 1u);
+  ASSERT_TRUE(router.flush(100'000));
+  net.run(4);
+  const auto got = router.received(2);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], encode::bytes_of("swim"));
+}
+
+TEST(Routed, DeadRelayCandidatesSkipped) {
+  ChatNetwork net = motion_net();
+  WirelessChannel radio(4, WirelessOptions{});
+  radio.break_link(0, 2);
+  radio.break_device(1);  // First candidate relay is dead...
+  RoutedMessenger router(net, radio);
+  router.send(0, 2, encode::bytes_of("via 3"));
+  EXPECT_EQ(router.stats().relayed, 1u);  // ...so robot 3 relays.
+  ASSERT_EQ(router.received(2).size(), 1u);
+}
+
+TEST(Routed, ExactlyOnceUnderMixedFaults) {
+  ChatNetwork net = motion_net();
+  WirelessChannel radio(4, WirelessOptions{});
+  radio.break_link(0, 1);
+  radio.break_link(2, 3);
+  radio.break_device(3);
+  RoutedMessenger router(net, radio);
+  const int kMessages = 24;
+  for (int m = 0; m < kMessages; ++m) {
+    const std::vector<std::uint8_t> payload{static_cast<std::uint8_t>(m)};
+    router.send(static_cast<std::size_t>(m) % 4,
+                (static_cast<std::size_t>(m) + 1) % 4, payload);
+  }
+  ASSERT_TRUE(router.flush(1'000'000));
+  net.run(4);
+  std::size_t total = 0;
+  for (sim::RobotIndex i = 0; i < 4; ++i) total += router.received(i).size();
+  EXPECT_EQ(total, static_cast<std::size_t>(kMessages));
+  EXPECT_EQ(router.stats().direct + router.stats().relayed +
+                router.stats().motion_fallbacks,
+            static_cast<std::uint64_t>(kMessages));
+  EXPECT_GT(router.stats().relayed, 0u);
+  EXPECT_GT(router.stats().motion_fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace stig

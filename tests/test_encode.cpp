@@ -1,0 +1,185 @@
+// Codec tests: bit conversions, varints, CRC, frame round trips and
+// corruption handling, k-segment numerals, amplitude levels.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "encode/amplitude.hpp"
+#include "encode/bits.hpp"
+#include "encode/crc.hpp"
+#include "encode/framing.hpp"
+#include "encode/ksegment_code.hpp"
+#include "encode/varint.hpp"
+#include "sim/rng.hpp"
+
+namespace stig::encode {
+namespace {
+
+TEST(Bits, ByteRoundTripAllValues) {
+  for (int v = 0; v < 256; ++v) {
+    BitString bits;
+    append_byte(bits, static_cast<std::uint8_t>(v));
+    ASSERT_EQ(bits.size(), 8u);
+    const auto bytes = to_bytes(bits);
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], v);
+  }
+}
+
+TEST(Bits, MsbFirst) {
+  BitString bits;
+  append_byte(bits, 0b10110001);
+  const BitString expected{1, 0, 1, 1, 0, 0, 0, 1};
+  EXPECT_EQ(bits, expected);
+}
+
+TEST(Bits, StringRoundTrip) {
+  const auto bytes = bytes_of("stigmergy");
+  EXPECT_EQ(to_bytes(to_bits(bytes)), bytes);
+}
+
+TEST(Varint, SmallValuesSingleByte) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL}) {
+    std::vector<std::uint8_t> out;
+    append_varint(out, v);
+    EXPECT_EQ(out.size(), 1u);
+    const auto d = decode_varint(out);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->value, v);
+    EXPECT_EQ(d->consumed, 1u);
+  }
+}
+
+TEST(Varint, RoundTripWideRange) {
+  for (std::uint64_t v :
+       {128ULL, 300ULL, 16384ULL, 1ULL << 32, ~0ULL}) {
+    std::vector<std::uint8_t> out;
+    append_varint(out, v);
+    const auto d = decode_varint(out);
+    ASSERT_TRUE(d.has_value()) << v;
+    EXPECT_EQ(d->value, v);
+    EXPECT_EQ(d->consumed, out.size());
+  }
+}
+
+TEST(Varint, TruncatedIsNull) {
+  std::vector<std::uint8_t> out;
+  append_varint(out, 100000);
+  out.pop_back();
+  EXPECT_FALSE(decode_varint(out).has_value());
+}
+
+TEST(Crc8, KnownVectorsAndSensitivity) {
+  const std::vector<std::uint8_t> empty;
+  EXPECT_EQ(crc8(empty), 0x00);
+  const auto data = bytes_of("123456789");
+  const std::uint8_t c = crc8(data);
+  EXPECT_EQ(c, 0xF4);  // CRC-8/ATM check value.
+  auto flipped = data;
+  flipped[3] ^= 0x01;
+  EXPECT_NE(crc8(flipped), c);
+}
+
+TEST(Framing, RoundTripVariousSizes) {
+  sim::Rng rng(31);
+  for (std::size_t len : {0u, 1u, 2u, 17u, 128u, 1000u}) {
+    std::vector<std::uint8_t> payload(len);
+    for (auto& b : payload) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    const BitString wire = encode_frame(payload);
+    FrameParser parser;
+    for (std::uint8_t bit : wire) parser.push_bit(bit);
+    const auto msgs = parser.take_messages();
+    ASSERT_EQ(msgs.size(), 1u) << "len=" << len;
+    EXPECT_EQ(msgs[0], payload);
+    EXPECT_EQ(parser.corrupt_frames(), 0u);
+    EXPECT_EQ(parser.bits_consumed(), wire.size());
+  }
+}
+
+TEST(Framing, BackToBackFrames) {
+  FrameParser parser;
+  const auto a = bytes_of("alpha");
+  const auto b = bytes_of("beta");
+  for (std::uint8_t bit : encode_frame(a)) parser.push_bit(bit);
+  for (std::uint8_t bit : encode_frame(b)) parser.push_bit(bit);
+  const auto msgs = parser.take_messages();
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0], a);
+  EXPECT_EQ(msgs[1], b);
+}
+
+TEST(Framing, CorruptedPayloadDroppedThenResync) {
+  const auto good = bytes_of("ok");
+  BitString wire = encode_frame(bytes_of("damaged"));
+  wire[20] ^= 1;  // Flip a payload bit.
+  FrameParser parser;
+  for (std::uint8_t bit : wire) parser.push_bit(bit);
+  EXPECT_TRUE(parser.take_messages().empty());
+  EXPECT_EQ(parser.corrupt_frames(), 1u);
+  // The next clean frame still parses.
+  for (std::uint8_t bit : encode_frame(good)) parser.push_bit(bit);
+  const auto msgs = parser.take_messages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0], good);
+}
+
+TEST(Framing, PartialFrameWaits) {
+  const BitString wire = encode_frame(bytes_of("pending"));
+  FrameParser parser;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) parser.push_bit(wire[i]);
+  EXPECT_TRUE(parser.take_messages().empty());
+  parser.push_bit(wire.back());
+  EXPECT_EQ(parser.take_messages().size(), 1u);
+}
+
+TEST(KSegmentCode, DigitsNeeded) {
+  EXPECT_EQ(digits_needed(1, 2), 1u);
+  EXPECT_EQ(digits_needed(2, 2), 1u);
+  EXPECT_EQ(digits_needed(3, 2), 2u);
+  EXPECT_EQ(digits_needed(4, 2), 2u);
+  EXPECT_EQ(digits_needed(5, 2), 3u);
+  EXPECT_EQ(digits_needed(1000, 10), 3u);
+  EXPECT_EQ(digits_needed(1001, 10), 4u);
+}
+
+TEST(KSegmentCode, RoundTripAllIndices) {
+  for (std::size_t k : {2u, 3u, 5u, 16u}) {
+    for (std::size_t n : {2u, 7u, 100u}) {
+      const std::size_t d = digits_needed(n, k);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto digits = encode_index(i, n, k);
+        EXPECT_EQ(digits.size(), d) << "k=" << k << " n=" << n;
+        for (std::uint32_t dig : digits) EXPECT_LT(dig, k);
+        EXPECT_EQ(decode_index(digits, k), i) << "k=" << k << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(AmplitudeCodec, OneBitLevels) {
+  const AmplitudeCodec c(1, 2.0);
+  EXPECT_EQ(c.levels(), 2u);
+  EXPECT_DOUBLE_EQ(c.level(0), -2.0);
+  EXPECT_DOUBLE_EQ(c.level(1), 2.0);
+  EXPECT_EQ(c.decode(-1.9), 0u);
+  EXPECT_EQ(c.decode(1.7), 1u);
+  EXPECT_FALSE(c.decode(5.0).has_value());
+}
+
+TEST(AmplitudeCodec, RoundTripWithNoise) {
+  sim::Rng rng(44);
+  for (unsigned bits : {1u, 2u, 4u, 8u}) {
+    const AmplitudeCodec c(bits, 1.0);
+    for (std::uint32_t s = 0; s < c.levels(); ++s) {
+      const double noise = rng.uniform(-0.4, 0.4) * c.tolerance();
+      const auto decoded = c.decode(c.level(s) + noise);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(*decoded, s) << "bits=" << bits;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stig::encode

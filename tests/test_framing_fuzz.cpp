@@ -1,0 +1,140 @@
+// Fuzz/property tests for the frame parser: random frame trains round-trip,
+// random corruption never crashes or delivers wrong payloads undetected
+// beyond CRC collision odds, and reset() realigns misaligned streams.
+#include <gtest/gtest.h>
+
+#include "encode/framing.hpp"
+#include "sim/rng.hpp"
+
+namespace stig::encode {
+namespace {
+
+std::vector<std::uint8_t> random_payload(sim::Rng& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> p(rng.uniform_int(0, max_len));
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return p;
+}
+
+class FramingFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FramingFuzz, RandomFrameTrainsRoundTrip) {
+  sim::Rng rng(GetParam() * 101);
+  std::vector<std::vector<std::uint8_t>> sent;
+  FrameParser parser;
+  const int kFrames = 50;
+  for (int f = 0; f < kFrames; ++f) {
+    sent.push_back(random_payload(rng, 40));
+    for (std::uint8_t bit : encode_frame(sent.back())) parser.push_bit(bit);
+  }
+  const auto got = parser.take_messages();
+  ASSERT_EQ(got.size(), sent.size());
+  for (int f = 0; f < kFrames; ++f) {
+    EXPECT_EQ(got[static_cast<std::size_t>(f)],
+              sent[static_cast<std::size_t>(f)]);
+  }
+  EXPECT_EQ(parser.corrupt_frames(), 0u);
+  EXPECT_FALSE(parser.mid_frame());
+}
+
+TEST_P(FramingFuzz, BitFlipsNeverDeliverCorruptPayloadSilently) {
+  sim::Rng rng(GetParam() * 733);
+  // Build a train, flip a few bits, parse: every delivered message must be
+  // byte-identical to one of the originals (CRC-8 makes undetected damage
+  // a ~1/256 event per frame; with the fixed seeds below none collide).
+  std::vector<std::vector<std::uint8_t>> sent;
+  BitString wire;
+  for (int f = 0; f < 20; ++f) {
+    sent.push_back(random_payload(rng, 20));
+    const BitString frame = encode_frame(sent.back());
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+  const std::size_t flips = 1 + rng.uniform_int(0, 4);
+  for (std::size_t k = 0; k < flips; ++k) {
+    wire[rng.uniform_int(0, wire.size() - 1)] ^= 1;
+  }
+  FrameParser parser;
+  for (std::uint8_t bit : wire) parser.push_bit(bit);
+  const auto got = parser.take_messages();
+  EXPECT_LE(got.size(), sent.size());
+  for (const auto& m : got) {
+    EXPECT_NE(std::find(sent.begin(), sent.end(), m), sent.end())
+        << "parser delivered a payload that was never sent";
+  }
+  // Something must have been noticed: either fewer deliveries or corrupt
+  // counts (a flip in a varint high byte can eat several frames, that is
+  // fine — silently *altered* payloads are what must not happen).
+  EXPECT_TRUE(got.size() < sent.size() || parser.corrupt_frames() > 0);
+}
+
+TEST_P(FramingFuzz, ResetRealignsAfterBitInsertion) {
+  sim::Rng rng(GetParam() * 997);
+  FrameParser parser;
+  // A stray bit (the transient-fault scenario) misaligns everything...
+  parser.push_bit(1);
+  const auto garbage = random_payload(rng, 10);
+  for (std::uint8_t bit : encode_frame(garbage)) parser.push_bit(bit);
+  // (that frame is unrecoverable — it is bit-shifted)
+  // ...until the receiver detects a frame boundary and resets:
+  parser.reset();
+  const auto fresh = random_payload(rng, 10);
+  for (std::uint8_t bit : encode_frame(fresh)) parser.push_bit(bit);
+  const auto got = parser.take_messages();
+  ASSERT_GE(got.size(), 1u);
+  EXPECT_EQ(got.back(), fresh);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FramingFuzz,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(FrameParser, MidFrameReflectsPartialInput) {
+  FrameParser parser;
+  EXPECT_FALSE(parser.mid_frame());
+  parser.push_bit(0);
+  EXPECT_TRUE(parser.mid_frame());  // A partial byte counts.
+  for (int i = 0; i < 7; ++i) parser.push_bit(0);
+  // One full byte (varint length 0) is still mid-frame: CRC byte missing.
+  EXPECT_TRUE(parser.mid_frame());
+}
+
+TEST(FrameParser, ResetCountsAsCorruptionOnlyMidFrame) {
+  FrameParser parser;
+  parser.reset();
+  EXPECT_EQ(parser.corrupt_frames(), 0u);  // Nothing was in flight.
+  parser.push_bit(1);
+  parser.reset();
+  EXPECT_EQ(parser.corrupt_frames(), 1u);  // A partial frame was dropped.
+}
+
+TEST(FrameParser, EmptyPayloadFrames) {
+  FrameParser parser;
+  for (int f = 0; f < 3; ++f) {
+    for (std::uint8_t bit : encode_frame({})) parser.push_bit(bit);
+  }
+  const auto got = parser.take_messages();
+  ASSERT_EQ(got.size(), 3u);
+  for (const auto& m : got) EXPECT_TRUE(m.empty());
+}
+
+TEST(FrameParser, HugeLengthFieldTreatedAsCorruption) {
+  FrameParser parser;
+  // Hand-craft a varint claiming a 2^40-byte payload.
+  std::vector<std::uint8_t> bytes{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x3F};
+  for (std::uint8_t byte : bytes) {
+    for (int i = 7; i >= 0; --i) {
+      parser.push_bit(static_cast<std::uint8_t>((byte >> i) & 1));
+    }
+  }
+  EXPECT_GE(parser.corrupt_frames(), 1u);
+  // And the parser still accepts a clean frame afterwards... eventually:
+  // resync may consume a few bytes, so feed a quiet-gap reset first (the
+  // protocols do exactly this).
+  parser.reset();
+  const auto payload = std::vector<std::uint8_t>{1, 2, 3};
+  for (std::uint8_t bit : encode_frame(payload)) parser.push_bit(bit);
+  const auto got = parser.take_messages();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], payload);
+}
+
+}  // namespace
+}  // namespace stig::encode

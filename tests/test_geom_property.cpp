@@ -1,0 +1,178 @@
+// Geometry property sweeps: half-plane clipping cross-checked against point
+// sampling, Voronoi bisector membership, angle algebra, SEC vs brute force
+// on small sets.
+#include <gtest/gtest.h>
+
+#include "geom/angle.hpp"
+#include "geom/convex.hpp"
+#include "geom/sec.hpp"
+#include "geom/voronoi.hpp"
+#include "sim/rng.hpp"
+
+namespace stig::geom {
+namespace {
+
+class ClipPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClipPropertyTest, ClippedPolygonMatchesPointMembership) {
+  sim::Rng rng(GetParam() * 67);
+  ConvexPolygon poly = ConvexPolygon::rectangle(-10, -10, 10, 10);
+  std::vector<HalfPlane> hps;
+  for (int k = 0; k < 5; ++k) {
+    const Vec2 p{rng.uniform(-6, 6), rng.uniform(-6, 6)};
+    const double a = rng.uniform(0.0, kTwoPi);
+    hps.push_back(HalfPlane{Line{p, Vec2{std::cos(a), std::sin(a)}}});
+    poly = poly.clipped(hps.back());
+  }
+  // Every sampled point: inside the polygon iff inside all half-planes
+  // (within tolerance of the boundary, where either answer is acceptable).
+  for (int s = 0; s < 400; ++s) {
+    const Vec2 q{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    bool in_all = true;
+    double min_margin = 1e18;
+    for (const HalfPlane& hp : hps) {
+      const double off = hp.boundary.signed_offset(q);
+      in_all = in_all && off >= 0.0;
+      min_margin = std::min(min_margin, std::fabs(off));
+    }
+    min_margin = std::min({min_margin, 10.0 - std::fabs(q.x),
+                           10.0 - std::fabs(q.y)});
+    if (min_margin < 1e-6) continue;  // Too close to a boundary to judge.
+    EXPECT_EQ(poly.contains(q), in_all)
+        << "q=(" << q.x << "," << q.y << ") seed=" << GetParam();
+  }
+  // Clipping never increases area.
+  EXPECT_LE(poly.area(), 400.0 + 1e-9);
+}
+
+TEST_P(ClipPropertyTest, ClipOrderIrrelevant) {
+  sim::Rng rng(GetParam() * 41);
+  std::vector<HalfPlane> hps;
+  for (int k = 0; k < 4; ++k) {
+    const Vec2 p{rng.uniform(-4, 4), rng.uniform(-4, 4)};
+    const double a = rng.uniform(0.0, kTwoPi);
+    hps.push_back(HalfPlane{Line{p, Vec2{std::cos(a), std::sin(a)}}});
+  }
+  const ConvexPolygon box = ConvexPolygon::rectangle(-10, -10, 10, 10);
+  const ConvexPolygon fwd = intersect_halfplanes(box, hps);
+  std::reverse(hps.begin(), hps.end());
+  const ConvexPolygon rev = intersect_halfplanes(box, hps);
+  EXPECT_NEAR(fwd.area(), rev.area(), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClipPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(VoronoiProperty, CellPointsAreNearestToTheirSite) {
+  sim::Rng rng(7);
+  std::vector<Vec2> sites;
+  for (int i = 0; i < 15; ++i) {
+    sites.push_back(Vec2{rng.uniform(-20, 20), rng.uniform(-20, 20)});
+  }
+  const VoronoiDiagram vd = VoronoiDiagram::compute(sites);
+  for (const VoronoiCell& cell : vd.cells()) {
+    // Sample the cell via vertex/centroid mixtures.
+    const Vec2 c = cell.polygon.centroid();
+    for (const Vec2& v : cell.polygon.vertices()) {
+      const Vec2 q = midpoint(c, v);  // Strictly interior-ish point.
+      for (std::size_t j = 0; j < sites.size(); ++j) {
+        if (j == cell.site_index) continue;
+        EXPECT_LE(dist(q, cell.site), dist(q, sites[j]) + 1e-7)
+            << "cell " << cell.site_index << " vs site " << j;
+      }
+    }
+  }
+}
+
+TEST(VoronoiProperty, BisectorEquidistance) {
+  sim::Rng rng(9);
+  for (int t = 0; t < 200; ++t) {
+    const Vec2 a{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Vec2 b{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    if (dist(a, b) < 0.1) continue;
+    const Line bis = perpendicular_bisector(a, b);
+    const Vec2 p = bis.point + bis.dir.normalized() * rng.uniform(-20, 20);
+    EXPECT_NEAR(dist(p, a), dist(p, b), 1e-9);
+    // closer_halfplane(a, b) contains a, not b.
+    const HalfPlane hp = closer_halfplane(a, b);
+    EXPECT_TRUE(hp.contains(a));
+    EXPECT_FALSE(hp.contains(b));
+  }
+}
+
+TEST(SecProperty, MatchesBruteForceOnTriples) {
+  // For <= 3 points the SEC is directly enumerable: check Welzl against it.
+  sim::Rng rng(11);
+  for (int t = 0; t < 300; ++t) {
+    const std::vector<Vec2> pts{
+        Vec2{rng.uniform(-5, 5), rng.uniform(-5, 5)},
+        Vec2{rng.uniform(-5, 5), rng.uniform(-5, 5)},
+        Vec2{rng.uniform(-5, 5), rng.uniform(-5, 5)}};
+    const Circle welzl = smallest_enclosing_circle(pts);
+    // Brute force: best of the three diameter circles and the circumcircle.
+    double best = 1e18;
+    const auto consider = [&](const Circle& c) {
+      for (const Vec2& p : pts) {
+        if (!c.contains(p, 1e-9)) return;
+      }
+      best = std::min(best, c.radius);
+    };
+    consider(circle_from(pts[0], pts[1]));
+    consider(circle_from(pts[0], pts[2]));
+    consider(circle_from(pts[1], pts[2]));
+    if (const auto cc = circumcircle(pts[0], pts[1], pts[2])) consider(*cc);
+    EXPECT_NEAR(welzl.radius, best, 1e-7) << "t=" << t;
+  }
+}
+
+TEST(AngleProperty, ClockwiseAnglesAddUpAroundTheCircle) {
+  sim::Rng rng(13);
+  for (int t = 0; t < 200; ++t) {
+    const double a = rng.uniform(0.0, kTwoPi);
+    const double b = rng.uniform(0.0, kTwoPi);
+    const Vec2 u{std::cos(a), std::sin(a)};
+    const Vec2 v{std::cos(b), std::sin(b)};
+    const double uv = clockwise_angle(u, v);
+    const double vu = clockwise_angle(v, u);
+    if (uv > 1e-9 && vu > 1e-9) {
+      EXPECT_NEAR(uv + vu, kTwoPi, 1e-9);
+    }
+    EXPECT_NEAR(counterclockwise_angle(u, v), normalize_angle(kTwoPi - uv),
+                1e-9);
+  }
+}
+
+TEST(AngleProperty, MirroringReversesClockwise) {
+  sim::Rng rng(15);
+  for (int t = 0; t < 200; ++t) {
+    const Vec2 u{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const Vec2 v{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    if (u.norm() < 0.1 || v.norm() < 0.1) continue;
+    const Vec2 mu{-u.x, u.y};
+    const Vec2 mv{-v.x, v.y};
+    const double orig = clockwise_angle(u, v);
+    const double mirrored = clockwise_angle(mu, mv);
+    if (orig > 1e-9 && orig < kTwoPi - 1e-9) {
+      EXPECT_NEAR(mirrored, kTwoPi - orig, 1e-9);
+    }
+  }
+}
+
+TEST(ConvexProperty, CentroidInsidePolygon) {
+  sim::Rng rng(17);
+  for (int t = 0; t < 50; ++t) {
+    ConvexPolygon poly = ConvexPolygon::rectangle(-8, -8, 8, 8);
+    for (int k = 0; k < 4; ++k) {
+      const Vec2 p{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+      const double a = rng.uniform(0.0, kTwoPi);
+      poly = poly.clipped(HalfPlane{Line{p, Vec2{std::cos(a), std::sin(a)}}});
+      if (poly.empty()) break;
+    }
+    if (poly.empty() || poly.area() < 1e-6) continue;
+    EXPECT_TRUE(poly.contains(poly.centroid(), 1e-7));
+    EXPECT_GE(poly.distance_to_boundary(poly.centroid()), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace stig::geom

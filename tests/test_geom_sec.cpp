@@ -1,0 +1,126 @@
+// Smallest-enclosing-circle tests: exact cases plus parameterized property
+// sweeps (containment, minimality via support points, determinism).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geom/angle.hpp"
+#include "geom/sec.hpp"
+#include "sim/rng.hpp"
+
+namespace stig::geom {
+namespace {
+
+TEST(Sec, Empty) {
+  const Circle c = smallest_enclosing_circle({});
+  EXPECT_EQ(c.radius, 0.0);
+}
+
+TEST(Sec, SinglePoint) {
+  const std::vector<Vec2> pts{Vec2{3, 4}};
+  const Circle c = smallest_enclosing_circle(pts);
+  EXPECT_TRUE(nearly_equal(c.center, Vec2{3, 4}));
+  EXPECT_NEAR(c.radius, 0.0, kEps);
+}
+
+TEST(Sec, TwoPoints) {
+  const std::vector<Vec2> pts{Vec2{0, 0}, Vec2{6, 0}};
+  const Circle c = smallest_enclosing_circle(pts);
+  EXPECT_TRUE(nearly_equal(c.center, Vec2{3, 0}, 1e-7));
+  EXPECT_NEAR(c.radius, 3.0, 1e-7);
+}
+
+TEST(Sec, EquilateralTriangle) {
+  const std::vector<Vec2> pts{Vec2{0, 0}, Vec2{2, 0}, Vec2{1, std::sqrt(3.0)}};
+  const Circle c = smallest_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, 2.0 / std::sqrt(3.0), 1e-7);
+  EXPECT_TRUE(nearly_equal(c.center, Vec2{1.0, 1.0 / std::sqrt(3.0)}, 1e-7));
+}
+
+TEST(Sec, ObtuseTriangleIsDiameterCircle) {
+  // For an obtuse triangle the SEC is the diameter circle of the long side.
+  const std::vector<Vec2> pts{Vec2{0, 0}, Vec2{10, 0}, Vec2{5, 0.5}};
+  const Circle c = smallest_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, 5.0, 1e-7);
+  EXPECT_TRUE(nearly_equal(c.center, Vec2{5, 0}, 1e-7));
+}
+
+TEST(Sec, InteriorPointsDoNotMatter) {
+  std::vector<Vec2> pts{Vec2{0, 0}, Vec2{6, 0}};
+  const Circle base = smallest_enclosing_circle(pts);
+  pts.push_back(Vec2{3, 1});
+  pts.push_back(Vec2{2, -1});
+  pts.push_back(Vec2{4.5, 0.2});
+  const Circle c = smallest_enclosing_circle(pts);
+  EXPECT_TRUE(nearly_equal(c.center, base.center, 1e-7));
+  EXPECT_NEAR(c.radius, base.radius, 1e-7);
+}
+
+TEST(Sec, CollinearPoints) {
+  const std::vector<Vec2> pts{Vec2{0, 0}, Vec2{1, 1}, Vec2{5, 5}, Vec2{3, 3}};
+  const Circle c = smallest_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, dist(Vec2{0, 0}, Vec2{5, 5}) / 2.0, 1e-7);
+}
+
+TEST(Sec, DeterministicAcrossCalls) {
+  sim::Rng rng(5);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back(Vec2{rng.uniform(-5, 5), rng.uniform(-5, 5)});
+  }
+  const Circle a = smallest_enclosing_circle(pts);
+  const Circle b = smallest_enclosing_circle(pts);
+  EXPECT_EQ(a.center, b.center);
+  EXPECT_EQ(a.radius, b.radius);
+}
+
+TEST(Sec, SupportOnCocircularPoints) {
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 12; ++i) {
+    const double a = kTwoPi * i / 12.0;
+    pts.push_back(Vec2{std::cos(a), std::sin(a)});
+  }
+  const Circle c = smallest_enclosing_circle(pts);
+  EXPECT_NEAR(c.radius, 1.0, 1e-7);
+  EXPECT_EQ(sec_support(pts, c).size(), 12u);
+}
+
+// Property sweep: for random point sets of growing size, the SEC contains
+// every point and has at least 2 support points (minimality certificate:
+// the SEC of >= 2 points is determined by 2 antipodal or 3 boundary points).
+class SecPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SecPropertyTest, ContainsAllAndSupported) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Rng rng(seed * 977 + n);
+    std::vector<Vec2> pts;
+    pts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back(Vec2{rng.uniform(-100, 100), rng.uniform(-100, 100)});
+    }
+    const Circle c = smallest_enclosing_circle(pts);
+    for (const Vec2& p : pts) {
+      EXPECT_TRUE(c.contains(p, 1e-7)) << "n=" << n << " seed=" << seed;
+    }
+    const auto support = sec_support(pts, c, 1e-6);
+    EXPECT_GE(support.size(), n >= 2 ? 2u : 1u)
+        << "n=" << n << " seed=" << seed;
+    // Minimality: removing slack — a circle strictly smaller around the
+    // same center must miss some point.
+    if (n >= 2) {
+      const Circle smaller{c.center, c.radius * (1.0 - 1e-4)};
+      bool misses = false;
+      for (const Vec2& p : pts) {
+        if (!smaller.contains(p, 0.0)) misses = true;
+      }
+      EXPECT_TRUE(misses) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SecPropertyTest,
+                         ::testing::Values(2, 3, 4, 5, 8, 16, 64, 256, 1000));
+
+}  // namespace
+}  // namespace stig::geom

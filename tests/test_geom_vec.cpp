@@ -1,0 +1,178 @@
+// Unit tests for the planar kernel: Vec2, angles, lines, circles.
+#include <gtest/gtest.h>
+
+#include "geom/angle.hpp"
+#include "geom/circle.hpp"
+#include "geom/line.hpp"
+#include "geom/vec.hpp"
+#include "sim/rng.hpp"
+
+namespace stig::geom {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+  EXPECT_EQ(-a, (Vec2{-1.0, -2.0}));
+}
+
+TEST(Vec2, NormAndDistance) {
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(dist(Vec2{0, 0}, Vec2{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(dist2(Vec2{1, 1}, Vec2{4, 5}), 25.0);
+}
+
+TEST(Vec2, Normalized) {
+  const Vec2 u = Vec2{3.0, 4.0}.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, kEps);
+  EXPECT_NEAR(u.x, 0.6, kEps);
+  // Zero vector stays zero rather than producing NaN.
+  EXPECT_EQ((Vec2{0, 0}).normalized(), (Vec2{0, 0}));
+}
+
+TEST(Vec2, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot(Vec2{1, 0}, Vec2{0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(cross(Vec2{1, 0}, Vec2{0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(cross(Vec2{0, 1}, Vec2{1, 0}), -1.0);
+}
+
+TEST(Vec2, PerpAndRotation) {
+  EXPECT_TRUE(nearly_equal((Vec2{1, 0}).perp_ccw(), Vec2{0, 1}));
+  EXPECT_TRUE(nearly_equal((Vec2{1, 0}).perp_cw(), Vec2{0, -1}));
+  EXPECT_TRUE(nearly_equal((Vec2{1, 0}).rotated(kPi / 2), Vec2{0, 1}));
+}
+
+TEST(Vec2, LexicographicOrder) {
+  EXPECT_LT((Vec2{0, 5}), (Vec2{1, -5}));
+  EXPECT_LT((Vec2{1, -5}), (Vec2{1, 0}));
+}
+
+TEST(Vec2, Orient) {
+  EXPECT_GT(orient(Vec2{0, 0}, Vec2{1, 0}, Vec2{0, 1}), 0.0);  // CCW.
+  EXPECT_LT(orient(Vec2{0, 0}, Vec2{0, 1}, Vec2{1, 0}), 0.0);  // CW.
+  EXPECT_NEAR(orient(Vec2{0, 0}, Vec2{1, 1}, Vec2{2, 2}), 0.0, kEps);
+}
+
+TEST(Angle, Normalization) {
+  EXPECT_NEAR(normalize_angle(-kPi / 2), 3 * kPi / 2, kEps);
+  EXPECT_NEAR(normalize_angle(5 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(normalize_angle_signed(3 * kPi / 2), -kPi / 2, kEps);
+  EXPECT_GE(normalize_angle(-1e-18), 0.0);
+  EXPECT_LT(normalize_angle(-1e-18), kTwoPi);
+}
+
+TEST(Angle, ClockwiseAngle) {
+  const Vec2 north{0, 1};
+  const Vec2 east{1, 0};
+  const Vec2 south{0, -1};
+  const Vec2 west{-1, 0};
+  EXPECT_NEAR(clockwise_angle(north, east), kPi / 2, kEps);
+  EXPECT_NEAR(clockwise_angle(north, south), kPi, kEps);
+  EXPECT_NEAR(clockwise_angle(north, west), 3 * kPi / 2, kEps);
+  EXPECT_NEAR(clockwise_angle(north, north), 0.0, kEps);
+}
+
+TEST(Angle, RotateClockwiseMatchesClockwiseAngle) {
+  sim::Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const double a0 = rng.uniform(0.0, kTwoPi);
+    const double delta = rng.uniform(0.0, kTwoPi);
+    const Vec2 from{std::cos(a0), std::sin(a0)};
+    const Vec2 to = rotate_clockwise(from, delta);
+    EXPECT_NEAR(clockwise_angle(from, to), delta, 1e-9) << "case " << i;
+  }
+}
+
+TEST(Angle, AngularDistance) {
+  EXPECT_NEAR(angular_distance(0.1, kTwoPi - 0.1), 0.2, kEps);
+  EXPECT_NEAR(angular_distance(0.0, kPi), kPi, kEps);
+}
+
+TEST(Line, SignedOffsetAndProjection) {
+  const Line l = Line::through(Vec2{0, 0}, Vec2{10, 0});
+  EXPECT_NEAR(l.signed_offset(Vec2{5, 3}), 3.0, kEps);   // Left.
+  EXPECT_NEAR(l.signed_offset(Vec2{5, -2}), -2.0, kEps); // Right.
+  EXPECT_TRUE(nearly_equal(l.project(Vec2{5, 3}), Vec2{5, 0}));
+  EXPECT_NEAR(l.param_of(Vec2{5, 3}), 5.0, kEps);
+  EXPECT_TRUE(l.contains(Vec2{-7, 0}));
+  EXPECT_FALSE(l.contains(Vec2{0, 1}));
+}
+
+TEST(Line, Intersection) {
+  const Line l1 = Line::through(Vec2{0, 0}, Vec2{1, 1});
+  const Line l2 = Line::through(Vec2{1, 0}, Vec2{0, 1});
+  const auto x = intersect(l1, l2);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_TRUE(nearly_equal(*x, Vec2{0.5, 0.5}));
+  // Parallel lines do not intersect.
+  const Line l3{Vec2{0, 1}, Vec2{1, 1}};
+  EXPECT_FALSE(intersect(l1, l3).has_value());
+}
+
+TEST(Line, PerpendicularBisector) {
+  const Line b = perpendicular_bisector(Vec2{0, 0}, Vec2{4, 0});
+  EXPECT_TRUE(b.contains(Vec2{2, 5}));
+  EXPECT_TRUE(b.contains(Vec2{2, -5}));
+  // `a` lies on the left of the directed bisector.
+  EXPECT_GT(b.signed_offset(Vec2{0, 0}), 0.0);
+  EXPECT_LT(b.signed_offset(Vec2{4, 0}), 0.0);
+}
+
+TEST(Segment, ClosestPointAndDistance) {
+  const Segment s{Vec2{0, 0}, Vec2{10, 0}};
+  EXPECT_TRUE(nearly_equal(s.closest_point(Vec2{5, 3}), Vec2{5, 0}));
+  EXPECT_TRUE(nearly_equal(s.closest_point(Vec2{-3, 4}), Vec2{0, 0}));
+  EXPECT_TRUE(nearly_equal(s.closest_point(Vec2{13, -4}), Vec2{10, 0}));
+  EXPECT_NEAR(s.distance(Vec2{-3, 4}), 5.0, kEps);
+  // Degenerate segment.
+  const Segment pt{Vec2{1, 1}, Vec2{1, 1}};
+  EXPECT_NEAR(pt.distance(Vec2{4, 5}), 5.0, kEps);
+}
+
+TEST(Circle, ContainsAndBoundary) {
+  const Circle c{Vec2{0, 0}, 2.0};
+  EXPECT_TRUE(c.contains(Vec2{1, 1}));
+  EXPECT_TRUE(c.contains(Vec2{2, 0}));
+  EXPECT_FALSE(c.contains(Vec2{2.1, 0}));
+  EXPECT_TRUE(c.on_boundary(Vec2{0, 2}));
+  EXPECT_FALSE(c.on_boundary(Vec2{0, 1}));
+}
+
+TEST(Circle, TwoPointCircle) {
+  const Circle c = circle_from(Vec2{0, 0}, Vec2{4, 0});
+  EXPECT_TRUE(nearly_equal(c.center, Vec2{2, 0}));
+  EXPECT_NEAR(c.radius, 2.0, kEps);
+}
+
+TEST(Circle, Circumcircle) {
+  const auto c = circumcircle(Vec2{0, 0}, Vec2{4, 0}, Vec2{0, 4});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_TRUE(nearly_equal(c->center, Vec2{2, 2}));
+  EXPECT_NEAR(c->radius, std::sqrt(8.0), kEps);
+  // Collinear points have no circumcircle.
+  EXPECT_FALSE(circumcircle(Vec2{0, 0}, Vec2{1, 1}, Vec2{2, 2}).has_value());
+}
+
+TEST(Circle, CircumcircleRandomPointsEquidistant) {
+  sim::Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 a{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Vec2 b{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Vec2 c{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    if (std::fabs(orient(a, b, c)) < 1e-3) continue;
+    const auto cc = circumcircle(a, b, c);
+    ASSERT_TRUE(cc.has_value());
+    EXPECT_NEAR(dist(cc->center, a), cc->radius, 1e-7);
+    EXPECT_NEAR(dist(cc->center, b), cc->radius, 1e-7);
+    EXPECT_NEAR(dist(cc->center, c), cc->radius, 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace stig::geom

@@ -1,0 +1,93 @@
+// JSONL trace export/import tests: round trips, precision, malformed input.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/chat_network.hpp"
+#include "encode/bits.hpp"
+#include <fstream>
+
+#include "sim/jsonl.hpp"
+
+namespace stig::sim {
+namespace {
+
+Trace recorded_trace() {
+  core::ChatNetworkOptions opt;
+  opt.synchrony = core::Synchrony::synchronous;
+  opt.record_positions = true;
+  core::ChatNetwork net(
+      {geom::Vec2{0.125, -3.5}, geom::Vec2{4.75, 1.0}, geom::Vec2{-2, 6}},
+      opt);
+  net.send(0, 2, encode::bytes_of("jsonl"));
+  net.run_until_quiescent(100'000);
+  return net.engine().trace();
+}
+
+TEST(Jsonl, RoundTripExactDoubles) {
+  const Trace trace = recorded_trace();
+  std::stringstream ss;
+  ASSERT_TRUE(write_trace_jsonl(ss, trace));
+  const auto parsed = read_trace_jsonl(ss);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->robots, 3u);
+  ASSERT_EQ(parsed->configs.size(), trace.positions().size());
+  for (std::size_t t = 0; t < parsed->configs.size(); ++t) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      // setprecision(17) makes doubles round-trip bit-exactly.
+      EXPECT_EQ(parsed->configs[t][i], trace.positions()[t][i])
+          << "t=" << t << " i=" << i;
+    }
+  }
+}
+
+TEST(Jsonl, HeaderDescribesContent) {
+  const Trace trace = recorded_trace();
+  std::stringstream ss;
+  ASSERT_TRUE(write_trace_jsonl(ss, trace));
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_NE(header.find("\"type\":\"header\""), std::string::npos);
+  EXPECT_NE(header.find("\"robots\":3"), std::string::npos);
+}
+
+TEST(Jsonl, UnrecordedTraceRefused) {
+  Trace trace(3, /*record_positions=*/false);
+  std::stringstream ss;
+  EXPECT_FALSE(write_trace_jsonl(ss, trace));
+}
+
+TEST(Jsonl, MalformedInputsRejected) {
+  const auto parse = [](const std::string& text) {
+    std::stringstream ss(text);
+    return read_trace_jsonl(ss);
+  };
+  EXPECT_FALSE(parse("").has_value());
+  EXPECT_FALSE(parse("{\"type\":\"config\"}\n").has_value());
+  EXPECT_FALSE(
+      parse("{\"type\":\"header\",\"robots\":2,\"instants\":1}\n"
+            "{\"type\":\"config\",\"t\":0,\"p\":[[1,2]]}\n")
+          .has_value());  // Ragged row: 1 point, 2 robots.
+  EXPECT_FALSE(
+      parse("{\"type\":\"header\",\"robots\":1,\"instants\":2}\n"
+            "{\"type\":\"config\",\"t\":0,\"p\":[[1,2]]}\n")
+          .has_value());  // Missing instant.
+  EXPECT_TRUE(
+      parse("{\"type\":\"header\",\"robots\":1,\"instants\":1}\n"
+            "{\"type\":\"config\",\"t\":0,\"p\":[[1,2]]}\n")
+          .has_value());
+}
+
+TEST(Jsonl, FileRoundTrip) {
+  const Trace trace = recorded_trace();
+  const std::string path = ::testing::TempDir() + "stig_trace_test.jsonl";
+  ASSERT_TRUE(write_trace_jsonl(path, trace));
+  std::ifstream in(path);
+  const auto parsed = read_trace_jsonl(in);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->configs.size(), trace.positions().size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace stig::sim

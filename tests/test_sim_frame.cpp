@@ -1,0 +1,117 @@
+// Local-frame transform tests: round trips, capability semantics
+// (rotation/scale/mirror), and handedness behaviour under chirality.
+#include <gtest/gtest.h>
+
+#include "geom/angle.hpp"
+#include "sim/frame.hpp"
+#include "sim/rng.hpp"
+
+namespace stig::sim {
+namespace {
+
+using geom::Vec2;
+
+TEST(Frame, IdentityIsNoop) {
+  const Frame f;
+  const Vec2 p{3.5, -2.25};
+  EXPECT_TRUE(nearly_equal(f.to_local(p), p));
+  EXPECT_TRUE(nearly_equal(f.to_global(p), p));
+}
+
+TEST(Frame, TranslationOnly) {
+  const Frame f(Vec2{10, 5}, 0.0, 1.0, false);
+  EXPECT_TRUE(nearly_equal(f.to_local(Vec2{10, 5}), Vec2{0, 0}));
+  EXPECT_TRUE(nearly_equal(f.to_local(Vec2{11, 5}), Vec2{1, 0}));
+  EXPECT_TRUE(nearly_equal(f.to_global(Vec2{0, 1}), Vec2{10, 6}));
+}
+
+TEST(Frame, RotationMapsNorth) {
+  // Rotation pi/2: the robot's +y axis points global West.
+  const Frame f(Vec2{0, 0}, geom::kPi / 2, 1.0, false);
+  EXPECT_TRUE(nearly_equal(f.to_global(Vec2{0, 1}), Vec2{-1, 0}));
+  EXPECT_TRUE(nearly_equal(f.to_local(Vec2{-1, 0}), Vec2{0, 1}));
+}
+
+TEST(Frame, ScaleConvertsUnits) {
+  const Frame f(Vec2{0, 0}, 0.0, 2.0, false);  // 1 local unit = 2 global.
+  EXPECT_TRUE(nearly_equal(f.to_global(Vec2{1, 0}), Vec2{2, 0}));
+  EXPECT_TRUE(nearly_equal(f.to_local(Vec2{2, 0}), Vec2{1, 0}));
+  EXPECT_DOUBLE_EQ(f.length_to_local(4.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.length_to_global(2.0), 4.0);
+}
+
+TEST(Frame, MirrorFlipsHandedness) {
+  const Frame f(Vec2{0, 0}, 0.0, 1.0, true);
+  // +x local maps to -x global; +y stays.
+  EXPECT_TRUE(nearly_equal(f.to_global(Vec2{1, 0}), Vec2{-1, 0}));
+  EXPECT_TRUE(nearly_equal(f.to_global(Vec2{0, 1}), Vec2{0, 1}));
+  // A locally-counterclockwise triangle is globally clockwise.
+  const Vec2 a = f.to_global(Vec2{0, 0});
+  const Vec2 b = f.to_global(Vec2{1, 0});
+  const Vec2 c = f.to_global(Vec2{0, 1});
+  EXPECT_LT(geom::orient(a, b, c), 0.0);
+}
+
+TEST(Frame, RoundTripRandom) {
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const Frame f(Vec2{rng.uniform(-100, 100), rng.uniform(-100, 100)},
+                  rng.uniform(0.0, geom::kTwoPi), rng.uniform(0.1, 10.0),
+                  rng.flip(0.5));
+    const Vec2 p{rng.uniform(-100, 100), rng.uniform(-100, 100)};
+    EXPECT_TRUE(nearly_equal(f.to_global(f.to_local(p)), p, 1e-9));
+    EXPECT_TRUE(nearly_equal(f.to_local(f.to_global(p)), p, 1e-9));
+  }
+}
+
+TEST(Frame, PreservesDistancesUpToScale) {
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const double unit = rng.uniform(0.1, 10.0);
+    const Frame f(Vec2{rng.uniform(-10, 10), rng.uniform(-10, 10)},
+                  rng.uniform(0.0, geom::kTwoPi), unit, rng.flip(0.5));
+    const Vec2 p{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Vec2 q{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    EXPECT_NEAR(geom::dist(f.to_local(p), f.to_local(q)) * unit,
+                geom::dist(p, q), 1e-9);
+  }
+}
+
+TEST(Frame, AnglesInvariantUnderSameHandedFrames) {
+  // Chirality in one property: clockwise angles agree across any two frames
+  // with the same mirror flag, regardless of rotation and scale.
+  Rng rng(15);
+  for (int i = 0; i < 200; ++i) {
+    const bool mirrored = rng.flip(0.5);
+    const Frame f1(Vec2{0, 0}, rng.uniform(0.0, geom::kTwoPi),
+                   rng.uniform(0.1, 10.0), mirrored);
+    const Frame f2(Vec2{5, -3}, rng.uniform(0.0, geom::kTwoPi),
+                   rng.uniform(0.1, 10.0), mirrored);
+    const Vec2 u{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const Vec2 v{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    if (u.norm() < 0.1 || v.norm() < 0.1) continue;
+    const double a1 = geom::clockwise_angle(f1.to_local(u) - f1.to_local(Vec2{0, 0}),
+                                            f1.to_local(v) - f1.to_local(Vec2{0, 0}));
+    const double a2 = geom::clockwise_angle(f2.to_local(u) - f2.to_local(Vec2{0, 0}),
+                                            f2.to_local(v) - f2.to_local(Vec2{0, 0}));
+    EXPECT_NEAR(a1, a2, 1e-9) << i;
+  }
+}
+
+TEST(Frame, AnglesReverseUnderOppositeHandedness) {
+  const Frame right(Vec2{0, 0}, 0.3, 1.0, false);
+  const Frame left(Vec2{0, 0}, 1.2, 2.0, true);
+  const Vec2 u{1, 0};
+  const Vec2 v{0, 1};
+  const double ar = geom::clockwise_angle(right.to_local(u), right.to_local(v));
+  const double al = geom::clockwise_angle(left.to_local(u), left.to_local(v));
+  EXPECT_NEAR(ar + al, geom::kTwoPi, 1e-9);
+}
+
+TEST(Frame, DirToGlobalIgnoresOrigin) {
+  const Frame f(Vec2{100, 100}, geom::kPi / 2, 3.0, false);
+  EXPECT_TRUE(nearly_equal(f.dir_to_global(Vec2{0, 1}), Vec2{-3, 0}));
+}
+
+}  // namespace
+}  // namespace stig::sim

@@ -1,0 +1,129 @@
+// Scheduler tests: the SSM contract (non-empty activation sets), the
+// fairness bound, determinism under seeds, and the adversarial pattern.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/scheduler.hpp"
+
+namespace stig::sim {
+namespace {
+
+std::size_t count_active(const ActivationSet& a) {
+  return static_cast<std::size_t>(std::count(a.begin(), a.end(), true));
+}
+
+TEST(SynchronousScheduler, ActivatesEveryone) {
+  SynchronousScheduler s;
+  for (Time t = 0; t < 10; ++t) {
+    const ActivationSet a = s.activate(t, 7);
+    EXPECT_EQ(count_active(a), 7u);
+  }
+}
+
+TEST(BernoulliScheduler, NeverEmpty) {
+  BernoulliScheduler s(0.01, 3, 1000);
+  for (Time t = 0; t < 2000; ++t) {
+    EXPECT_GE(count_active(s.activate(t, 5)), 1u);
+  }
+}
+
+TEST(BernoulliScheduler, RespectsFairnessBound) {
+  const std::size_t bound = 16;
+  BernoulliScheduler s(0.05, 11, bound);
+  const std::size_t n = 6;
+  std::vector<std::size_t> streak(n, 0);
+  for (Time t = 0; t < 5000; ++t) {
+    const ActivationSet a = s.activate(t, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      streak[i] = a[i] ? 0 : streak[i] + 1;
+      EXPECT_LT(streak[i], bound) << "robot " << i << " starved at " << t;
+    }
+  }
+}
+
+TEST(BernoulliScheduler, ActivationRateNearP) {
+  const double p = 0.3;
+  BernoulliScheduler s(p, 21, 1 << 20);  // Bound high enough not to bias.
+  const std::size_t n = 10;
+  std::uint64_t total = 0;
+  const Time steps = 20000;
+  for (Time t = 0; t < steps; ++t) total += count_active(s.activate(t, n));
+  const double rate = static_cast<double>(total) /
+                      static_cast<double>(steps * n);
+  EXPECT_NEAR(rate, p, 0.02);
+}
+
+TEST(BernoulliScheduler, DeterministicUnderSeed) {
+  BernoulliScheduler s1(0.4, 99, 32);
+  BernoulliScheduler s2(0.4, 99, 32);
+  for (Time t = 0; t < 200; ++t) {
+    EXPECT_EQ(s1.activate(t, 8), s2.activate(t, 8));
+  }
+}
+
+TEST(CentralizedScheduler, ExactlyOneRoundRobin) {
+  CentralizedScheduler s;
+  for (Time t = 0; t < 30; ++t) {
+    const ActivationSet a = s.activate(t, 5);
+    EXPECT_EQ(count_active(a), 1u);
+    EXPECT_TRUE(a[t % 5]);
+  }
+}
+
+TEST(KSubsetScheduler, ExactlyKActive) {
+  KSubsetScheduler s(3, 7, 1 << 20);
+  for (Time t = 0; t < 500; ++t) {
+    EXPECT_EQ(count_active(s.activate(t, 9)), 3u);
+  }
+}
+
+TEST(KSubsetScheduler, KLargerThanNActivatesAll) {
+  KSubsetScheduler s(10, 7, 64);
+  EXPECT_EQ(count_active(s.activate(0, 4)), 4u);
+}
+
+TEST(KSubsetScheduler, RespectsFairnessBound) {
+  const std::size_t bound = 8;
+  KSubsetScheduler s(1, 5, bound);
+  const std::size_t n = 4;
+  std::vector<std::size_t> streak(n, 0);
+  for (Time t = 0; t < 3000; ++t) {
+    const ActivationSet a = s.activate(t, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      streak[i] = a[i] ? 0 : streak[i] + 1;
+      EXPECT_LT(streak[i], bound);
+    }
+  }
+}
+
+TEST(AdversarialScheduler, StarvesUpToBoundThenRotates) {
+  const std::size_t bound = 10;
+  AdversarialScheduler s(bound);
+  const std::size_t n = 3;
+  std::vector<std::size_t> streak(n, 0);
+  std::vector<std::size_t> max_streak(n, 0);
+  for (Time t = 0; t < 1000; ++t) {
+    const ActivationSet a = s.activate(t, n);
+    EXPECT_GE(count_active(a), n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      streak[i] = a[i] ? 0 : streak[i] + 1;
+      max_streak[i] = std::max(max_streak[i], streak[i]);
+      EXPECT_LT(streak[i], bound);
+    }
+  }
+  // The adversary actually pushes each robot to the edge of the bound.
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GE(max_streak[i], bound - 2) << "robot " << i;
+  }
+}
+
+TEST(AdversarialScheduler, SingleRobotAlwaysActive) {
+  AdversarialScheduler s(4);
+  for (Time t = 0; t < 20; ++t) {
+    EXPECT_EQ(count_active(s.activate(t, 1)), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace stig::sim

@@ -1,0 +1,207 @@
+// Engine-level unit tests for the model stressors: sensor quantization,
+// observation delay (stale snapshots), limited visibility, teleport fault
+// injection — each checked directly at the snapshot level, independently of
+// any protocol.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace stig::sim {
+namespace {
+
+using geom::Vec2;
+
+/// Records every snapshot it is given.
+class Recorder final : public Robot {
+ public:
+  explicit Recorder(Vec2 step = Vec2{0, 0}) : step_(step) {}
+  void initialize(const Snapshot& snap) override { history_.push_back(snap); }
+  Vec2 on_activate(const Snapshot& snap) override {
+    history_.push_back(snap);
+    return snap.self_robot().position + step_;
+  }
+  std::vector<Snapshot> history_;
+  Vec2 step_;
+};
+
+struct World {
+  std::vector<Recorder*> robots;
+  std::unique_ptr<Engine> engine;
+};
+
+World make_world(std::vector<Vec2> positions, EngineOptions opts,
+                 std::vector<Vec2> steps = {}) {
+  World w;
+  std::vector<RobotSpec> specs;
+  std::vector<std::unique_ptr<Robot>> programs;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    RobotSpec s;
+    s.position = positions[i];
+    s.sigma = 100.0;
+    specs.push_back(s);
+    auto r = std::make_unique<Recorder>(
+        i < steps.size() ? steps[i] : Vec2{0, 0});
+    w.robots.push_back(r.get());
+    programs.push_back(std::move(r));
+  }
+  w.engine = std::make_unique<Engine>(
+      std::move(specs), std::move(programs),
+      std::make_unique<SynchronousScheduler>(), opts);
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Quantization.
+
+TEST(Quantum, OthersSnappedSelfExact) {
+  EngineOptions opts;
+  opts.observation_quantum = 0.5;
+  // Positions deliberately off-grid.
+  World w = make_world({Vec2{0.3, 0.3}, Vec2{5.2, 1.4}}, opts);
+  const Snapshot& s0 = w.robots[0]->history_.front();
+  // Self (anchored frame): exact origin regardless of the grid.
+  EXPECT_TRUE(geom::nearly_equal(s0.self_robot().position, Vec2{0, 0}));
+  // Peer: snapped in global coordinates (5.0, 1.5), then made local
+  // (anchored at the *exact* own position 0.3, 0.3).
+  const Vec2 peer = s0.robots[1 - s0.self].position;
+  EXPECT_TRUE(geom::nearly_equal(peer, Vec2{5.0 - 0.3, 1.5 - 0.3}, 1e-9));
+}
+
+TEST(Quantum, ZeroMeansExact) {
+  World w = make_world({Vec2{0.3, 0.3}, Vec2{5.2, 1.4}}, EngineOptions{});
+  const Snapshot& s0 = w.robots[0]->history_.front();
+  const Vec2 peer = s0.robots[1 - s0.self].position;
+  EXPECT_TRUE(geom::nearly_equal(peer, Vec2{4.9, 1.1}, 1e-12));
+}
+
+TEST(Quantum, SubThresholdMovesInvisible) {
+  EngineOptions opts;
+  opts.observation_quantum = 1.0;
+  // Robot 1 creeps by 0.2/step: robot 0 sees it jump only every 5 steps.
+  World w = make_world({Vec2{0, 0}, Vec2{10.4, 0}}, opts,
+                       {Vec2{0, 0}, Vec2{0.2, 0}});
+  std::vector<double> seen_x;
+  for (int t = 0; t < 10; ++t) {
+    w.engine->step();
+    const Snapshot& s = w.robots[0]->history_.back();
+    seen_x.push_back(s.robots[1 - s.self].position.x);
+  }
+  // Observed positions are multiples of the grid...
+  for (double x : seen_x) {
+    EXPECT_NEAR(std::remainder(x, 1.0), 0.0, 1e-9);
+  }
+  // ...and strictly fewer distinct values than instants.
+  std::sort(seen_x.begin(), seen_x.end());
+  seen_x.erase(std::unique(seen_x.begin(), seen_x.end(),
+                           [](double a, double b) {
+                             return std::fabs(a - b) < 1e-9;
+                           }),
+               seen_x.end());
+  EXPECT_LT(seen_x.size(), 10u);
+  EXPECT_GE(seen_x.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Observation delay.
+
+TEST(Delay, OthersAreStaleSelfCurrent) {
+  EngineOptions opts;
+  opts.observation_delay = 3;
+  World w = make_world({Vec2{0, 0}, Vec2{10, 0}}, opts,
+                       {Vec2{0, 1}, Vec2{1, 0}});
+  for (int t = 0; t < 8; ++t) w.engine->step();
+  // At the activation of instant 7, robot 0 observes:
+  const Snapshot& s = w.robots[0]->history_.back();
+  // itself current: it has moved 7 times by (0,1) -> local (0,7);
+  EXPECT_TRUE(geom::nearly_equal(s.self_robot().position, Vec2{0, 7}, 1e-9));
+  // the peer as of instant 7-3=4: 4 moves of (1,0) from (10,0) -> x=14,
+  // local x = 14 (anchored at own t0 (0,0)).
+  EXPECT_TRUE(geom::nearly_equal(s.robots[1 - s.self].position,
+                                 Vec2{14, 0}, 1e-9));
+}
+
+TEST(Delay, EarlyInstantsClampToT0) {
+  EngineOptions opts;
+  opts.observation_delay = 5;
+  World w = make_world({Vec2{0, 0}, Vec2{10, 0}}, opts,
+                       {Vec2{0, 0}, Vec2{1, 0}});
+  w.engine->step();
+  w.engine->step();
+  // At instant 1, only 2 configurations exist; the stalest is t0.
+  const Snapshot& s = w.robots[0]->history_.back();
+  EXPECT_TRUE(geom::nearly_equal(s.robots[1 - s.self].position,
+                                 Vec2{10, 0}, 1e-9));
+}
+
+// ---------------------------------------------------------------------------
+// Limited visibility.
+
+TEST(Visibility, SnapshotShrinksAndGrowsWithDistance) {
+  EngineOptions opts;
+  opts.visibility_radius = 6.0;
+  // Robot 1 walks away from robot 0, then nothing brings it back — use a
+  // three-robot chain where the middle one leaves range of the first.
+  World w = make_world({Vec2{0, 0}, Vec2{5, 0}}, opts,
+                       {Vec2{0, 0}, Vec2{0.5, 0}});
+  EXPECT_EQ(w.robots[0]->history_.front().robots.size(), 2u);
+  for (int t = 0; t < 5; ++t) w.engine->step();
+  // Peer at 7.5 > 6: invisible.
+  EXPECT_EQ(w.robots[0]->history_.back().robots.size(), 1u);
+  EXPECT_TRUE(geom::nearly_equal(
+      w.robots[0]->history_.back().self_robot().position, Vec2{0, 0}));
+}
+
+TEST(Visibility, SelfIndexCorrectAfterFiltering) {
+  EngineOptions opts;
+  opts.visibility_radius = 7.0;
+  World w = make_world({Vec2{0, 0}, Vec2{5, 0}, Vec2{20, 0}}, opts);
+  for (Recorder* r : w.robots) {
+    const Snapshot& s = r->history_.front();
+    EXPECT_TRUE(geom::nearly_equal(s.self_robot().position, Vec2{0, 0}))
+        << "each robot must still find itself at its anchored origin";
+  }
+  // The middle robot sees only its left neighbor; the outlier only itself.
+  EXPECT_EQ(w.robots[1]->history_.front().robots.size(), 2u);
+  EXPECT_EQ(w.robots[2]->history_.front().robots.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Teleport.
+
+TEST(Teleport, MovesInstantlyWithoutActivation) {
+  World w = make_world({Vec2{0, 0}, Vec2{10, 0}}, EngineOptions{});
+  w.engine->teleport(1, Vec2{3, 4});
+  EXPECT_TRUE(geom::nearly_equal(w.engine->positions()[1], Vec2{3, 4}));
+  // The robot program was not consulted.
+  EXPECT_EQ(w.robots[1]->history_.size(), 1u);  // Only initialize.
+  // And the next snapshot reflects the new position.
+  w.engine->step();
+  const Snapshot& s = w.robots[0]->history_.back();
+  EXPECT_TRUE(geom::nearly_equal(s.robots[1 - s.self].position, Vec2{3, 4},
+                                 1e-9));
+}
+
+TEST(Teleport, OutOfRangeIndexThrows) {
+  World w = make_world({Vec2{0, 0}, Vec2{10, 0}}, EngineOptions{});
+  EXPECT_THROW(w.engine->teleport(5, Vec2{1, 1}), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// Stressor combinations.
+
+TEST(Stressors, QuantumPlusDelayCompose) {
+  EngineOptions opts;
+  opts.observation_quantum = 0.5;
+  opts.observation_delay = 2;
+  World w = make_world({Vec2{0, 0}, Vec2{10.2, 0}}, opts,
+                       {Vec2{0, 0}, Vec2{0.3, 0}});
+  for (int t = 0; t < 6; ++t) w.engine->step();
+  const Snapshot& s = w.robots[0]->history_.back();
+  // Instant 5 activation, delay 2 -> peer as of instant 3: x = 10.2 + 3*0.3
+  // = 11.1, snapped to 11.0.
+  EXPECT_TRUE(geom::nearly_equal(s.robots[1 - s.self].position,
+                                 Vec2{11.0, 0}, 1e-9));
+}
+
+}  // namespace
+}  // namespace stig::sim

@@ -1,0 +1,131 @@
+// Argument/precondition validation across the public surface: every
+// documented precondition violation must be reported loudly (exception),
+// never as silent misbehavior.
+#include <gtest/gtest.h>
+
+#include "core/chat_network.hpp"
+#include "proto/async2.hpp"
+#include "proto/ksegment.hpp"
+#include "proto/sync2.hpp"
+#include "proto/sync_sliced.hpp"
+#include "sim/engine.hpp"
+
+namespace stig {
+namespace {
+
+using core::ChatNetwork;
+using core::ChatNetworkOptions;
+using core::ProtocolKind;
+using core::Synchrony;
+using geom::Vec2;
+
+sim::Snapshot snapshot3() {
+  sim::Snapshot s;
+  s.self = 0;
+  for (int i = 0; i < 3; ++i) {
+    sim::ObservedRobot r;
+    r.position = Vec2{static_cast<double>(5 * i), 0.0};
+    s.robots.push_back(r);
+  }
+  return s;
+}
+
+TEST(Validation, Sync2RejectsBadSymbolWidth) {
+  proto::Sync2Options o;
+  o.bits_per_symbol = 3;  // Does not divide 8.
+  EXPECT_THROW(proto::Sync2Robot{o}, std::invalid_argument);
+  o.bits_per_symbol = 0;
+  EXPECT_THROW(proto::Sync2Robot{o}, std::invalid_argument);
+  o.bits_per_symbol = 8;
+  EXPECT_NO_THROW(proto::Sync2Robot{o});
+}
+
+TEST(Validation, Sync2RejectsWrongRobotCount) {
+  proto::Sync2Robot robot{proto::Sync2Options{}};
+  EXPECT_THROW(robot.initialize(snapshot3()), std::invalid_argument);
+}
+
+TEST(Validation, Async2RejectsWrongRobotCount) {
+  proto::Async2Robot robot{proto::Async2Options{}};
+  EXPECT_THROW(robot.initialize(snapshot3()), std::invalid_argument);
+}
+
+TEST(Validation, KSegmentRejectsSmallK) {
+  proto::KSegmentOptions o;
+  o.k = 1;
+  EXPECT_THROW(proto::KSegmentRobot{o}, std::invalid_argument);
+  o.k = 0;
+  EXPECT_THROW(proto::KSegmentRobot{o}, std::invalid_argument);
+}
+
+TEST(Validation, SlicedByIdsNeedsIdentifiedSnapshot) {
+  proto::SyncSlicedOptions o;
+  o.naming = proto::NamingMode::by_ids;
+  proto::SyncSlicedRobot robot{o};
+  EXPECT_THROW(robot.initialize(snapshot3()), std::invalid_argument);
+}
+
+TEST(Validation, ChatNetworkProtocolSynchronyMismatch) {
+  const std::vector<Vec2> pts{Vec2{0, 0}, Vec2{5, 0}, Vec2{0, 5}};
+  {
+    ChatNetworkOptions opt;
+    opt.synchrony = Synchrony::synchronous;
+    opt.protocol = ProtocolKind::asyncn;  // Async protocol, sync scheduler.
+    EXPECT_THROW(ChatNetwork(pts, opt), std::invalid_argument);
+  }
+  {
+    ChatNetworkOptions opt;
+    opt.synchrony = Synchrony::asynchronous;
+    opt.protocol = ProtocolKind::sliced;
+    EXPECT_THROW(ChatNetwork(pts, opt), std::invalid_argument);
+  }
+}
+
+TEST(Validation, ChatNetworkTwoRobotProtocolNeedsTwo) {
+  const std::vector<Vec2> pts{Vec2{0, 0}, Vec2{5, 0}, Vec2{0, 5}};
+  ChatNetworkOptions opt;
+  opt.synchrony = Synchrony::synchronous;
+  opt.protocol = ProtocolKind::sync2;
+  EXPECT_THROW(ChatNetwork(pts, opt), std::invalid_argument);
+}
+
+TEST(Validation, ChatNetworkSendBoundsChecked) {
+  ChatNetworkOptions opt;
+  ChatNetwork net({Vec2{0, 0}, Vec2{5, 0}}, opt);
+  const std::vector<std::uint8_t> payload{1};
+  EXPECT_THROW(net.send(0, 0, payload), std::invalid_argument);
+  EXPECT_THROW(net.send(9, 0, payload), std::out_of_range);
+  EXPECT_THROW(net.broadcast(9, payload), std::out_of_range);
+}
+
+TEST(Validation, EngineRejectsEmptyAndMismatched) {
+  EXPECT_THROW(sim::Engine({}, {}, std::make_unique<sim::SynchronousScheduler>()),
+               std::invalid_argument);
+  std::vector<sim::RobotSpec> specs{{.position = Vec2{0, 0}}};
+  std::vector<std::unique_ptr<sim::Robot>> none;
+  EXPECT_THROW(
+      sim::Engine(specs, std::move(none),
+                  std::make_unique<sim::SynchronousScheduler>()),
+      std::invalid_argument);
+}
+
+TEST(Validation, SlicedCoreChecksDiameterLookups) {
+  ChatNetworkOptions opt;
+  opt.synchrony = Synchrony::synchronous;
+  ChatNetwork net({Vec2{0, 0}, Vec2{5, 0}, Vec2{0, 5}}, opt);
+  // stats() bounds.
+  EXPECT_THROW((void)net.stats(7), std::out_of_range);
+  EXPECT_THROW((void)net.received(7), std::out_of_range);
+}
+
+TEST(Validation, QuietNetworkStaysQuiescent) {
+  ChatNetworkOptions opt;
+  opt.synchrony = Synchrony::synchronous;
+  ChatNetwork net({Vec2{0, 0}, Vec2{5, 0}}, opt);
+  EXPECT_TRUE(net.quiescent());
+  EXPECT_TRUE(net.run_until_quiescent(10));
+  EXPECT_EQ(net.engine().now(), 0u);  // No work: returns immediately.
+}
+
+}  // namespace
+}  // namespace stig

@@ -1,0 +1,275 @@
+// stigsim — command-line driver for the stigmergy simulator.
+//
+// Scatter a swarm, queue messages, run the SSM world, and report delivery
+// and motion statistics; optionally dump the trajectory SVG. Examples:
+//
+//   stigsim --n 8 --message "hello" --from 0 --to 5
+//   stigsim --async --p 0.4 --n 4 --broadcast --message "to all" --svg run.svg
+//   stigsim --n 12 --protocol ksegment --k 3 --ids --sod --seed 9
+//
+// Run `stigsim --help` for the full flag list.
+#include <cstdint>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/chat_network.hpp"
+#include "encode/bits.hpp"
+#include "sim/rng.hpp"
+#include "sim/jsonl.hpp"
+#include "viz/figures.hpp"
+
+namespace {
+
+using namespace stig;
+
+struct Args {
+  std::size_t n = 6;
+  std::uint64_t seed = 1;
+  bool async_mode = false;
+  bool ids = false;
+  bool sod = false;
+  bool mirrored = false;
+  bool broadcast = false;
+  double p = 0.5;
+  double sigma = 0.25;
+  double extent = 30.0;
+  double quantum = 0.0;
+  sim::Time delay = 0;
+  std::size_t k = 4;
+  std::string protocol = "auto";
+  std::string scheduler = "bernoulli";
+  std::string message = "stigmergy";
+  std::size_t from = 0;
+  std::size_t to = 1;
+  sim::Time max_instants = 5'000'000;
+  std::string svg;
+  std::string jsonl;
+  bool help = false;
+};
+
+void print_help() {
+  std::cout <<
+      "stigsim — deaf, dumb, and chatting robots simulator\n\n"
+      "  --n N             swarm size (default 6)\n"
+      "  --seed S          RNG seed for placement/frames/scheduler\n"
+      "  --async           asynchronous (SSM-fair) mode; default synchronous\n"
+      "  --ids             robots carry observable IDs\n"
+      "  --sod             robots share a sense of direction\n"
+      "  --mirrored        left-handed frames (chirality still holds)\n"
+      "  --protocol P      auto|sync2|sliced|ksegment|async2|asyncn\n"
+      "  --k K             k-segment index base (default 4)\n"
+      "  --scheduler S     bernoulli|centralized|ksubset|adversarial\n"
+      "  --p P             activation probability (bernoulli)\n"
+      "  --sigma S         max travel per activation (default 0.25)\n"
+      "  --quantum Q       sensor grid resolution (0 = ideal)\n"
+      "  --delay D         observation staleness in instants\n"
+      "  --message TEXT    payload (default \"stigmergy\")\n"
+      "  --from I --to J   unicast endpoints (default 0 -> 1)\n"
+      "  --broadcast       one-to-all from --from instead of unicast\n"
+      "  --max-instants T  give up after T instants\n"
+      "  --svg FILE        write the trajectory figure\n"
+      "  --jsonl FILE      write the position history as JSON Lines\n";
+}
+
+bool parse(int argc, char** argv, Args& a) {
+  const auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto num = [&](auto& out) {
+      const char* v = need(i);
+      if (!v) return false;
+      out = static_cast<std::remove_reference_t<decltype(out)>>(
+          std::stod(v));
+      return true;
+    };
+    if (flag == "--help" || flag == "-h") {
+      a.help = true;
+    } else if (flag == "--n") {
+      if (!num(a.n)) return false;
+    } else if (flag == "--seed") {
+      if (!num(a.seed)) return false;
+    } else if (flag == "--async") {
+      a.async_mode = true;
+    } else if (flag == "--ids") {
+      a.ids = true;
+    } else if (flag == "--sod") {
+      a.sod = true;
+    } else if (flag == "--mirrored") {
+      a.mirrored = true;
+    } else if (flag == "--broadcast") {
+      a.broadcast = true;
+    } else if (flag == "--p") {
+      if (!num(a.p)) return false;
+    } else if (flag == "--sigma") {
+      if (!num(a.sigma)) return false;
+    } else if (flag == "--quantum") {
+      if (!num(a.quantum)) return false;
+    } else if (flag == "--delay") {
+      if (!num(a.delay)) return false;
+    } else if (flag == "--k") {
+      if (!num(a.k)) return false;
+    } else if (flag == "--from") {
+      if (!num(a.from)) return false;
+    } else if (flag == "--to") {
+      if (!num(a.to)) return false;
+    } else if (flag == "--max-instants") {
+      if (!num(a.max_instants)) return false;
+    } else if (flag == "--protocol") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.protocol = v;
+    } else if (flag == "--scheduler") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.scheduler = v;
+    } else if (flag == "--message") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.message = v;
+    } else if (flag == "--svg") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.svg = v;
+    } else if (flag == "--jsonl") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.jsonl = v;
+    } else {
+      std::cerr << "unknown flag: " << flag << " (see --help)\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) return 2;
+  if (args.help) {
+    print_help();
+    return 0;
+  }
+
+  static const std::map<std::string, core::ProtocolKind> kProtocols{
+      {"auto", core::ProtocolKind::automatic},
+      {"sync2", core::ProtocolKind::sync2},
+      {"sliced", core::ProtocolKind::sliced},
+      {"ksegment", core::ProtocolKind::ksegment},
+      {"async2", core::ProtocolKind::async2},
+      {"asyncn", core::ProtocolKind::asyncn}};
+  static const std::map<std::string, core::SchedulerKind> kSchedulers{
+      {"bernoulli", core::SchedulerKind::bernoulli},
+      {"centralized", core::SchedulerKind::centralized},
+      {"ksubset", core::SchedulerKind::ksubset},
+      {"adversarial", core::SchedulerKind::adversarial}};
+  if (!kProtocols.contains(args.protocol) ||
+      !kSchedulers.contains(args.scheduler)) {
+    std::cerr << "unknown protocol or scheduler (see --help)\n";
+    return 2;
+  }
+
+  // Scatter the swarm.
+  sim::Rng rng(args.seed ^ 0x5745);
+  std::vector<geom::Vec2> pts;
+  const double min_gap = 3.0;
+  while (pts.size() < args.n) {
+    const geom::Vec2 p{rng.uniform(-args.extent, args.extent),
+                       rng.uniform(-args.extent, args.extent)};
+    bool ok = true;
+    for (const geom::Vec2& q : pts) {
+      if (geom::dist(p, q) < min_gap) ok = false;
+    }
+    if (ok) pts.push_back(p);
+  }
+
+  core::ChatNetworkOptions opt;
+  opt.synchrony = args.async_mode ? core::Synchrony::asynchronous
+                                  : core::Synchrony::synchronous;
+  opt.caps.visible_ids = args.ids;
+  opt.caps.sense_of_direction = args.sod || args.ids;
+  opt.mirrored_frames = args.mirrored;
+  opt.protocol = kProtocols.at(args.protocol);
+  opt.scheduler = kSchedulers.at(args.scheduler);
+  opt.activation_probability = args.p;
+  opt.sigma = args.sigma;
+  opt.seed = args.seed;
+  opt.ksegment_k = args.k;
+  opt.observation_quantum = args.quantum;
+  opt.observation_delay = args.delay;
+  opt.record_positions = !args.svg.empty() || !args.jsonl.empty();
+
+  try {
+    core::ChatNetwork net(pts, opt);
+    const auto payload = encode::bytes_of(args.message);
+    if (args.broadcast) {
+      net.broadcast(args.from, payload);
+    } else {
+      net.send(args.from, args.to, payload);
+    }
+
+    const bool done = net.run_until_quiescent(args.max_instants);
+    net.run(args.async_mode ? 512 : 4);
+
+    std::cout << "protocol: " << args.protocol << " (resolved kind "
+              << static_cast<int>(net.protocol_kind()) << "), n = " << args.n
+              << ", " << (args.async_mode ? "asynchronous" : "synchronous")
+              << "\n";
+    std::cout << "instants: " << net.engine().now()
+              << (done ? "" : "  [TIMED OUT]") << "\n\n";
+
+    std::size_t delivered = 0;
+    for (std::size_t i = 0; i < args.n; ++i) {
+      for (const core::Delivery& d : net.received(i)) {
+        std::cout << "  robot " << i << " <- robot " << d.from
+                  << (d.broadcast ? " [broadcast]" : "") << ": \""
+                  << std::string(d.payload.begin(), d.payload.end())
+                  << "\"\n";
+        ++delivered;
+      }
+    }
+    std::cout << "\ndelivered: " << delivered << " message(s)\n";
+
+    std::cout << "\nrobot   activations   moves   distance   bits_sent\n";
+    for (std::size_t i = 0; i < args.n; ++i) {
+      const auto& m = net.engine().trace().stats(i);
+      std::cout << std::setw(5) << i << std::setw(14) << m.activations
+                << std::setw(8) << m.moves << std::setw(11) << std::fixed
+                << std::setprecision(2) << m.distance << std::setw(12)
+                << net.stats(i).bits_sent << "\n";
+    }
+    std::cout << "min separation: " << net.engine().trace().min_separation()
+              << "\n";
+
+    if (!args.jsonl.empty()) {
+      if (sim::write_trace_jsonl(args.jsonl, net.engine().trace())) {
+        std::cout << "wrote " << args.jsonl << "\n";
+      } else {
+        std::cerr << "could not write " << args.jsonl << "\n";
+      }
+    }
+    if (!args.svg.empty()) {
+      viz::SvgScene fig;
+      viz::draw_trajectories(fig, net.engine().trace().positions());
+      if (fig.write(args.svg)) {
+        std::cout << "wrote " << args.svg << "\n";
+      } else {
+        std::cerr << "could not write " << args.svg << "\n";
+      }
+    }
+    return delivered > 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
