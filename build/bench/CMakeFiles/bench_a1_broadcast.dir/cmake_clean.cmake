@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_broadcast.dir/bench_a1_broadcast.cpp.o"
+  "CMakeFiles/bench_a1_broadcast.dir/bench_a1_broadcast.cpp.o.d"
+  "bench_a1_broadcast"
+  "bench_a1_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

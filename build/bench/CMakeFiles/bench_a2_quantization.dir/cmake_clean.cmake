@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_quantization.dir/bench_a2_quantization.cpp.o"
+  "CMakeFiles/bench_a2_quantization.dir/bench_a2_quantization.cpp.o.d"
+  "bench_a2_quantization"
+  "bench_a2_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

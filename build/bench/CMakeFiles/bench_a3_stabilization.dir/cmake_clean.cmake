@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_stabilization.dir/bench_a3_stabilization.cpp.o"
+  "CMakeFiles/bench_a3_stabilization.dir/bench_a3_stabilization.cpp.o.d"
+  "bench_a3_stabilization"
+  "bench_a3_stabilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_async_ack.dir/bench_e2_async_ack.cpp.o"
+  "CMakeFiles/bench_e2_async_ack.dir/bench_e2_async_ack.cpp.o.d"
+  "bench_e2_async_ack"
+  "bench_e2_async_ack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_async_ack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_ksegment.dir/bench_e3_ksegment.cpp.o"
+  "CMakeFiles/bench_e3_ksegment.dir/bench_e3_ksegment.cpp.o.d"
+  "bench_e3_ksegment"
+  "bench_e3_ksegment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_ksegment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_silence.dir/bench_e4_silence.cpp.o"
+  "CMakeFiles/bench_e4_silence.dir/bench_e4_silence.cpp.o.d"
+  "bench_e4_silence"
+  "bench_e4_silence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_silence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_geometry.dir/bench_e6_geometry.cpp.o"
+  "CMakeFiles/bench_e6_geometry.dir/bench_e6_geometry.cpp.o.d"
+  "bench_e6_geometry"
+  "bench_e6_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_flocking.dir/bench_e7_flocking.cpp.o"
+  "CMakeFiles/bench_e7_flocking.dir/bench_e7_flocking.cpp.o.d"
+  "bench_e7_flocking"
+  "bench_e7_flocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_flocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

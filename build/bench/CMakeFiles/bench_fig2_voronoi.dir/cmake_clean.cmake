@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_voronoi.dir/bench_fig2_voronoi.cpp.o"
+  "CMakeFiles/bench_fig2_voronoi.dir/bench_fig2_voronoi.cpp.o.d"
+  "bench_fig2_voronoi"
+  "bench_fig2_voronoi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_voronoi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

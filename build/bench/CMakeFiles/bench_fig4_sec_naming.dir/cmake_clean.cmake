@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sec_naming.dir/bench_fig4_sec_naming.cpp.o"
+  "CMakeFiles/bench_fig4_sec_naming.dir/bench_fig4_sec_naming.cpp.o.d"
+  "bench_fig4_sec_naming"
+  "bench_fig4_sec_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sec_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_asyncn.dir/bench_fig6_asyncn.cpp.o"
+  "CMakeFiles/bench_fig6_asyncn.dir/bench_fig6_asyncn.cpp.o.d"
+  "bench_fig6_asyncn"
+  "bench_fig6_asyncn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_asyncn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

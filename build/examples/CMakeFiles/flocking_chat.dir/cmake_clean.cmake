@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flocking_chat.dir/flocking_chat.cpp.o"
+  "CMakeFiles/flocking_chat.dir/flocking_chat.cpp.o.d"
+  "flocking_chat"
+  "flocking_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flocking_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

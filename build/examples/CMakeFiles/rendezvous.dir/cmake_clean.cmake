@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rendezvous.dir/rendezvous.cpp.o"
+  "CMakeFiles/rendezvous.dir/rendezvous.cpp.o.d"
+  "rendezvous"
+  "rendezvous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

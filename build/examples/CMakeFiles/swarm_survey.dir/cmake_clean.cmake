@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarm_survey.dir/swarm_survey.cpp.o"
+  "CMakeFiles/swarm_survey.dir/swarm_survey.cpp.o.d"
+  "swarm_survey"
+  "swarm_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_backup.dir/wireless_backup.cpp.o"
+  "CMakeFiles/wireless_backup.dir/wireless_backup.cpp.o.d"
+  "wireless_backup"
+  "wireless_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

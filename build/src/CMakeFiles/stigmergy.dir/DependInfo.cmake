@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/aggregate.cpp" "src/CMakeFiles/stigmergy.dir/apps/aggregate.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/apps/aggregate.cpp.o.d"
+  "/root/repo/src/apps/election.cpp" "src/CMakeFiles/stigmergy.dir/apps/election.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/apps/election.cpp.o.d"
+  "/root/repo/src/core/chat_network.cpp" "src/CMakeFiles/stigmergy.dir/core/chat_network.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/core/chat_network.cpp.o.d"
+  "/root/repo/src/encode/framing.cpp" "src/CMakeFiles/stigmergy.dir/encode/framing.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/encode/framing.cpp.o.d"
+  "/root/repo/src/geom/convex.cpp" "src/CMakeFiles/stigmergy.dir/geom/convex.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/geom/convex.cpp.o.d"
+  "/root/repo/src/geom/sec.cpp" "src/CMakeFiles/stigmergy.dir/geom/sec.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/geom/sec.cpp.o.d"
+  "/root/repo/src/geom/vec.cpp" "src/CMakeFiles/stigmergy.dir/geom/vec.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/geom/vec.cpp.o.d"
+  "/root/repo/src/geom/voronoi.cpp" "src/CMakeFiles/stigmergy.dir/geom/voronoi.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/geom/voronoi.cpp.o.d"
+  "/root/repo/src/proto/async2.cpp" "src/CMakeFiles/stigmergy.dir/proto/async2.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/proto/async2.cpp.o.d"
+  "/root/repo/src/proto/asyncn.cpp" "src/CMakeFiles/stigmergy.dir/proto/asyncn.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/proto/asyncn.cpp.o.d"
+  "/root/repo/src/proto/common.cpp" "src/CMakeFiles/stigmergy.dir/proto/common.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/proto/common.cpp.o.d"
+  "/root/repo/src/proto/conformance.cpp" "src/CMakeFiles/stigmergy.dir/proto/conformance.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/proto/conformance.cpp.o.d"
+  "/root/repo/src/proto/ksegment.cpp" "src/CMakeFiles/stigmergy.dir/proto/ksegment.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/proto/ksegment.cpp.o.d"
+  "/root/repo/src/proto/naming.cpp" "src/CMakeFiles/stigmergy.dir/proto/naming.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/proto/naming.cpp.o.d"
+  "/root/repo/src/proto/slices.cpp" "src/CMakeFiles/stigmergy.dir/proto/slices.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/proto/slices.cpp.o.d"
+  "/root/repo/src/proto/sync2.cpp" "src/CMakeFiles/stigmergy.dir/proto/sync2.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/proto/sync2.cpp.o.d"
+  "/root/repo/src/proto/sync_sliced.cpp" "src/CMakeFiles/stigmergy.dir/proto/sync_sliced.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/proto/sync_sliced.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/stigmergy.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/jsonl.cpp" "src/CMakeFiles/stigmergy.dir/sim/jsonl.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/sim/jsonl.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/stigmergy.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/stigmergy.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/viz/figures.cpp" "src/CMakeFiles/stigmergy.dir/viz/figures.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/viz/figures.cpp.o.d"
+  "/root/repo/src/viz/svg.cpp" "src/CMakeFiles/stigmergy.dir/viz/svg.cpp.o" "gcc" "src/CMakeFiles/stigmergy.dir/viz/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

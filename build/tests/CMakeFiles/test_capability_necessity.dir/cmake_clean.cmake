@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capability_necessity.dir/test_capability_necessity.cpp.o"
+  "CMakeFiles/test_capability_necessity.dir/test_capability_necessity.cpp.o.d"
+  "test_capability_necessity"
+  "test_capability_necessity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capability_necessity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_capability_necessity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_backup.dir/test_core_backup.cpp.o"
+  "CMakeFiles/test_core_backup.dir/test_core_backup.cpp.o.d"
+  "test_core_backup"
+  "test_core_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_chat_network.dir/test_core_chat_network.cpp.o"
+  "CMakeFiles/test_core_chat_network.dir/test_core_chat_network.cpp.o.d"
+  "test_core_chat_network"
+  "test_core_chat_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_chat_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

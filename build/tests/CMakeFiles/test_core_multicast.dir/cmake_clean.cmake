@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_multicast.dir/test_core_multicast.cpp.o"
+  "CMakeFiles/test_core_multicast.dir/test_core_multicast.cpp.o.d"
+  "test_core_multicast"
+  "test_core_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_relay.dir/test_core_relay.cpp.o"
+  "CMakeFiles/test_core_relay.dir/test_core_relay.cpp.o.d"
+  "test_core_relay"
+  "test_core_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

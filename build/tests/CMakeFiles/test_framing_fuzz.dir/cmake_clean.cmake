@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_framing_fuzz.dir/test_framing_fuzz.cpp.o"
+  "CMakeFiles/test_framing_fuzz.dir/test_framing_fuzz.cpp.o.d"
+  "test_framing_fuzz"
+  "test_framing_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_framing_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_sec.dir/test_geom_sec.cpp.o"
+  "CMakeFiles/test_geom_sec.dir/test_geom_sec.cpp.o.d"
+  "test_geom_sec"
+  "test_geom_sec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_sec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

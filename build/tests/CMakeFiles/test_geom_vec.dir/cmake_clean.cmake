@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_vec.dir/test_geom_vec.cpp.o"
+  "CMakeFiles/test_geom_vec.dir/test_geom_vec.cpp.o.d"
+  "test_geom_vec"
+  "test_geom_vec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_vec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

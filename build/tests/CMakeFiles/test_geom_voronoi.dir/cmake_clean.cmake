@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_voronoi.dir/test_geom_voronoi.cpp.o"
+  "CMakeFiles/test_geom_voronoi.dir/test_geom_voronoi.cpp.o.d"
+  "test_geom_voronoi"
+  "test_geom_voronoi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_voronoi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jsonl.dir/test_jsonl.cpp.o"
+  "CMakeFiles/test_jsonl.dir/test_jsonl.cpp.o.d"
+  "test_jsonl"
+  "test_jsonl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jsonl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_extensions.dir/test_model_extensions.cpp.o"
+  "CMakeFiles/test_model_extensions.dir/test_model_extensions.cpp.o.d"
+  "test_model_extensions"
+  "test_model_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_async.dir/test_proto_async.cpp.o"
+  "CMakeFiles/test_proto_async.dir/test_proto_async.cpp.o.d"
+  "test_proto_async"
+  "test_proto_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_ksegment.dir/test_proto_ksegment.cpp.o"
+  "CMakeFiles/test_proto_ksegment.dir/test_proto_ksegment.cpp.o.d"
+  "test_proto_ksegment"
+  "test_proto_ksegment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_ksegment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_slices.dir/test_proto_slices.cpp.o"
+  "CMakeFiles/test_proto_slices.dir/test_proto_slices.cpp.o.d"
+  "test_proto_slices"
+  "test_proto_slices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

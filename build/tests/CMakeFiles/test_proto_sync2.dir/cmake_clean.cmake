@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_sync2.dir/test_proto_sync2.cpp.o"
+  "CMakeFiles/test_proto_sync2.dir/test_proto_sync2.cpp.o.d"
+  "test_proto_sync2"
+  "test_proto_sync2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_sync2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_sync_sliced.dir/test_proto_sync_sliced.cpp.o"
+  "CMakeFiles/test_proto_sync_sliced.dir/test_proto_sync_sliced.cpp.o.d"
+  "test_proto_sync_sliced"
+  "test_proto_sync_sliced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_sync_sliced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

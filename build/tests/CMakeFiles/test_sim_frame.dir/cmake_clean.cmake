@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_frame.dir/test_sim_frame.cpp.o"
+  "CMakeFiles/test_sim_frame.dir/test_sim_frame.cpp.o.d"
+  "test_sim_frame"
+  "test_sim_frame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_scheduler.dir/test_sim_scheduler.cpp.o"
+  "CMakeFiles/test_sim_scheduler.dir/test_sim_scheduler.cpp.o.d"
+  "test_sim_scheduler"
+  "test_sim_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

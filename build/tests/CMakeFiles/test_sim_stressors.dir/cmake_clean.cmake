@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_stressors.dir/test_sim_stressors.cpp.o"
+  "CMakeFiles/test_sim_stressors.dir/test_sim_stressors.cpp.o.d"
+  "test_sim_stressors"
+  "test_sim_stressors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_stressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stress_combo.dir/test_stress_combo.cpp.o"
+  "CMakeFiles/test_stress_combo.dir/test_stress_combo.cpp.o.d"
+  "test_stress_combo"
+  "test_stress_combo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stress_combo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

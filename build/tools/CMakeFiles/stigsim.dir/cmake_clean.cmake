@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stigsim.dir/stigsim.cpp.o"
+  "CMakeFiles/stigsim.dir/stigsim.cpp.o.d"
+  "stigsim"
+  "stigsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stigsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

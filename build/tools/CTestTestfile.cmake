@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(stigsim_sync "/root/repo/build/tools/stigsim" "--n" "5" "--message" "smoke" "--from" "0" "--to" "3")
+set_tests_properties(stigsim_sync PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(stigsim_async_broadcast "/root/repo/build/tools/stigsim" "--async" "--n" "3" "--broadcast" "--message" "all" "--p" "0.5")
+set_tests_properties(stigsim_async_broadcast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(stigsim_ksegment "/root/repo/build/tools/stigsim" "--n" "9" "--protocol" "ksegment" "--k" "3" "--sod" "--seed" "4")
+set_tests_properties(stigsim_ksegment PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(stigsim_help "/root/repo/build/tools/stigsim" "--help")
+set_tests_properties(stigsim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
