@@ -13,9 +13,11 @@ int main() {
   using namespace stig;
   std::cout << "== A1: one-to-all — n-1 unicasts vs the broadcast lane ==\n\n";
 
+  bench::Report report("a1_broadcast");
   const auto msg = bench::payload(8, 7);
   bench::Table t({"n", "unicast instants", "broadcast instants", "speedup",
-                  "uni dist", "bc dist"});
+                  "uni dist", "bc dist"},
+                 report, "unicasts vs broadcast");
   for (std::size_t n : {3u, 4u, 8u, 16u, 32u}) {
     const auto pts = bench::scatter(n, 800 + n, 50.0, 3.0);
     core::ChatNetworkOptions opt;
@@ -57,7 +59,8 @@ int main() {
     core::ChatNetworkOptions mopt;
     mopt.synchrony = core::Synchrony::synchronous;
     mopt.caps.sense_of_direction = true;
-    bench::Table tm({"recipients k", "k unicasts", "1 multicast"});
+    bench::Table tm({"recipients k", "k unicasts", "1 multicast"}, report,
+                    "multicast");
     for (std::size_t k : {1u, 2u, 4u, 8u, 15u}) {
       core::ChatNetwork uni_net(mpts, mopt);
       for (std::size_t r = 1; r <= k; ++r) uni_net.send(0, r, msg);
@@ -97,7 +100,7 @@ int main() {
   core::ChatNetwork bc(pts, opt);
   bc.broadcast(0, bench::payload(2, 1));
   bc.run_until_quiescent(10'000'000);
-  bench::Table t2({"mode", "instants"});
+  bench::Table t2({"mode", "instants"}, report, "modes");
   t2.row("3 unicasts", uni.engine().now());
   t2.row("1 broadcast", bc.engine().now());
   std::cout << "\nexpected shape: the asynchronous broadcast also saves the "

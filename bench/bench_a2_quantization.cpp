@@ -31,7 +31,9 @@ int main() {
            static_cast<double>(kPairs);
   };
 
-  bench::Table t({"grid q", "amp/q", "2n slices %", "k=2 %", "k=5 %"});
+  bench::Report report("a2_quantization");
+  bench::Table t({"grid q", "amp/q", "2n slices %", "k=2 %", "k=5 %"},
+                 report, "delivery vs grid");
   for (double q : {0.001, 0.01, 0.02, 0.05, 0.1, 0.2}) {
     core::ChatNetworkOptions flat;
     flat.synchrony = core::Synchrony::synchronous;

@@ -55,7 +55,9 @@ int main() {
     return 100.0 * delivered / rounds;
   };
 
-  bench::Table t({"faults/round", "delivered %"});
+  bench::Report report("a3_stabilization");
+  bench::Table t({"faults/round", "delivered %"}, report,
+                 "delivery vs fault rate");
   for (int f : {0, 1, 2, 5, 10}) t.row(f, run_with_faults(f));
 
   std::cout << "\nexpected shape: 100% delivery at every fault rate — each "
@@ -67,7 +69,8 @@ int main() {
   // Fault DURING a transmission: the in-flight frame may be lost, but the
   // system recovers by the next frame.
   std::cout << "fault injected mid-frame (worst case):\n";
-  bench::Table t2({"trial", "frame 1 (hit)", "frame 2 (after)"});
+  bench::Table t2({"trial", "frame 1 (hit)", "frame 2 (after)"}, report,
+                  "mid-frame faults");
   for (int trial = 0; trial < 5; ++trial) {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::synchronous;

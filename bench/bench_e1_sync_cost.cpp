@@ -2,21 +2,54 @@
 // protocols take 2 steps per bit and are silent; this bench measures
 // instants/bit, sender distance/bit and idle movement across protocols and
 // swarm sizes, confirming the shape: a flat 2 instants/bit independent of n.
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "core/chat_network.hpp"
 #include "encode/framing.hpp"
+#include "obs/sink.hpp"
+
+namespace {
+
+/// Steps/second of a full sync run with `sink` attached (nullptr = detached
+/// fast path), best of three runs to damp scheduler noise. Used to measure
+/// the telemetry dispatch overhead.
+double steps_per_second(stig::obs::EventSink* sink) {
+  using namespace stig;
+  using Clock = std::chrono::steady_clock;
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    core::ChatNetworkOptions opt;
+    opt.synchrony = core::Synchrony::synchronous;
+    opt.caps.visible_ids = true;
+    opt.caps.sense_of_direction = true;
+    core::ChatNetwork net(bench::scatter(8, 42, 40.0, 3.0), opt);
+    if (sink != nullptr) net.attach_event_sink(sink);
+    net.send(0, 7, bench::payload(64, 9));
+    const Clock::time_point start = Clock::now();
+    net.run_until_quiescent(1'000'000);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    best = std::max(best, static_cast<double>(net.engine().now()) / secs);
+  }
+  return best;
+}
+
+}  // namespace
 
 int main() {
   using namespace stig;
   std::cout << "== E1: steps & distance per bit, synchronous protocols ==\n\n";
 
+  bench::Report report("e1_sync_cost");
   const auto msg = bench::payload(16, 3);
   const double frame_bits =
       static_cast<double>(encode::encode_frame(msg).size());
 
-  bench::Table t({"protocol", "n", "instants/bit", "dist/bit", "idle moves"});
+  bench::Table t({"protocol", "n", "instants/bit", "dist/bit", "idle moves"},
+                 report, "per-bit costs");
   const auto run_case = [&](const char* name, core::ChatNetworkOptions opt,
                             std::size_t n) {
     core::ChatNetwork net(bench::scatter(n, 100 + n, 40.0, 3.0), opt);
@@ -61,7 +94,8 @@ int main() {
 
   std::cout << "\nbyte-coding extension (Section 3.1 remark), sync2, same "
                "16-byte payload:\n";
-  bench::Table t2({"bits/symbol", "instants", "instants/bit"});
+  bench::Table t2({"bits/symbol", "instants", "instants/bit"}, report,
+                  "byte coding");
   for (unsigned b : {1u, 2u, 4u, 8u}) {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::synchronous;
@@ -74,5 +108,24 @@ int main() {
   }
   std::cout << "\nexpected shape: instants/bit = 2/bits_per_symbol — one "
                "movement now carries a whole symbol.\n";
+
+  // Telemetry overhead: the engine pays one null check per step when no
+  // sink is attached. Warm up once, then compare detached vs attached.
+  std::cout << "\ntelemetry dispatch overhead (8 robots, 64-byte payload):\n";
+  steps_per_second(nullptr);  // Warm-up: page in code and allocator state.
+  const double base = steps_per_second(nullptr);
+  obs::CountingSink counting;
+  const double with_sink = steps_per_second(&counting);
+  const double overhead_pct = 100.0 * (base / with_sink - 1.0);
+  bench::Table t3({"sink", "steps/sec", "overhead %"}, report,
+                  "telemetry overhead");
+  t3.row("none", base, 0.0);
+  t3.row("counting", with_sink, overhead_pct);
+  report.value("null_sink_steps_per_sec", base);
+  report.value("counting_sink_steps_per_sec", with_sink);
+  report.value("null_sink_overhead_pct", overhead_pct);
+  std::cout << "\nexpected shape: overhead well under 5% — the detached "
+               "path is a single branch; the counting sink adds one "
+               "virtual call per event.\n";
   return 0;
 }

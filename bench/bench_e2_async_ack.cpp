@@ -13,13 +13,15 @@ int main() {
   using namespace stig;
   std::cout << "== E2: asynchronous implicit-ack overhead ==\n\n";
 
+  bench::Report report("e2_async_ack");
   const auto msg = bench::payload(4, 11);
   const double frame_bits =
       static_cast<double>(encode::encode_frame(msg).size());
 
   std::cout << "Async2 (Section 4.1): instants per bit vs activation "
                "probability p\n";
-  bench::Table t({"p", "instants", "instants/bit", "sender acts/bit"});
+  bench::Table t({"p", "instants", "instants/bit", "sender acts/bit"},
+                 report, "async2 vs p");
   for (double p : {0.1, 0.2, 0.3, 0.5, 0.7, 0.9}) {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::asynchronous;
@@ -37,7 +39,7 @@ int main() {
                "1/p growth capped by the scheduler's fairness bound.\n\n";
 
   std::cout << "AsyncN (Section 4.2): instants per bit vs n (p = 0.5)\n";
-  bench::Table t2({"n", "instants", "instants/bit"});
+  bench::Table t2({"n", "instants", "instants/bit"}, report, "asyncn vs n");
   for (std::size_t n : {2u, 3u, 4u, 6u, 8u}) {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::asynchronous;
@@ -56,7 +58,8 @@ int main() {
                "(max of n-1 geometric waits).\n\n";
 
   std::cout << "scheduler comparison (Async2, 4-byte message):\n";
-  bench::Table t3({"scheduler", "instants", "instants/bit"});
+  bench::Table t3({"scheduler", "instants", "instants/bit"}, report,
+                  "schedulers");
   const auto sched_case = [&](const char* name, core::SchedulerKind k) {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::asynchronous;

@@ -16,12 +16,14 @@ int main() {
   using namespace stig;
   std::cout << "== E3: full slicing (2n) vs k-segment addressing ==\n\n";
 
+  bench::Report report("e3_ksegment");
   const auto msg = bench::payload(1, 13);  // Short message: overhead shows.
   const double frame_bits =
       static_cast<double>(encode::encode_frame(msg).size());
 
   bench::Table t({"n", "slices 2n", "k=2", "k=ceil(lg n)", "digits(k=lg)",
-                  "measured/flat", "predicted"});
+                  "measured/flat", "predicted"},
+                 report, "slicing vs k-segment");
   for (std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
     const auto pts = bench::scatter(n, 400 + n, 80.0, 3.0);
     const auto run_with = [&](core::ProtocolKind kind, std::size_t k) {
@@ -57,7 +59,7 @@ int main() {
                "the frame.\n\n";
 
   std::cout << "instants per message vs k at n = 32:\n";
-  bench::Table t2({"k", "digits", "instants"});
+  bench::Table t2({"k", "digits", "instants"}, report, "k sweep");
   const auto pts = bench::scatter(32, 77, 80.0, 3.0);
   for (std::size_t k : {2u, 3u, 4u, 6u, 8u, 16u, 31u}) {
     core::ChatNetworkOptions opt;

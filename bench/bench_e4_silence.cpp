@@ -12,9 +12,11 @@ int main() {
   using namespace stig;
   std::cout << "== E4: silence — movement while no message is pending ==\n\n";
 
+  bench::Report report("e4_silence");
   const sim::Time kIdleInstants = 2000;
   bench::Table t({"protocol", "idle moves/robot", "idle dist/robot",
-                  "silent?"});
+                  "silent?"},
+                 report, "idle movement");
 
   const auto run_case = [&](const char* name, core::ChatNetworkOptions opt,
                             std::size_t n) {

@@ -16,7 +16,9 @@ int main() {
   const std::size_t n = 6;
   const int kMessages = 60;
 
-  bench::Table t({"loss prob", "radio-only %", "hybrid %", "fallbacks"});
+  bench::Report report("e5_fault_tolerance");
+  bench::Table t({"loss prob", "radio-only %", "hybrid %", "fallbacks"},
+                 report, "delivery vs loss");
   for (double loss : {0.0, 0.1, 0.3, 0.5, 0.8, 1.0}) {
     // Radio-only.
     core::WirelessOptions wopt;

@@ -88,4 +88,15 @@ BENCHMARK(BM_EngineStepSyncSliced)->Range(2, 64)->Complexity();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  stig::bench::Report report("e6_geometry");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report.value("benchmarks_run", static_cast<std::uint64_t>(ran));
+  report.value("note",
+               std::string("per-benchmark timings: rerun with "
+                           "--benchmark_format=json"));
+  return 0;
+}

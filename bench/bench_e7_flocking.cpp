@@ -16,8 +16,10 @@ int main() {
   const auto start = bench::scatter(n, 700, 15.0, 4.0);
   const auto msg = bench::payload(8, 1);
 
+  bench::Report report("e7_flocking");
   bench::Table t({"flock speed", "delivered", "instants", "convoy travel",
-                  "drift error"});
+                  "drift error"},
+                 report, "delivery while flocking");
   for (double speed : {0.0, 0.02, 0.05, 0.1, 0.2}) {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::synchronous;
@@ -48,7 +50,8 @@ int main() {
                "movement exactly.\n\n";
 
   std::cout << "silence price: idle moves during 500 message-free instants\n";
-  bench::Table t2({"flock speed", "idle moves/robot"});
+  bench::Table t2({"flock speed", "idle moves/robot"}, report,
+                  "silence forfeited");
   for (double speed : {0.0, 0.05}) {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::synchronous;

@@ -12,9 +12,11 @@ int main() {
   using namespace stig;
   std::cout << "== E8: unbounded vs banded Async2 ==\n\n";
 
+  bench::Report report("e8_bounded_async");
   const auto msg = bench::payload(8, 3);
   bench::Table t({"variant", "instants run", "final gap", "max |pos|",
-                  "min separation", "delivered"});
+                  "min separation", "delivered"},
+                 report, "unbounded vs banded");
 
   for (const bool banded : {false, true}) {
     core::ChatNetworkOptions opt;
@@ -50,7 +52,8 @@ int main() {
                "movements its 1/x-shrinking suggestion needs.\n\n";
 
   std::cout << "banded variant, footprint vs idle time (it must stay put):\n";
-  bench::Table t2({"extra idle instants", "gap", "max |pos|"});
+  bench::Table t2({"extra idle instants", "gap", "max |pos|"}, report,
+                  "idle drift");
   core::ChatNetworkOptions opt;
   opt.synchrony = core::Synchrony::asynchronous;
   opt.async2_banded = true;

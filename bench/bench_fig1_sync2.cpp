@@ -13,6 +13,7 @@ int main() {
   using namespace stig;
   std::cout << "== F1: Figure 1 — coding with two synchronous robots ==\n\n";
 
+  bench::Report report("fig1_sync2");
   core::ChatNetworkOptions opt;
   opt.synchrony = core::Synchrony::synchronous;
   opt.record_positions = true;
@@ -50,11 +51,13 @@ int main() {
                "crc8): "
             << encode::encode_frame(msg).size() << " bits, "
             << net.engine().now() << " instants (2 per bit)\n";
-  std::cout << "delivered payload: "
-            << (net.received(1).size() == 1 &&
-                        net.received(1)[0].payload == msg
-                    ? "intact"
-                    : "CORRUPT")
+  const bool intact =
+      net.received(1).size() == 1 && net.received(1)[0].payload == msg;
+  std::cout << "delivered payload: " << (intact ? "intact" : "CORRUPT")
             << "\n";
+  report.value("frame_bits",
+               static_cast<std::uint64_t>(encode::encode_frame(msg).size()));
+  report.value("instants", net.engine().now());
+  report.value("delivered_intact", std::string(intact ? "true" : "false"));
   return 0;
 }

@@ -15,11 +15,13 @@ int main() {
   std::cout << "== F2: Figure 2 — Voronoi cells, granulars and slice "
                "labels for 12 identified robots ==\n\n";
 
+  bench::Report report("fig2_voronoi");
   const std::vector<geom::Vec2> pts = bench::scatter(12, 1234, 25.0, 4.0);
   const geom::VoronoiDiagram vd = geom::VoronoiDiagram::compute(pts);
 
   std::cout << "phase 1+2 (computed at t0 by every robot):\n";
-  bench::Table t({"robot", "cell vertices", "cell area", "granular R"});
+  bench::Table t({"robot", "cell vertices", "cell area", "granular R"},
+                 report, "voronoi preprocessing");
   for (std::size_t i = 0; i < pts.size(); ++i) {
     t.row(i, vd.cell(i).polygon.size(), vd.cell(i).polygon.area(),
           geom::granular_radius(pts, i));

@@ -23,7 +23,9 @@ int main() {
 
   std::cout << "relative rank tables (row r = how robot r labels robots "
                "0..5):\n";
-  bench::Table t({"robot", "r0", "r1", "r2", "r3", "r4", "r5"}, 8);
+  bench::Report report("fig3_symmetry");
+  bench::Table t({"robot", "r0", "r1", "r2", "r3", "r4", "r5"}, report,
+                 "relative rank tables", 8);
   for (std::size_t r = 0; r < 6; ++r) {
     const auto naming = proto::relative_naming(pts, r);
     t.row(r, naming.ranks[0], naming.ranks[1], naming.ranks[2],

@@ -40,7 +40,9 @@ int main() {
   std::cout << "robot " << r << "'s horizon direction H_r = ("
             << naming.reference.x << ", " << naming.reference.y << ")\n\n";
 
-  bench::Table t({"robot", "cw angle (deg)", "dist from O", "rank by r"});
+  bench::Report report("fig4_sec_naming");
+  bench::Table t({"robot", "cw angle (deg)", "dist from O", "rank by r"},
+                 report, "sec naming");
   for (std::size_t j = 0; j < pts.size(); ++j) {
     const geom::Vec2 rel = pts[j] - sec.center;
     const double ang =

@@ -15,6 +15,8 @@ int main() {
   std::cout << "== F5: Figure 5 — Protocol Async2, r sends raw bits "
                "\"001\", r' sends \"0\" ==\n\n";
 
+  bench::Report report("fig5_async2");
+
   // Drive the protocol robots directly (no framing) so the trace shows the
   // exact bits of the figure. send_message would frame them; instead we
   // observe the decoded-bit stream via the excursion classifier below.
@@ -87,9 +89,11 @@ int main() {
   std::cout << "inbox of r: " << r_raw->take_inbox().size()
             << " message(s); inbox of r': " << rp_raw->take_inbox().size()
             << " message(s)\n";
-  std::cout << "final separation along H grew from 6 to "
-            << geom::dist(engine.positions()[0], engine.positions()[1])
+  const double gap = geom::dist(engine.positions()[0], engine.positions()[1]);
+  std::cout << "final separation along H grew from 6 to " << gap
             << " — the Section 4.1 drift the paper notes (see E8 for the "
                "bounded variant).\n";
+  report.value("instants", engine.now());
+  report.value("final_separation", gap);
   return 0;
 }

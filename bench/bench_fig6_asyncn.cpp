@@ -17,6 +17,7 @@ int main() {
   std::cout << "== F6: Figure 6 — AsyncN granular slicing with the kappa "
                "slice ==\n\n";
 
+  bench::Report report("fig6_asyncn");
   const std::size_t n = 5;
   const auto pts = bench::scatter(n, 321, 20.0, 4.0);
   const std::size_t r = 2;
@@ -73,5 +74,9 @@ int main() {
   std::cout << "idle robots moved " << net.engine().trace().stats(0).moves
             << " times on their kappa lanes (Remark 4.3: an active robot "
                "always moves)\n";
+  report.value("instants", net.engine().now());
+  report.value("delivered", std::string(ok ? "true" : "false"));
+  report.value("bits_sent", net.stats(2).bits_sent);
+  report.value("idle_robot_moves", net.engine().trace().stats(0).moves);
   return 0;
 }

@@ -1,14 +1,18 @@
 // Shared helpers for the figure-reproduction and evaluation binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "geom/vec.hpp"
+#include "obs/json.hpp"
 #include "sim/rng.hpp"
 
 namespace stig::bench {
@@ -40,11 +44,134 @@ inline std::vector<std::uint8_t> payload(std::size_t len,
   return p;
 }
 
-/// Minimal fixed-width table printer for paper-style result rows.
+/// Machine-readable bench output: collects headline values and every table
+/// row a bound `Table` prints, and writes `BENCH_<name>.json` on
+/// destruction (or an explicit `write()`), so each bench run leaves a
+/// structured artifact next to its human-readable stdout.
+class Report {
+ public:
+  explicit Report(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+  ~Report() { write(); }
+
+  /// Records one headline scalar (e.g. "null_sink_overhead_pct").
+  void value(const std::string& key, double v) {
+    values_.emplace_back(key, obs::json_number(v));
+  }
+  void value(const std::string& key, std::uint64_t v) {
+    values_.emplace_back(key, std::to_string(v));
+  }
+  void value(const std::string& key, const std::string& v) {
+    values_.emplace_back(key, obs::json_quote(v));
+  }
+
+  /// Starts a new table section; returns its index for `add_row`.
+  std::size_t table(std::string title, std::vector<std::string> columns) {
+    tables_.push_back(
+        TableData{std::move(title), std::move(columns), {}});
+    return tables_.size() - 1;
+  }
+
+  /// Appends one row of already-JSON-rendered cells to table `index`.
+  void add_row(std::size_t index, std::vector<std::string> json_cells) {
+    tables_.at(index).rows.push_back(std::move(json_cells));
+  }
+
+  /// Writes `BENCH_<name>.json` in the working directory. Idempotent;
+  /// returns false on I/O failure (reported once on stderr).
+  bool write() {
+    if (written_) return true;
+    written_ = true;
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "could not write " << path << "\n";
+      return false;
+    }
+    out << "{\n  \"bench\": " << obs::json_quote(name_)
+        << ",\n  \"wall_seconds\": " << obs::json_number(wall)
+        << ",\n  \"values\": {";
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    "
+          << obs::json_quote(values_[i].first) << ": " << values_[i].second;
+    }
+    out << (values_.empty() ? "" : "\n  ") << "},\n  \"tables\": [";
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      const TableData& td = tables_[t];
+      out << (t == 0 ? "\n" : ",\n") << "    {\"title\": "
+          << obs::json_quote(td.title) << ", \"columns\": [";
+      for (std::size_t c = 0; c < td.columns.size(); ++c) {
+        out << (c == 0 ? "" : ", ") << obs::json_quote(td.columns[c]);
+      }
+      out << "], \"rows\": [";
+      for (std::size_t r = 0; r < td.rows.size(); ++r) {
+        out << (r == 0 ? "\n" : ",\n") << "      [";
+        for (std::size_t c = 0; c < td.rows[r].size(); ++c) {
+          out << (c == 0 ? "" : ", ") << td.rows[r][c];
+        }
+        out << "]";
+      }
+      out << (td.rows.empty() ? "" : "\n    ") << "]}";
+    }
+    out << (tables_.empty() ? "" : "\n  ") << "]\n}\n";
+    if (!out) {
+      std::cerr << "could not write " << path << "\n";
+      return false;
+    }
+    std::cout << "wrote " << path << "\n";
+    return true;
+  }
+
+ private:
+  struct TableData {
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::string>> values_;
+  std::vector<TableData> tables_;
+  bool written_ = false;
+};
+
+/// Minimal fixed-width table printer for paper-style result rows. When
+/// bound to a `Report`, every row is also recorded in the JSON artifact.
 class Table {
  public:
   explicit Table(std::vector<std::string> headers, int width = 14)
       : width_(width) {
+    print_header(headers);
+  }
+
+  /// Prints *and* records: rows go to stdout and to `report`'s JSON under
+  /// a table section named `title`.
+  Table(std::vector<std::string> headers, Report& report, std::string title,
+        int width = 14)
+      : width_(width), report_(&report) {
+    table_index_ = report.table(std::move(title), headers);
+    print_header(headers);
+  }
+
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    ((std::cout << std::setw(width_) << fmt(cells)), ...);
+    std::cout << '\n';
+    if (report_ != nullptr) {
+      report_->add_row(table_index_, {json(cells)...});
+    }
+  }
+
+ private:
+  void print_header(const std::vector<std::string>& headers) {
     for (const auto& h : headers) std::cout << std::setw(width_) << h;
     std::cout << '\n';
     for (std::size_t i = 0; i < headers.size(); ++i) {
@@ -53,13 +180,6 @@ class Table {
     std::cout << '\n';
   }
 
-  template <typename... Ts>
-  void row(const Ts&... cells) {
-    ((std::cout << std::setw(width_) << fmt(cells)), ...);
-    std::cout << '\n';
-  }
-
- private:
   static std::string fmt(double v) {
     std::ostringstream os;
     os << std::fixed << std::setprecision(2) << v;
@@ -72,7 +192,20 @@ class Table {
     return std::to_string(v);
   }
 
+  static std::string json(double v) { return obs::json_number(v); }
+  static std::string json(const std::string& s) {
+    return obs::json_quote(s);
+  }
+  static std::string json(const char* s) { return obs::json_quote(s); }
+  static std::string json(bool v) { return v ? "true" : "false"; }
+  template <typename T>
+  static std::string json(T v) {
+    return std::to_string(v);
+  }
+
   int width_;
+  Report* report_ = nullptr;
+  std::size_t table_index_ = 0;
 };
 
 }  // namespace stig::bench

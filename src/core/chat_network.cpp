@@ -51,6 +51,28 @@ std::unique_ptr<sim::Scheduler> make_scheduler(
 
 }  // namespace
 
+const char* protocol_kind_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::automatic: return "auto";
+    case ProtocolKind::sync2: return "sync2";
+    case ProtocolKind::sliced: return "sliced";
+    case ProtocolKind::ksegment: return "ksegment";
+    case ProtocolKind::async2: return "async2";
+    case ProtocolKind::asyncn: return "asyncn";
+  }
+  return "unknown";
+}
+
+const char* scheduler_kind_name(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::bernoulli: return "bernoulli";
+    case SchedulerKind::centralized: return "centralized";
+    case SchedulerKind::ksubset: return "ksubset";
+    case SchedulerKind::adversarial: return "adversarial";
+  }
+  return "unknown";
+}
+
 ChatNetwork::ChatNetwork(std::vector<geom::Vec2> positions,
                          ChatNetworkOptions options)
     : options_(options) {
@@ -186,11 +208,65 @@ ChatNetwork::ChatNetwork(std::vector<geom::Vec2> positions,
   overheard_.assign(n, {});
 }
 
+void ChatNetwork::attach_event_sink(obs::EventSink* sink) {
+  engine_->set_event_sink(sink);
+  for (std::size_t i = 0; i < chat_.size(); ++i) {
+    chat_[i]->set_telemetry(sink, i, &slot_to_engine_[i]);
+  }
+}
+
+void ChatNetwork::attach_metrics(obs::MetricsRegistry* registry) {
+  engine_->set_metrics(registry);
+}
+
+obs::RunReport ChatNetwork::report() const {
+  obs::RunReport r;
+  r.protocol = protocol_kind_name(kind_);
+  r.schedule = options_.synchrony == Synchrony::synchronous
+                   ? "synchronous"
+                   : scheduler_kind_name(options_.scheduler);
+  r.seed = options_.seed;
+  r.robots = chat_.size();
+  r.instants = engine_->now();
+  r.quiescent = quiescent();
+  r.min_separation = engine_->trace().min_separation();
+  r.per_robot.resize(chat_.size());
+  for (std::size_t i = 0; i < chat_.size(); ++i) {
+    const sim::MotionStats& m = engine_->trace().stats(i);
+    const proto::ChatStats& c = chat_[i]->stats();
+    obs::RobotReport& out = r.per_robot[i];
+    out.activations = m.activations;
+    out.moves = m.moves;
+    out.distance = m.distance;
+    out.idle_activations = c.idle_activations;
+    out.idle_moves = c.idle_moves;
+    out.bits_sent = c.bits_sent;
+    out.bits_decoded = c.bits_decoded;
+    out.messages_sent = c.messages_sent;
+    out.messages_received = c.messages_received;
+    out.messages_overheard = c.messages_overheard;
+    r.bits_sent += c.bits_sent;
+    r.idle_moves += c.idle_moves;
+    r.total_distance += m.distance;
+    r.messages_delivered += received_[i].size();
+  }
+  if (r.bits_sent > 0) {
+    r.instants_per_bit = static_cast<double>(r.instants) /
+                         static_cast<double>(r.bits_sent);
+    r.distance_per_bit = r.total_distance /
+                         static_cast<double>(r.bits_sent);
+  }
+  return r;
+}
+
 void ChatNetwork::send(sim::RobotIndex from, sim::RobotIndex to,
                        std::span<const std::uint8_t> payload) {
   if (from == to) throw std::invalid_argument("from == to");
   const std::vector<sim::RobotIndex>& slots = slot_to_engine_.at(from);
   const auto it = std::find(slots.begin(), slots.end(), to);
+  if (it == slots.end()) {
+    throw std::invalid_argument("send: unknown destination robot");
+  }
   const auto slot = static_cast<std::size_t>(it - slots.begin());
   chat_.at(from)->send_message(slot, payload);
 }

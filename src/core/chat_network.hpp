@@ -27,6 +27,7 @@
 
 #include "core/capabilities.hpp"
 #include "geom/vec.hpp"
+#include "obs/report.hpp"
 #include "proto/common.hpp"
 #include "sim/engine.hpp"
 
@@ -49,6 +50,11 @@ enum class SchedulerKind : unsigned char {
   ksubset,      ///< A random k-subset per instant.
   adversarial,  ///< Starves one robot to the fairness bound, rotating.
 };
+
+/// Stable lower-case name for a protocol kind ("sync2", "asyncn", ...).
+[[nodiscard]] const char* protocol_kind_name(ProtocolKind kind);
+/// Stable lower-case name for a scheduler kind ("bernoulli", ...).
+[[nodiscard]] const char* scheduler_kind_name(SchedulerKind kind);
 
 /// Configuration for ChatNetwork.
 struct ChatNetworkOptions {
@@ -146,6 +152,21 @@ class ChatNetwork {
   [[nodiscard]] sim::Engine& engine() { return *engine_; }
   [[nodiscard]] const sim::Engine& engine() const { return *engine_; }
   [[nodiscard]] ProtocolKind protocol_kind() const { return kind_; }
+
+  /// Routes telemetry from the engine *and* every protocol robot into
+  /// `sink` (not owned; null detaches): the run becomes a queryable
+  /// timeline of Activation/Move/PhaseEnter/Bit*/Frame*/Ack* events.
+  void attach_event_sink(obs::EventSink* sink);
+
+  /// Registers engine-level metrics (step wall time) into `registry` (not
+  /// owned; null detaches). Event-derived metrics come from attaching an
+  /// obs::MetricsSink via `attach_event_sink`.
+  void attach_metrics(obs::MetricsRegistry* registry);
+
+  /// Summarizes the run so far: headline shape numbers (instants/bit,
+  /// distance/bit, idle moves, min separation) plus per-robot counters.
+  /// `wall_seconds` is left 0 — timing belongs to the caller.
+  [[nodiscard]] obs::RunReport report() const;
   /// The protocol robot driving simulator robot `i` (for inspection).
   [[nodiscard]] const proto::ChatRobot& chat_robot(sim::RobotIndex i) const {
     return *chat_.at(i);

@@ -1,0 +1,115 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace stig::obs {
+
+ChromeTraceSink::ChromeTraceSink(std::unique_ptr<std::ofstream> owned)
+    : owned_(std::move(owned)), out_(owned_.get()) {}
+
+std::unique_ptr<ChromeTraceSink> ChromeTraceSink::open(
+    const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path);
+  if (!*file) return nullptr;
+  return std::unique_ptr<ChromeTraceSink>(
+      new ChromeTraceSink(std::move(file)));
+}
+
+ChromeTraceSink::~ChromeTraceSink() { flush(); }
+
+void ChromeTraceSink::ensure_thread(std::int64_t robot) {
+  if (named_[robot]) return;
+  named_[robot] = true;
+  entries_.push_back(
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+      std::to_string(robot) + ",\"args\":{\"name\":" +
+      json_quote("robot " + std::to_string(robot)) + "}}");
+}
+
+void ChromeTraceSink::emit_span(std::int64_t robot, const OpenSpan& span,
+                                std::uint64_t end) {
+  // A span shorter than the trace resolution still gets 1us so it is
+  // visible (and so nesting checks see a well-ordered timeline).
+  const std::uint64_t dur = std::max<std::uint64_t>(end - span.begin, 1);
+  entries_.push_back("{\"name\":" + json_quote(span.label) +
+                     ",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":" +
+                     std::to_string(span.begin) + ",\"dur\":" +
+                     std::to_string(dur) + ",\"pid\":0,\"tid\":" +
+                     std::to_string(robot) + "}");
+}
+
+void ChromeTraceSink::emit_instant(const Event& e, const std::string& name) {
+  ensure_thread(e.robot);
+  entries_.push_back("{\"name\":" + json_quote(name) +
+                     ",\"cat\":\"signal\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" +
+                     std::to_string(e.t) + ",\"pid\":0,\"tid\":" +
+                     std::to_string(e.robot) + "}");
+}
+
+void ChromeTraceSink::on_event(const Event& e) {
+  if (flushed_) return;
+  last_t_ = std::max(last_t_, e.t);
+  switch (e.type) {
+    case EventType::PhaseEnter: {
+      ensure_thread(e.robot);
+      auto it = open_.find(e.robot);
+      if (it != open_.end()) emit_span(e.robot, it->second, e.t);
+      open_[e.robot] = OpenSpan{e.label, e.t};
+      break;
+    }
+    case EventType::BitEmitted:
+      emit_instant(e, std::string("bit ") + (e.bit != 0 ? "1" : "0") +
+                          " -> " +
+                          (e.peer >= 0 ? std::to_string(e.peer) : "all"));
+      break;
+    case EventType::BitDecoded:
+      emit_instant(e, std::string("decoded ") + (e.bit != 0 ? "1" : "0") +
+                          " from " + std::to_string(e.peer));
+      break;
+    case EventType::FrameDelivered:
+      emit_instant(e, "frame from " + std::to_string(e.peer) + " (" +
+                          std::to_string(static_cast<std::uint64_t>(
+                              e.value)) +
+                          " B)");
+      break;
+    case EventType::AckObserved:
+      emit_instant(e, "ack");
+      break;
+    case EventType::Teleport:
+      emit_instant(e, "teleport");
+      break;
+    case EventType::Collision:
+      emit_instant(e, "collision with " + std::to_string(e.peer));
+      break;
+    case EventType::StepComplete:
+      entries_.push_back(
+          "{\"name\":\"min_separation\",\"ph\":\"C\",\"ts\":" +
+          std::to_string(e.t) + ",\"pid\":0,\"args\":{\"sep\":" +
+          json_number(e.value) + "}}");
+      break;
+    case EventType::Activation:
+    case EventType::Move:
+      // Per-activation marks would dwarf the phase structure; the JSONL
+      // exporter carries them instead.
+      break;
+  }
+}
+
+void ChromeTraceSink::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  for (const auto& [robot, span] : open_) {
+    emit_span(robot, span, last_t_ + 1);
+  }
+  open_.clear();
+  *out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    *out_ << entries_[i] << (i + 1 < entries_.size() ? ",\n" : "\n");
+  }
+  *out_ << "]}\n";
+  out_->flush();
+}
+
+}  // namespace stig::obs

@@ -1,0 +1,64 @@
+// Chrome trace_event exporter.
+//
+// Renders the event stream as a JSON Trace Event file loadable by
+// chrome://tracing and by Perfetto (ui.perfetto.dev): one "thread" per
+// robot, one complete-span ("ph":"X") per protocol phase the robot passes
+// through, instant events for bits/frames/acks/teleports/collisions, and a
+// process-level counter track for the minimum pairwise separation. One
+// simulated instant maps to one microsecond of trace time.
+//
+// The file is written on `flush()` (and at destruction): the exporter needs
+// to see the whole run to close the phase span each robot is still in.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace stig::obs {
+
+class ChromeTraceSink final : public EventSink {
+ public:
+  /// Writes to `out` (not owned; must outlive the sink).
+  explicit ChromeTraceSink(std::ostream& out) : out_(&out) {}
+
+  /// Opens `path` for writing; returns nullptr on I/O failure.
+  static std::unique_ptr<ChromeTraceSink> open(const std::string& path);
+
+  ~ChromeTraceSink() override;
+
+  void on_event(const Event& e) override;
+
+  /// Closes every open phase span and writes the complete JSON document.
+  /// Subsequent flushes are no-ops.
+  void flush() override;
+
+ private:
+  ChromeTraceSink(std::unique_ptr<std::ofstream> owned);
+
+  struct OpenSpan {
+    const char* label = nullptr;
+    std::uint64_t begin = 0;
+  };
+
+  void ensure_thread(std::int64_t robot);
+  void emit_span(std::int64_t robot, const OpenSpan& span,
+                 std::uint64_t end);
+  void emit_instant(const Event& e, const std::string& name);
+
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_;
+  std::vector<std::string> entries_;       ///< Rendered traceEvents lines.
+  std::map<std::int64_t, OpenSpan> open_;  ///< Current phase per robot.
+  std::map<std::int64_t, bool> named_;     ///< thread_name emitted?
+  std::uint64_t last_t_ = 0;
+  bool flushed_ = false;
+};
+
+}  // namespace stig::obs

@@ -1,0 +1,56 @@
+// Minimal JSON emission helpers shared by the obs exporters.
+//
+// Deliberately tiny: quote-and-escape for strings, finite formatting for
+// doubles (JSON has no Infinity/NaN — they render as null). Not a parser.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace stig::obs {
+
+/// Returns `s` as a double-quoted JSON string literal.
+[[nodiscard]] inline std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Formats `v` as a JSON number: shortest round-trip-safe decimal, integral
+/// values without a trailing ".0"-less exponent surprise; non-finite values
+/// become null.
+[[nodiscard]] inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shorter %g form when it round-trips.
+  char short_buf[32];
+  std::snprintf(short_buf, sizeof(short_buf), "%.9g", v);
+  double back = 0.0;
+  std::sscanf(short_buf, "%lf", &back);
+  return back == v ? short_buf : buf;
+}
+
+}  // namespace stig::obs

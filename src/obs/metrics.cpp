@@ -1,0 +1,160 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.hpp"
+
+namespace stig::obs {
+
+LogHistogram::LogHistogram(double min_value, std::size_t buckets)
+    : min_value_(min_value), counts_(std::max<std::size_t>(buckets, 3)) {
+  if (!(min_value > 0.0)) {
+    throw std::invalid_argument("LogHistogram: min_value must be positive");
+  }
+}
+
+std::size_t LogHistogram::bucket_index(double v) const noexcept {
+  if (!(v >= min_value_)) return 0;  // Underflow (and NaN) bucket.
+  // Bucket i >= 1 covers [min_value * 2^(i-1), min_value * 2^i).
+  const int e = static_cast<int>(std::floor(std::log2(v / min_value_)));
+  const std::size_t i = static_cast<std::size_t>(e) + 1;
+  return std::min(i, counts_.size() - 1);
+}
+
+double LogHistogram::bucket_lower(std::size_t i) const noexcept {
+  if (i == 0) return 0.0;
+  return min_value_ * std::exp2(static_cast<double>(i - 1));
+}
+
+void LogHistogram::record(double v) noexcept {
+  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  double s = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(s, s + v, std::memory_order_relaxed)) {
+  }
+  if (!any_.exchange(true, std::memory_order_relaxed)) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+    return;
+  }
+  double m = min_.load(std::memory_order_relaxed);
+  while (v < m &&
+         !min_.compare_exchange_weak(m, v, std::memory_order_relaxed)) {
+  }
+  double mx = max_.load(std::memory_order_relaxed);
+  while (v > mx &&
+         !max_.compare_exchange_weak(mx, v, std::memory_order_relaxed)) {
+  }
+}
+
+double LogHistogram::min() const noexcept {
+  return any_.load(std::memory_order_relaxed)
+             ? min_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double LogHistogram::max() const noexcept {
+  return any_.load(std::memory_order_relaxed)
+             ? max_.load(std::memory_order_relaxed)
+             : 0.0;
+}
+
+double LogHistogram::quantile_upper(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += bucket_count_at(i);
+    if (seen >= target && seen > 0) {
+      // Upper edge of bucket i; the last bucket has no finite edge — report
+      // the observed maximum instead.
+      if (i + 1 >= counts_.size()) return max();
+      return std::min(bucket_lower(i + 1), max());
+    }
+  }
+  return max();
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::lookup(const std::string& name,
+                                                     Kind kind,
+                                                     double min_value,
+                                                     std::size_t buckets) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    Instrument inst;
+    inst.kind = kind;
+    switch (kind) {
+      case Kind::counter:
+        inst.counter = std::make_unique<Counter>();
+        break;
+      case Kind::gauge:
+        inst.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::histogram:
+        inst.histogram = std::make_unique<LogHistogram>(min_value, buckets);
+        break;
+    }
+    it = instruments_.emplace(name, std::move(inst)).first;
+  } else if (it->second.kind != kind) {
+    throw std::invalid_argument("MetricsRegistry: \"" + name +
+                                "\" already registered as a different kind");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return *lookup(name, Kind::counter, 0.0, 0).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return *lookup(name, Kind::gauge, 0.0, 0).gauge;
+}
+
+LogHistogram& MetricsRegistry::histogram(const std::string& name,
+                                         double min_value,
+                                         std::size_t buckets) {
+  return *lookup(name, Kind::histogram, min_value, buckets).histogram;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return instruments_.size();
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << '{';
+  bool first = true;
+  for (const auto& [name, inst] : instruments_) {
+    if (!first) out << ',';
+    first = false;
+    out << json_quote(name) << ':';
+    switch (inst.kind) {
+      case Kind::counter:
+        out << inst.counter->value();
+        break;
+      case Kind::gauge:
+        out << json_number(inst.gauge->value());
+        break;
+      case Kind::histogram: {
+        const LogHistogram& h = *inst.histogram;
+        out << "{\"count\":" << h.count()
+            << ",\"sum\":" << json_number(h.sum())
+            << ",\"mean\":" << json_number(h.mean())
+            << ",\"min\":" << json_number(h.min())
+            << ",\"max\":" << json_number(h.max())
+            << ",\"p50\":" << json_number(h.quantile_upper(0.5))
+            << ",\"p99\":" << json_number(h.quantile_upper(0.99)) << '}';
+        break;
+      }
+    }
+  }
+  out << '}';
+}
+
+}  // namespace stig::obs

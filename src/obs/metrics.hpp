@@ -1,0 +1,136 @@
+// MetricsRegistry — named counters, gauges and log-scale histograms.
+//
+// Designed for the engine hot path: instruments are registered once (under
+// a mutex) and then updated through plain pointers with relaxed atomics, so
+// recording a sample is lock-free and wait-free. Export walks the registry
+// and renders a stable JSON object.
+//
+// Histograms are log2-bucketed: bucket 0 counts samples below `min_value`,
+// bucket i (1 <= i < bucket_count-1) counts samples in
+// [min_value * 2^(i-1), min_value * 2^i), and the last bucket is the
+// overflow. Log-scale keeps the footprint constant across the ten orders of
+// magnitude between "instants per bit" and "nanoseconds per Engine::step".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace stig::obs {
+
+/// Monotone counter. Wraps modulo 2^64 on overflow (never throws, never
+/// saturates — the exporters report the raw value).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log2-bucketed histogram over non-negative samples.
+class LogHistogram {
+ public:
+  /// `min_value`: lower edge of the first sized bucket (> 0).
+  /// `buckets`: total bucket count including underflow and overflow (>= 3).
+  explicit LogHistogram(double min_value = 1.0, std::size_t buckets = 48);
+
+  void record(double v) noexcept;
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+  /// Index of the bucket `v` falls into.
+  [[nodiscard]] std::size_t bucket_index(double v) const noexcept;
+  /// Inclusive lower edge of bucket `i` (0.0 for the underflow bucket).
+  [[nodiscard]] double bucket_lower(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t bucket_count_at(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  /// Upper edge of the bucket containing the q-quantile (0 <= q <= 1); an
+  /// upper bound on the true quantile, exact up to bucket resolution.
+  [[nodiscard]] double quantile_upper(double q) const noexcept;
+
+ private:
+  double min_value_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> any_{false};
+};
+
+/// Owns every instrument; hands out stable pointers.
+class MetricsRegistry {
+ public:
+  /// Returns the counter named `name`, creating it on first use. Throws
+  /// std::invalid_argument when `name` already names a different kind.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `min_value`/`buckets` apply only on creation; later lookups with
+  /// different parameters return the existing histogram unchanged.
+  LogHistogram& histogram(const std::string& name, double min_value = 1.0,
+                          std::size_t buckets = 48);
+
+  /// Renders every instrument as one JSON object, keys sorted by name:
+  /// counters as integers, gauges as numbers, histograms as
+  /// {count,sum,mean,min,max,p50,p99}.
+  void write_json(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  enum class Kind : unsigned char { counter, gauge, histogram };
+  struct Instrument {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LogHistogram> histogram;
+  };
+
+  Instrument& lookup(const std::string& name, Kind kind, double min_value,
+                     std::size_t buckets);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Instrument> instruments_;
+};
+
+}  // namespace stig::obs

@@ -1,0 +1,38 @@
+#include "obs/metrics_sink.hpp"
+
+#include <string>
+
+namespace stig::obs {
+
+MetricsSink::MetricsSink(MetricsRegistry& registry)
+    : registry_(&registry),
+      ack_latency_(&registry.histogram("chat.ack_latency", 1.0)),
+      move_distance_(&registry.histogram("motion.move_distance", 1e-6)),
+      min_separation_(&registry.gauge("motion.min_separation")),
+      instants_(&registry.counter("run.instants")) {
+  for (unsigned k = 0; k < kEventTypeCount; ++k) {
+    type_counters_[k] = &registry.counter(
+        std::string("events.") +
+        event_type_name(static_cast<EventType>(k)));
+  }
+}
+
+void MetricsSink::on_event(const Event& e) {
+  type_counters_[static_cast<unsigned>(e.type)]->add();
+  switch (e.type) {
+    case EventType::AckObserved:
+      ack_latency_->record(e.value);
+      break;
+    case EventType::Move:
+      move_distance_->record(e.value);
+      break;
+    case EventType::StepComplete:
+      min_separation_->set(e.value);
+      instants_->add();
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace stig::obs

@@ -1,0 +1,34 @@
+// MetricsSink — folds the event stream into a MetricsRegistry.
+//
+// Standard metric names (see docs/OBSERVABILITY.md):
+//   events.<type>            counter, one per event type
+//   chat.ack_latency         histogram, instants per implicit-ack window
+//   motion.move_distance     histogram, global units per move
+//   motion.min_separation    gauge, latest min pairwise separation
+//   run.instants             counter, completed instants
+// The engine additionally feeds `engine.step_wall_ns` directly (see
+// sim/engine.hpp) — wall time does not flow through events.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+
+namespace stig::obs {
+
+class MetricsSink final : public EventSink {
+ public:
+  /// `registry` is not owned and must outlive the sink.
+  explicit MetricsSink(MetricsRegistry& registry);
+
+  void on_event(const Event& e) override;
+
+ private:
+  MetricsRegistry* registry_;
+  Counter* type_counters_[kEventTypeCount] = {};
+  LogHistogram* ack_latency_;
+  LogHistogram* move_distance_;
+  Gauge* min_separation_;
+  Counter* instants_;
+};
+
+}  // namespace stig::obs

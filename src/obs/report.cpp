@@ -1,0 +1,42 @@
+#include "obs/report.hpp"
+
+#include "obs/json.hpp"
+
+namespace stig::obs {
+
+void RunReport::write_json(std::ostream& out) const {
+  out << "{\n";
+  out << "  \"protocol\": " << json_quote(protocol) << ",\n";
+  out << "  \"schedule\": " << json_quote(schedule) << ",\n";
+  out << "  \"seed\": " << seed << ",\n";
+  out << "  \"robots\": " << robots << ",\n";
+  out << "  \"instants\": " << instants << ",\n";
+  out << "  \"quiescent\": " << (quiescent ? "true" : "false") << ",\n";
+  out << "  \"messages_delivered\": " << messages_delivered << ",\n";
+  out << "  \"bits_sent\": " << bits_sent << ",\n";
+  out << "  \"instants_per_bit\": " << json_number(instants_per_bit)
+      << ",\n";
+  out << "  \"distance_per_bit\": " << json_number(distance_per_bit)
+      << ",\n";
+  out << "  \"idle_moves\": " << idle_moves << ",\n";
+  out << "  \"min_separation\": " << json_number(min_separation) << ",\n";
+  out << "  \"total_distance\": " << json_number(total_distance) << ",\n";
+  out << "  \"wall_seconds\": " << json_number(wall_seconds) << ",\n";
+  out << "  \"per_robot\": [\n";
+  for (std::size_t i = 0; i < per_robot.size(); ++i) {
+    const RobotReport& r = per_robot[i];
+    out << "    {\"robot\": " << i << ", \"activations\": " << r.activations
+        << ", \"moves\": " << r.moves << ", \"distance\": "
+        << json_number(r.distance) << ", \"idle_activations\": "
+        << r.idle_activations << ", \"idle_moves\": " << r.idle_moves
+        << ", \"bits_sent\": " << r.bits_sent << ", \"bits_decoded\": "
+        << r.bits_decoded << ", \"messages_sent\": " << r.messages_sent
+        << ", \"messages_received\": " << r.messages_received
+        << ", \"messages_overheard\": " << r.messages_overheard << "}"
+        << (i + 1 < per_robot.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace stig::obs

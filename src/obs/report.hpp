@@ -1,0 +1,60 @@
+// RunReport — a machine-readable summary of one simulator run.
+//
+// The JSON the CLI writes with `--report` (and benches embed in their
+// BENCH_*.json files): the headline shape numbers of the paper's evaluation
+// — instants per bit, distance per bit, idle movement, minimum separation —
+// plus per-robot motion/chat counters and wall-clock timing. Fields are
+// plain data so any layer can fill one without linking the simulator.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stig::obs {
+
+/// Per-robot slice of the report.
+struct RobotReport {
+  std::uint64_t activations = 0;
+  std::uint64_t moves = 0;
+  double distance = 0.0;
+  std::uint64_t idle_activations = 0;
+  std::uint64_t idle_moves = 0;
+  std::uint64_t bits_sent = 0;
+  std::uint64_t bits_decoded = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t messages_overheard = 0;
+};
+
+struct RunReport {
+  // Identification.
+  std::string protocol;        ///< e.g. "sync2", "asyncn".
+  std::string schedule;        ///< e.g. "synchronous", "bernoulli p=0.5".
+  std::uint64_t seed = 0;
+  std::size_t robots = 0;
+
+  // Outcome.
+  std::uint64_t instants = 0;
+  bool quiescent = false;      ///< Every queued message fully transmitted.
+  std::uint64_t messages_delivered = 0;
+
+  // Headline shape numbers (E1/E2/E4-style).
+  std::uint64_t bits_sent = 0;         ///< Total completed signals.
+  double instants_per_bit = 0.0;
+  double distance_per_bit = 0.0;       ///< Total distance / bits sent.
+  std::uint64_t idle_moves = 0;        ///< Moves made with an empty outbox.
+  double min_separation = 0.0;         ///< Collision-avoidance invariant.
+  double total_distance = 0.0;
+
+  // Timing (filled by the caller; 0 when unmeasured).
+  double wall_seconds = 0.0;
+
+  std::vector<RobotReport> per_robot;
+
+  /// Renders the report as one pretty-printed JSON object.
+  void write_json(std::ostream& out) const;
+};
+
+}  // namespace stig::obs

@@ -49,7 +49,7 @@ geom::Vec2 Async2Robot::march_move(const geom::Vec2& cur) {
 }
 
 geom::Vec2 Async2Robot::on_activate(const sim::Snapshot& snap) {
-  note_activation();
+  note_activation(snap);
   const geom::Vec2 self = snap.self_robot().position;
   const geom::Vec2 peer = snap.robots[1 - snap.self].position;
   tracker_.observe(0, peer);
@@ -66,27 +66,35 @@ geom::Vec2 Async2Robot::on_activate(const sim::Snapshot& snap) {
   // Our own move.
   switch (phase_) {
     case Phase::march: {
+      note_phase("march");
       const auto bit = peek_bit();
       if (bit && barrier_.satisfied(tracker_)) {
         assert(bit->first == 1 && "2-robot chat: the peer is slot 1");
         exc_dir_ = bit->second == 0 ? east_ : -east_;
         barrier_.arm(tracker_, 1, options_.ack_changes);
+        note_ack_window();
+        note_phase("excursion");
         phase_ = Phase::excurse;
         return self + exc_dir_ * step_size();
       }
       return march_move(self);
     }
     case Phase::excurse: {
+      note_phase("excursion");
       if (barrier_.satisfied(tracker_)) {
         // Ack received: the peer saw this excursion. Head back to H.
+        note_ack(/*peer_slot=*/1);
         advance_outbox();
+        note_phase("return");
         phase_ = Phase::go_back;
         return horizon_.project(self);
       }
       return self + exc_dir_ * step_size();
     }
     case Phase::go_back: {
+      note_phase("return");
       if (horizon_.distance(self) <= 0.5 * tolerance_) {
+        note_phase("march");
         phase_ = Phase::march;
         barrier_.arm(tracker_, 1, options_.ack_changes);  // Separator window.
         return march_move(self);

@@ -96,7 +96,7 @@ void AsyncNRobot::decode(const std::vector<geom::Vec2>& pos) {
 }
 
 geom::Vec2 AsyncNRobot::on_activate(const sim::Snapshot& snap) {
-  note_activation();
+  note_activation(snap);
   const std::size_t self = core_.self_index();
   const std::vector<geom::Vec2> pos = core_.associate(snap);
   for (std::size_t j = 0; j < core_.robot_count(); ++j) {
@@ -111,9 +111,11 @@ geom::Vec2 AsyncNRobot::on_activate(const sim::Snapshot& snap) {
 
   switch (phase_) {
     case Phase::idle:
+      note_phase("idle");
       return kappa_move(cur);
 
     case Phase::go_center: {
+      note_phase("go_center");
       if (geom::dist(cur, core_.center(self)) > arrive) {
         return center_move(cur);
       }
@@ -125,30 +127,38 @@ geom::Vec2 AsyncNRobot::on_activate(const sim::Snapshot& snap) {
                            bit->second == 0 ? geom::DiameterSide::positive
                                             : geom::DiameterSide::negative};
       barrier_.arm(tracker_, self, options_.ack_changes);
+      note_ack_window();
       out_sign_ = 1;
+      note_phase("signal");
       phase_ = Phase::out;
       return out_move(cur);
     }
 
     case Phase::out:
+      note_phase("signal");
       if (barrier_.satisfied(tracker_)) {
         // Everyone observed the signal (Lemma 4.1): bit acknowledged.
+        note_ack();  // Global barrier: every peer changed twice.
         advance_outbox();
+        note_phase("return");
         phase_ = Phase::back;
         return center_move(cur);
       }
       return out_move(cur);
 
     case Phase::back:
+      note_phase("return");
       if (geom::dist(cur, core_.center(self)) > arrive) {
         return center_move(cur);
       }
       barrier_.arm(tracker_, self, options_.ack_changes);  // Separator.
       kappa_sign_ = 1;
+      note_phase("separator");
       phase_ = Phase::separator;
       return kappa_move(cur);
 
     case Phase::separator:
+      note_phase("separator");
       if (barrier_.satisfied(tracker_)) {
         phase_ = peek_bit() ? Phase::go_center : Phase::idle;
         // Either way this activation still moves; go_center starts heading

@@ -1,8 +1,52 @@
 #include "proto/common.hpp"
 
 #include <cassert>
+#include <cstring>
 
 namespace stig::proto {
+
+void ChatRobot::emit(obs::Event& e) const {
+  e.t = now_;
+  e.robot = static_cast<std::int64_t>(self_index_);
+  sink_->on_event(e);
+}
+
+void ChatRobot::note_activation(const sim::Snapshot& snap) {
+  now_ = snap.t;
+  ++stats_.activations;
+  const bool idle = outbox_.empty();
+  if (idle) ++stats_.idle_activations;
+  const geom::Vec2 self = snap.self_robot().position;
+  if (last_pos_ && last_was_idle_ &&
+      geom::dist(*last_pos_, self) > geom::kEps) {
+    ++stats_.idle_moves;
+  }
+  last_pos_ = self;
+  last_was_idle_ = idle;
+}
+
+void ChatRobot::note_phase(const char* phase) {
+  if (phase == phase_name_ ||
+      (phase != nullptr && phase_name_ != nullptr &&
+       std::strcmp(phase, phase_name_) == 0)) {
+    return;
+  }
+  phase_name_ = phase;
+  if (sink_ == nullptr) return;
+  obs::Event e;
+  e.type = obs::EventType::PhaseEnter;
+  e.label = phase;
+  emit(e);
+}
+
+void ChatRobot::note_ack(std::ptrdiff_t peer_slot) {
+  if (sink_ == nullptr) return;
+  obs::Event e;
+  e.type = obs::EventType::AckObserved;
+  if (peer_slot >= 0) e.peer = engine_index(static_cast<std::size_t>(peer_slot));
+  e.value = static_cast<double>(now_ - ack_armed_t_);
+  emit(e);
+}
 
 void ChatRobot::send_message(std::size_t to_slot,
                              std::span<const std::uint8_t> payload) {
@@ -56,6 +100,17 @@ std::optional<std::pair<std::size_t, std::uint32_t>> ChatRobot::peek_symbol(
 void ChatRobot::advance_outbox(unsigned bits) {
   assert(!outbox_.empty());
   OutMessage& m = outbox_.front();
+  if (sink_ != nullptr) {
+    const bool broadcast = m.to == self_slot();
+    obs::Event e;
+    e.type = obs::EventType::BitEmitted;
+    if (!broadcast) e.peer = engine_index(m.to);
+    if (broadcast) e.label = "broadcast";
+    for (unsigned b = 0; b < bits; ++b) {
+      e.bit = m.bits[m.cursor + b];
+      emit(e);
+    }
+  }
   m.cursor += bits;
   stats_.bits_sent += bits;
   assert(m.cursor <= m.bits.size());
@@ -74,6 +129,14 @@ void ChatRobot::reset_streams_from(std::size_t sender_slot) {
 void ChatRobot::on_bit_decoded(std::size_t sender_slot,
                                std::size_t addressee_slot, std::uint8_t bit) {
   ++stats_.bits_decoded;
+  if (sink_ != nullptr) {
+    obs::Event e;
+    e.type = obs::EventType::BitDecoded;
+    e.peer = engine_index(sender_slot);
+    e.aux = engine_index(addressee_slot);
+    e.bit = bit;
+    emit(e);
+  }
   encode::FrameParser& parser = parsers_[{sender_slot, addressee_slot}];
   parser.push_bit(bit);
   for (auto& payload : parser.take_messages()) {
@@ -84,6 +147,17 @@ void ChatRobot::on_bit_decoded(std::size_t sender_slot,
     // the one diameter label unicast never uses.
     msg.broadcast = sender_slot == addressee_slot;
     msg.payload = std::move(payload);
+    if (sink_ != nullptr) {
+      obs::Event e;
+      e.type = obs::EventType::FrameDelivered;
+      e.peer = engine_index(sender_slot);
+      e.aux = engine_index(addressee_slot);
+      e.value = static_cast<double>(msg.payload.size());
+      e.label = msg.broadcast
+                    ? "broadcast"
+                    : (addressee_slot == self_slot() ? "inbox" : "overheard");
+      emit(e);
+    }
     if (msg.broadcast || addressee_slot == self_slot()) {
       ++stats_.messages_received;
       inbox_.push_back(std::move(msg));

@@ -21,6 +21,7 @@
 
 #include "encode/bits.hpp"
 #include "encode/framing.hpp"
+#include "obs/sink.hpp"
 #include "sim/robot.hpp"
 
 namespace stig::proto {
@@ -29,6 +30,8 @@ namespace stig::proto {
 struct ChatStats {
   std::uint64_t activations = 0;
   std::uint64_t idle_activations = 0;  ///< Activations with an empty outbox.
+  std::uint64_t idle_moves = 0;        ///< Moves caused by idle activations
+                                       ///< (0 iff the protocol is silent).
   std::uint64_t bits_sent = 0;         ///< Signals completed by this robot.
   std::uint64_t bits_decoded = 0;      ///< Signals decoded from any sender.
   std::uint64_t messages_sent = 0;     ///< Frames fully transmitted.
@@ -70,6 +73,19 @@ class ChatRobot : public sim::Robot {
   [[nodiscard]] std::vector<ReceivedMessage> take_overheard();
 
   [[nodiscard]] const ChatStats& stats() const noexcept { return stats_; }
+
+  /// Attaches telemetry. Events this robot emits (BitEmitted, BitDecoded,
+  /// FrameDelivered, PhaseEnter, AckObserved) flow into `sink`, stamped
+  /// with simulator index `self_index` and the time of the robot's latest
+  /// activation. `slot_map` (not owned; may be null) translates protocol
+  /// slots to simulator indices — without it events carry raw slot numbers.
+  /// Null `sink` detaches; the hot path then pays a single branch.
+  void set_telemetry(obs::EventSink* sink, sim::RobotIndex self_index,
+                     const std::vector<sim::RobotIndex>* slot_map) noexcept {
+    sink_ = sink;
+    self_index_ = self_index;
+    slot_map_ = slot_map;
+  }
 
   /// True when nothing is queued and the last frame finished transmitting.
   [[nodiscard]] bool send_queue_empty() const noexcept {
@@ -123,20 +139,54 @@ class ChatRobot : public sim::Robot {
   /// (a spurious or missed signal) cannot misalign a stream forever.
   void reset_streams_from(std::size_t sender_slot);
 
-  /// Bookkeeping helper: call at the top of on_activate.
-  void note_activation() {
-    ++stats_.activations;
-    if (outbox_.empty()) ++stats_.idle_activations;
-  }
+  /// Bookkeeping helper: call at the top of on_activate with the snapshot.
+  /// Updates activation counters, stamps telemetry with the snapshot time,
+  /// and detects idle moves: in the SSM a robot's position changes only
+  /// through its own moves, so a position change since the previous
+  /// activation is that activation's move — charged as idle when the
+  /// outbox was empty then (a silent protocol never produces one).
+  void note_activation(const sim::Snapshot& snap);
+
+  /// Declares the protocol phase the robot is in; deduplicated, so calling
+  /// it every activation with the current phase name emits one PhaseEnter
+  /// event per actual transition. `phase` must be a string literal (or
+  /// otherwise outlive the run).
+  void note_phase(const char* phase);
+
+  /// Marks the opening of a Lemma 4.1 acknowledgment window (async
+  /// protocols call this when arming the AckBarrier for a bit in flight).
+  void note_ack_window() { ack_armed_t_ = now_; }
+
+  /// Emits AckObserved: the window closed after `now - armed` instants.
+  /// `peer_slot` is the acknowledging peer, or negative for "every peer"
+  /// (the AsyncN global barrier).
+  void note_ack(std::ptrdiff_t peer_slot = -1);
 
   std::deque<OutMessage> outbox_;
   ChatStats stats_;
 
  private:
+  /// Simulator index for `slot`, or the raw slot without a map.
+  [[nodiscard]] std::int64_t engine_index(std::size_t slot) const {
+    return static_cast<std::int64_t>(
+        slot_map_ != nullptr ? (*slot_map_)[slot] : slot);
+  }
+  void emit(obs::Event& e) const;
+
   std::map<std::pair<std::size_t, std::size_t>, encode::FrameParser>
       parsers_;
   std::vector<ReceivedMessage> inbox_;
   std::vector<ReceivedMessage> overheard_;
+
+  // Telemetry plumbing (inactive until set_telemetry).
+  obs::EventSink* sink_ = nullptr;
+  sim::RobotIndex self_index_ = 0;
+  const std::vector<sim::RobotIndex>* slot_map_ = nullptr;
+  std::uint64_t now_ = 0;            ///< Time of the latest activation.
+  std::uint64_t ack_armed_t_ = 0;
+  const char* phase_name_ = nullptr;
+  std::optional<geom::Vec2> last_pos_;  ///< Self position, last activation.
+  bool last_was_idle_ = false;
 };
 
 }  // namespace stig::proto

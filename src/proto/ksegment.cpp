@@ -20,7 +20,7 @@ void KSegmentRobot::initialize(const sim::Snapshot& snap) {
 }
 
 geom::Vec2 KSegmentRobot::on_activate(const sim::Snapshot& snap) {
-  note_activation();
+  note_activation(snap);
   const std::size_t self = core_.self_index();
   const std::vector<geom::Vec2> pos = core_.associate(snap);
 
@@ -79,6 +79,7 @@ geom::Vec2 KSegmentRobot::on_activate(const sim::Snapshot& snap) {
 
   // --- Our own symbol.
   if (displaced_) {
+    note_phase("return");
     displaced_ = false;
     if (!pending_digits_.empty()) {
       pending_digits_.erase(pending_digits_.begin());
@@ -94,7 +95,10 @@ geom::Vec2 KSegmentRobot::on_activate(const sim::Snapshot& snap) {
 
   const auto bit = peek_bit();
   // Silent — resting at the center also heals a fault displacement.
-  if (!bit) return core_.center(self);
+  if (!bit) {
+    note_phase("idle");
+    return core_.center(self);
+  }
 
   // Starting a new frame? Queue its digit prefix first.
   if (!prefix_done_ && pending_digits_.empty()) {
@@ -107,8 +111,10 @@ geom::Vec2 KSegmentRobot::on_activate(const sim::Snapshot& snap) {
                                   core_.radius(self));
   Signal s;
   if (!pending_digits_.empty()) {
+    note_phase("address");
     s = Signal{1 + pending_digits_.front(), geom::DiameterSide::positive};
   } else {
+    note_phase("payload");
     s = Signal{0, bit->second == 0 ? geom::DiameterSide::positive
                                    : geom::DiameterSide::negative};
   }

@@ -43,7 +43,7 @@ double Sync2Robot::symbol_amplitude(std::uint32_t symbol) const {
 }
 
 geom::Vec2 Sync2Robot::on_activate(const sim::Snapshot& snap) {
-  note_activation();
+  note_activation(snap);
   const geom::Vec2 peer = snap.robots[1 - snap.self].position;
 
   // Decode: the peer's displacement from its base along its "right" axis.
@@ -72,15 +72,18 @@ geom::Vec2 Sync2Robot::on_activate(const sim::Snapshot& snap) {
   // Our own move: out on even signals, back on the following step; silent
   // when nothing is queued.
   if (displaced_) {
+    note_phase("return");
     displaced_ = false;
     advance_outbox(options_.bits_per_symbol);
     return base_self_;
   }
   if (const auto sym = peek_symbol(options_.bits_per_symbol)) {
+    note_phase("signal");
     displaced_ = true;
     return base_self_ + right_self_ * symbol_amplitude(sym->second);
   }
   // Silent — resting at the base also walks a fault-displaced robot home.
+  note_phase("idle");
   return base_self_;
 }
 

@@ -20,7 +20,7 @@ void SyncSlicedRobot::initialize(const sim::Snapshot& snap) {
 }
 
 geom::Vec2 SyncSlicedRobot::on_activate(const sim::Snapshot& snap) {
-  note_activation();
+  note_activation(snap);
   const std::size_t self = core_.self_index();
   const geom::Vec2 drift = drift_at(step_);
   ++step_;
@@ -62,10 +62,12 @@ geom::Vec2 SyncSlicedRobot::on_activate(const sim::Snapshot& snap) {
   // Our own move (protocol space), then re-apply drift for the next instant.
   geom::Vec2 target = pos[self];
   if (displaced_) {
+    note_phase("return");
     target = core_.center(self);
     displaced_ = false;
     advance_outbox();  // The out-and-back signal is now complete.
   } else if (const auto bit = peek_bit()) {
+    note_phase("signal");
     const double headroom =
         std::max(0.0, options_.sigma_local - drift_speed());
     const double amp =
@@ -82,6 +84,7 @@ geom::Vec2 SyncSlicedRobot::on_activate(const sim::Snapshot& snap) {
     // Silent — and self-healing: the rest position is the granular center,
     // so a robot displaced by a transient fault walks back instead of
     // resting wherever the fault left it. In a correct run this is a no-op.
+    note_phase("idle");
     target = core_.center(self);
   }
 

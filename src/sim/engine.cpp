@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <string>
 
@@ -66,6 +67,15 @@ Snapshot Engine::make_snapshot(RobotIndex i) const {
 
 void Engine::teleport(RobotIndex i, const geom::Vec2& global_position) {
   positions_.at(i) = global_position;
+  if (sink_ != nullptr) {
+    obs::Event e;
+    e.type = obs::EventType::Teleport;
+    e.t = t_;
+    e.robot = static_cast<std::int64_t>(i);
+    e.x = global_position.x;
+    e.y = global_position.y;
+    sink_->on_event(e);
+  }
   if (options_.check_collisions) {
     for (std::size_t j = 0; j < positions_.size(); ++j) {
       if (j != i && geom::dist(positions_[i], positions_[j]) <=
@@ -75,6 +85,14 @@ void Engine::teleport(RobotIndex i, const geom::Vec2& global_position) {
       }
     }
   }
+}
+
+void Engine::set_metrics(obs::MetricsRegistry* registry) {
+  // Sub-microsecond steps are the common case; 16ns lower edge keeps the
+  // first buckets meaningful on fast hardware.
+  step_wall_ = registry == nullptr
+                   ? nullptr
+                   : &registry->histogram("engine.step_wall_ns", 16.0);
 }
 
 std::vector<RobotIndex> Engine::initial_observation_order(
@@ -152,6 +170,20 @@ Snapshot Engine::make_snapshot_at(RobotIndex i,
 }
 
 void Engine::step() {
+  if (step_wall_ == nullptr) {
+    step_impl();
+    return;
+  }
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  step_impl();
+  step_wall_->record(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count()));
+}
+
+void Engine::step_impl() {
   const std::size_t n = specs_.size();
   const ActivationSet active = scheduler_->activate(t_, n);
   assert(std::any_of(active.begin(), active.end(),
@@ -186,6 +218,16 @@ void Engine::step() {
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
         if (geom::dist(after[i], after[j]) <= options_.collision_distance) {
+          if (sink_ != nullptr) {
+            obs::Event e;
+            e.type = obs::EventType::Collision;
+            e.t = t_;
+            e.robot = static_cast<std::int64_t>(i);
+            e.peer = static_cast<std::int64_t>(j);
+            e.x = after[i].x;
+            e.y = after[i].y;
+            sink_->on_event(e);
+          }
           throw CollisionError("robots " + std::to_string(i) + " and " +
                                std::to_string(j) + " collided at instant " +
                                std::to_string(t_));
@@ -195,7 +237,7 @@ void Engine::step() {
   }
 
   positions_ = after;
-  trace_.record_step(active, before, positions_);
+  trace_.record_step(active, before, positions_, sink_);
   ++t_;
 }
 

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "geom/vec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "sim/frame.hpp"
 #include "sim/robot.hpp"
 #include "sim/scheduler.hpp"
@@ -107,6 +109,18 @@ class Engine {
   [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
   [[nodiscard]] bool identified() const noexcept { return identified_; }
 
+  /// Routes telemetry events (Activation, Move, StepComplete, Collision,
+  /// Teleport) into `sink`; null detaches. The hot path pays one branch
+  /// when detached and one virtual dispatch per event when attached — the
+  /// built-in Trace keeps updating either way.
+  void set_event_sink(obs::EventSink* sink) noexcept { sink_ = sink; }
+  [[nodiscard]] obs::EventSink* event_sink() const noexcept { return sink_; }
+
+  /// Registers engine-level metrics into `registry` (currently the
+  /// `engine.step_wall_ns` histogram: wall time per `step()` in
+  /// nanoseconds); null detaches and stops the timing.
+  void set_metrics(obs::MetricsRegistry* registry);
+
   /// Builds the snapshot robot `i` would observe right now (exposed for
   /// tests; the engine itself uses it during `step`).
   [[nodiscard]] Snapshot make_snapshot(RobotIndex i) const;
@@ -130,6 +144,8 @@ class Engine {
       RobotIndex i, const std::vector<geom::Vec2>& config,
       const std::vector<geom::Vec2>& stale_config, Time t) const;
 
+  void step_impl();
+
   std::vector<RobotSpec> specs_;
   std::vector<std::unique_ptr<Robot>> programs_;
   std::unique_ptr<Scheduler> scheduler_;
@@ -140,6 +156,8 @@ class Engine {
   /// the stalest); only maintained when observation_delay > 0.
   std::deque<std::vector<geom::Vec2>> recent_;
   Trace trace_;
+  obs::EventSink* sink_ = nullptr;
+  obs::LogHistogram* step_wall_ = nullptr;  ///< Owned by the registry.
   Time t_ = 0;
   bool identified_ = false;
 };

@@ -4,27 +4,73 @@
 
 namespace stig::sim {
 
+void Trace::apply(const obs::Event& e) {
+  switch (e.type) {
+    case obs::EventType::Activation:
+      if (e.robot >= 0 && static_cast<std::size_t>(e.robot) < stats_.size()) {
+        ++stats_[static_cast<std::size_t>(e.robot)].activations;
+      }
+      break;
+    case obs::EventType::Move:
+      if (e.robot >= 0 && static_cast<std::size_t>(e.robot) < stats_.size()) {
+        MotionStats& s = stats_[static_cast<std::size_t>(e.robot)];
+        ++s.moves;
+        s.distance += e.value;
+      }
+      break;
+    case obs::EventType::StepComplete:
+      min_separation_ = std::min(min_separation_, e.value);
+      ++instants_;
+      break;
+    default:
+      break;  // Trace folds motion events only.
+  }
+}
+
 void Trace::record_step(const std::vector<bool>& active,
                         const std::vector<geom::Vec2>& before,
-                        const std::vector<geom::Vec2>& after) {
+                        const std::vector<geom::Vec2>& after,
+                        obs::EventSink* forward) {
   const std::size_t n = stats_.size();
   if (record_positions_ && history_.empty()) history_.push_back(before);
+  const std::uint64_t t = instants_;  // == engine time at this step.
+
+  obs::Event e;
+  e.t = t;
   for (std::size_t i = 0; i < n; ++i) {
     if (!active[i]) continue;
-    ++stats_[i].activations;
+    e.type = obs::EventType::Activation;
+    e.robot = static_cast<std::int64_t>(i);
+    e.x = before[i].x;
+    e.y = before[i].y;
+    e.value = 0.0;
+    apply(e);
+    if (forward != nullptr) forward->on_event(e);
     const double d = geom::dist(before[i], after[i]);
     if (d > geom::kEps) {
-      ++stats_[i].moves;
-      stats_[i].distance += d;
+      e.type = obs::EventType::Move;
+      e.x = after[i].x;
+      e.y = after[i].y;
+      e.value = d;
+      apply(e);
+      if (forward != nullptr) forward->on_event(e);
     }
   }
+
+  double step_min = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      min_separation_ = std::min(min_separation_, geom::dist(after[i], after[j]));
+      step_min = std::min(step_min, geom::dist(after[i], after[j]));
     }
   }
+  e.type = obs::EventType::StepComplete;
+  e.robot = -1;
+  e.x = e.y = 0.0;
+  e.value = step_min;
+  apply(e);
+  if (forward != nullptr) forward->on_event(e);
+
   if (record_positions_) history_.push_back(after);
-  ++instants_;
 }
 
 }  // namespace stig::sim

@@ -5,12 +5,20 @@
 // "silent protocol" property of Section 5), minimum pairwise separation
 // (collision avoidance), and full position histories for the figure
 // reproductions.
+//
+// Trace is itself a thin `obs::EventSink`: its counters are exactly a fold
+// over the engine's Activation/Move/StepComplete events. The engine calls
+// `record_step`, which synthesizes those events once, applies them to the
+// trace non-virtually, and forwards them to an optional external sink — so
+// the hot path pays nothing when telemetry is detached and a single virtual
+// dispatch per event when it is attached.
 #pragma once
 
 #include <limits>
 #include <vector>
 
 #include "geom/vec.hpp"
+#include "obs/sink.hpp"
 #include "sim/types.hpp"
 
 namespace stig::sim {
@@ -23,18 +31,29 @@ struct MotionStats {
 };
 
 /// Records what happened during a run.
-class Trace {
+class Trace : public obs::EventSink {
  public:
   /// When `record_positions` is true the full per-instant configuration is
   /// kept (memory O(instants * n)); otherwise only counters are updated.
   explicit Trace(std::size_t n, bool record_positions = false)
       : stats_(n), record_positions_(record_positions) {}
 
-  /// Called by the engine after each instant with the activation set and the
-  /// configuration before/after the moves.
+  /// Called by the engine after each instant with the activation set and
+  /// the configuration before/after the moves. Emits one Activation event
+  /// per active robot, one Move event per robot that changed position, and
+  /// one StepComplete event carrying the instant's minimum pairwise
+  /// separation — applied to this trace and forwarded to `forward` when
+  /// non-null.
   void record_step(const std::vector<bool>& active,
                    const std::vector<geom::Vec2>& before,
-                   const std::vector<geom::Vec2>& after);
+                   const std::vector<geom::Vec2>& after,
+                   obs::EventSink* forward = nullptr);
+
+  /// EventSink: folds Activation/Move/StepComplete events into the
+  /// counters. Feeding a Trace the event stream of a run reproduces that
+  /// run's statistics (position history excepted — histories need full
+  /// configurations, which `record_step` receives directly).
+  void on_event(const obs::Event& e) override { apply(e); }
 
   [[nodiscard]] const MotionStats& stats(RobotIndex i) const {
     return stats_.at(i);
@@ -60,6 +79,8 @@ class Trace {
   }
 
  private:
+  void apply(const obs::Event& e);
+
   std::vector<MotionStats> stats_;
   bool record_positions_;
   Time instants_ = 0;

@@ -1,0 +1,136 @@
+// MetricsRegistry tests: histogram bucket boundaries, counter overflow
+// wrap-around, registry name-collision rules, and JSON export shape.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace stig::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAdds) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, WrapsModulo2To64OnOverflow) {
+  Counter c;
+  c.add(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(c.value(), std::numeric_limits<std::uint64_t>::max());
+  c.add(1);  // Wraps, never saturates or throws.
+  EXPECT_EQ(c.value(), 0u);
+  c.add(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(LogHistogram, BucketBoundaries) {
+  // min_value 1.0, 6 buckets: [0,1) [1,2) [2,4) [4,8) [8,16) [16,inf).
+  LogHistogram h(1.0, 6);
+  EXPECT_EQ(h.bucket_count(), 6u);
+
+  EXPECT_EQ(h.bucket_index(0.0), 0u);
+  EXPECT_EQ(h.bucket_index(0.999), 0u);
+  EXPECT_EQ(h.bucket_index(1.0), 1u);   // Lower edge is inclusive.
+  EXPECT_EQ(h.bucket_index(1.999), 1u);
+  EXPECT_EQ(h.bucket_index(2.0), 2u);
+  EXPECT_EQ(h.bucket_index(3.999), 2u);
+  EXPECT_EQ(h.bucket_index(4.0), 3u);
+  EXPECT_EQ(h.bucket_index(8.0), 4u);
+  EXPECT_EQ(h.bucket_index(15.999), 4u);
+  EXPECT_EQ(h.bucket_index(16.0), 5u);  // Overflow bucket.
+  EXPECT_EQ(h.bucket_index(1e12), 5u);
+
+  EXPECT_EQ(h.bucket_lower(0), 0.0);
+  EXPECT_EQ(h.bucket_lower(1), 1.0);
+  EXPECT_EQ(h.bucket_lower(2), 2.0);
+  EXPECT_EQ(h.bucket_lower(5), 16.0);
+}
+
+TEST(LogHistogram, NonUnitMinValueScalesEdges) {
+  LogHistogram h(16.0, 5);  // [0,16) [16,32) [32,64) [64,128) [128,inf).
+  EXPECT_EQ(h.bucket_index(15.9), 0u);
+  EXPECT_EQ(h.bucket_index(16.0), 1u);
+  EXPECT_EQ(h.bucket_index(33.0), 2u);
+  EXPECT_EQ(h.bucket_index(127.0), 3u);
+  EXPECT_EQ(h.bucket_index(128.0), 4u);
+  EXPECT_EQ(h.bucket_lower(4), 128.0);
+}
+
+TEST(LogHistogram, RecordUpdatesSummaryStats) {
+  LogHistogram h(1.0, 8);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.record(2.0);
+  h.record(6.0);
+  h.record(1.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 9.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 6.0);
+  EXPECT_EQ(h.bucket_count_at(h.bucket_index(2.0)), 1u);
+}
+
+TEST(LogHistogram, QuantileUpperBoundsTheSample) {
+  LogHistogram h(1.0, 10);
+  for (int i = 0; i < 99; ++i) h.record(1.5);  // Bucket [1,2).
+  h.record(100.0);                             // Bucket [64,128).
+  EXPECT_LE(h.quantile_upper(0.5), 2.0);
+  EXPECT_GE(h.quantile_upper(0.995), 100.0);
+}
+
+TEST(MetricsRegistry, CreateOnFirstUseReturnsStableInstrument) {
+  MetricsRegistry r;
+  Counter& a = r.counter("events.move");
+  a.add(3);
+  Counter& b = r.counter("events.move");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(MetricsRegistry, NameCollisionAcrossKindsThrows) {
+  MetricsRegistry r;
+  r.counter("x");
+  EXPECT_THROW(r.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(r.histogram("x"), std::invalid_argument);
+  r.histogram("h");
+  EXPECT_THROW(r.counter("h"), std::invalid_argument);
+  // Same kind is not a collision.
+  EXPECT_NO_THROW(r.counter("x"));
+  EXPECT_NO_THROW(r.histogram("h", 2.0, 12));  // Params ignored on lookup.
+}
+
+TEST(MetricsRegistry, WriteJsonIsSortedAndWellFormed) {
+  MetricsRegistry r;
+  r.counter("z.count").add(2);
+  r.gauge("a.gauge").set(1.5);
+  r.histogram("m.hist").record(3.0);
+  std::ostringstream os;
+  r.write_json(os);
+  const std::string json = os.str();
+  // Keys come out sorted: a.gauge < m.hist < z.count.
+  EXPECT_LT(json.find("a.gauge"), json.find("m.hist"));
+  EXPECT_LT(json.find("m.hist"), json.find("z.count"));
+  EXPECT_NE(json.find("\"z.count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"count\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+}
+
+}  // namespace
+}  // namespace stig::obs

@@ -1,22 +1,35 @@
 // stigsim — command-line driver for the stigmergy simulator.
 //
 // Scatter a swarm, queue messages, run the SSM world, and report delivery
-// and motion statistics; optionally dump the trajectory SVG. Examples:
+// and motion statistics; optionally dump the trajectory SVG and structured
+// telemetry (event log, Chrome trace, run report). Examples:
 //
 //   stigsim --n 8 --message "hello" --from 0 --to 5
 //   stigsim --async --p 0.4 --n 4 --broadcast --message "to all" --svg run.svg
 //   stigsim --n 12 --protocol ksegment --k 3 --ids --sod --seed 9
+//   stigsim --n 6 --message hi --events e.jsonl --chrome-trace t.json \
+//           --report r.json
+//
+// Exit codes: 0 message(s) delivered; 1 run finished with no delivery
+// (timeout); 2 usage error (bad flag or value); 3 runtime or I/O error.
 //
 // Run `stigsim --help` for the full flag list.
+#include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/chat_network.hpp"
 #include "encode/bits.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "sim/rng.hpp"
 #include "sim/jsonl.hpp"
 #include "viz/figures.hpp"
@@ -24,6 +37,12 @@
 namespace {
 
 using namespace stig;
+
+// Exit codes (documented in --help and README).
+constexpr int kExitDelivered = 0;
+constexpr int kExitNoDelivery = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitRuntime = 3;
 
 struct Args {
   std::size_t n = 6;
@@ -47,6 +66,9 @@ struct Args {
   sim::Time max_instants = 5'000'000;
   std::string svg;
   std::string jsonl;
+  std::string events;
+  std::string chrome_trace;
+  std::string report;
   bool help = false;
 };
 
@@ -71,7 +93,13 @@ void print_help() {
       "  --broadcast       one-to-all from --from instead of unicast\n"
       "  --max-instants T  give up after T instants\n"
       "  --svg FILE        write the trajectory figure\n"
-      "  --jsonl FILE      write the position history as JSON Lines\n";
+      "  --jsonl FILE      write the position history as JSON Lines\n"
+      "  --events FILE     write the telemetry event log as JSON Lines\n"
+      "  --chrome-trace F  write a Chrome/Perfetto trace_event file\n"
+      "  --report FILE     write the machine-readable run report\n"
+      "                    (\"-\" writes the report to stdout)\n\n"
+      "exit codes: 0 delivered; 1 no delivery; 2 usage error;\n"
+      "            3 runtime/I-O error\n";
 }
 
 bool parse(int argc, char** argv, Args& a) {
@@ -143,6 +171,18 @@ bool parse(int argc, char** argv, Args& a) {
       const char* v = need(i);
       if (!v) return false;
       a.jsonl = v;
+    } else if (flag == "--events") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.events = v;
+    } else if (flag == "--chrome-trace") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.chrome_trace = v;
+    } else if (flag == "--report") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.report = v;
     } else {
       std::cerr << "unknown flag: " << flag << " (see --help)\n";
       return false;
@@ -155,7 +195,7 @@ bool parse(int argc, char** argv, Args& a) {
 
 int main(int argc, char** argv) {
   Args args;
-  if (!parse(argc, argv, args)) return 2;
+  if (!parse(argc, argv, args)) return kExitUsage;
   if (args.help) {
     print_help();
     return 0;
@@ -176,7 +216,32 @@ int main(int argc, char** argv) {
   if (!kProtocols.contains(args.protocol) ||
       !kSchedulers.contains(args.scheduler)) {
     std::cerr << "unknown protocol or scheduler (see --help)\n";
-    return 2;
+    return kExitUsage;
+  }
+  if (args.from >= args.n || (!args.broadcast && args.to >= args.n)) {
+    std::cerr << "--from/--to must name robots below --n " << args.n << "\n";
+    return kExitUsage;
+  }
+
+  // Telemetry sinks: all attached through one fan-out point.
+  obs::MultiSink sinks;
+  std::unique_ptr<obs::JsonlEventSink> event_log;
+  std::unique_ptr<obs::ChromeTraceSink> chrome;
+  if (!args.events.empty()) {
+    event_log = obs::JsonlEventSink::open(args.events);
+    if (!event_log) {
+      std::cerr << "error: could not open " << args.events << "\n";
+      return kExitRuntime;
+    }
+    sinks.add(event_log.get());
+  }
+  if (!args.chrome_trace.empty()) {
+    chrome = obs::ChromeTraceSink::open(args.chrome_trace);
+    if (!chrome) {
+      std::cerr << "error: could not open " << args.chrome_trace << "\n";
+      return kExitRuntime;
+    }
+    sinks.add(chrome.get());
   }
 
   // Scatter the swarm.
@@ -211,6 +276,9 @@ int main(int argc, char** argv) {
 
   try {
     core::ChatNetwork net(pts, opt);
+    obs::MetricsRegistry metrics;
+    if (!sinks.empty()) net.attach_event_sink(&sinks);
+    if (!args.report.empty()) net.attach_metrics(&metrics);
     const auto payload = encode::bytes_of(args.message);
     if (args.broadcast) {
       net.broadcast(args.from, payload);
@@ -218,58 +286,84 @@ int main(int argc, char** argv) {
       net.send(args.from, args.to, payload);
     }
 
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point wall_start = Clock::now();
     const bool done = net.run_until_quiescent(args.max_instants);
     net.run(args.async_mode ? 512 : 4);
+    const double wall_seconds =
+        std::chrono::duration<double>(Clock::now() - wall_start).count();
+    sinks.flush();
 
-    std::cout << "protocol: " << args.protocol << " (resolved kind "
-              << static_cast<int>(net.protocol_kind()) << "), n = " << args.n
-              << ", " << (args.async_mode ? "asynchronous" : "synchronous")
-              << "\n";
-    std::cout << "instants: " << net.engine().now()
-              << (done ? "" : "  [TIMED OUT]") << "\n\n";
+    // "--report -" reserves stdout for the JSON report so it pipes
+    // cleanly into jq; the human summary moves to stderr.
+    std::ostream& human = (args.report == "-") ? std::cerr : std::cout;
+    human << "protocol: " << args.protocol << " (resolved kind "
+          << static_cast<int>(net.protocol_kind()) << "), n = " << args.n
+          << ", " << (args.async_mode ? "asynchronous" : "synchronous")
+          << "\n";
+    human << "instants: " << net.engine().now()
+          << (done ? "" : "  [TIMED OUT]") << "\n\n";
 
     std::size_t delivered = 0;
     for (std::size_t i = 0; i < args.n; ++i) {
       for (const core::Delivery& d : net.received(i)) {
-        std::cout << "  robot " << i << " <- robot " << d.from
-                  << (d.broadcast ? " [broadcast]" : "") << ": \""
-                  << std::string(d.payload.begin(), d.payload.end())
-                  << "\"\n";
+        human << "  robot " << i << " <- robot " << d.from
+              << (d.broadcast ? " [broadcast]" : "") << ": \""
+              << std::string(d.payload.begin(), d.payload.end()) << "\"\n";
         ++delivered;
       }
     }
-    std::cout << "\ndelivered: " << delivered << " message(s)\n";
+    human << "\ndelivered: " << delivered << " message(s)\n";
 
-    std::cout << "\nrobot   activations   moves   distance   bits_sent\n";
+    human << "\nrobot   activations   moves   distance   bits_sent\n";
     for (std::size_t i = 0; i < args.n; ++i) {
       const auto& m = net.engine().trace().stats(i);
-      std::cout << std::setw(5) << i << std::setw(14) << m.activations
-                << std::setw(8) << m.moves << std::setw(11) << std::fixed
-                << std::setprecision(2) << m.distance << std::setw(12)
-                << net.stats(i).bits_sent << "\n";
+      human << std::setw(5) << i << std::setw(14) << m.activations
+            << std::setw(8) << m.moves << std::setw(11) << std::fixed
+            << std::setprecision(2) << m.distance << std::setw(12)
+            << net.stats(i).bits_sent << "\n";
     }
-    std::cout << "min separation: " << net.engine().trace().min_separation()
-              << "\n";
+    human << "min separation: " << net.engine().trace().min_separation()
+          << "\n";
 
-    if (!args.jsonl.empty()) {
-      if (sim::write_trace_jsonl(args.jsonl, net.engine().trace())) {
-        std::cout << "wrote " << args.jsonl << "\n";
+    if (!args.report.empty()) {
+      obs::RunReport report = net.report();
+      report.wall_seconds = wall_seconds;
+      if (args.report == "-") {
+        report.write_json(std::cout);
       } else {
-        std::cerr << "could not write " << args.jsonl << "\n";
+        std::ofstream out(args.report);
+        if (!out) {
+          std::cerr << "error: could not write " << args.report << "\n";
+          return kExitRuntime;
+        }
+        report.write_json(out);
+        std::cout << "wrote " << args.report << "\n";
       }
+    }
+    if (!args.events.empty()) human << "wrote " << args.events << "\n";
+    if (!args.chrome_trace.empty()) {
+      human << "wrote " << args.chrome_trace << "\n";
+    }
+    if (!args.jsonl.empty()) {
+      if (!sim::write_trace_jsonl(args.jsonl, net.engine().trace())) {
+        std::cerr << "error: could not write " << args.jsonl << "\n";
+        return kExitRuntime;
+      }
+      human << "wrote " << args.jsonl << "\n";
     }
     if (!args.svg.empty()) {
       viz::SvgScene fig;
       viz::draw_trajectories(fig, net.engine().trace().positions());
-      if (fig.write(args.svg)) {
-        std::cout << "wrote " << args.svg << "\n";
-      } else {
-        std::cerr << "could not write " << args.svg << "\n";
+      if (!fig.write(args.svg)) {
+        std::cerr << "error: could not write " << args.svg << "\n";
+        return kExitRuntime;
       }
+      human << "wrote " << args.svg << "\n";
     }
-    return delivered > 0 ? 0 : 1;
+    return delivered > 0 ? kExitDelivered : kExitNoDelivery;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 2;
+    return kExitRuntime;
   }
 }
