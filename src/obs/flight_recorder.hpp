@@ -1,0 +1,62 @@
+// FlightRecorder — a fixed-size ring buffer over the event stream.
+//
+// Attach it (cheapest-possible sink: one array store per event) and the
+// last `capacity` events are always available for a post-mortem: dump them
+// as JSONL when a watchdog invariant trips, when the engine throws, or —
+// via `install_crash_handler` — when the process takes a fatal signal.
+// The black box of the observability stack: it costs nothing to carry and
+// answers "what were the robots doing right before it went wrong?".
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace stig::obs {
+
+class FlightRecorder final : public EventSink {
+ public:
+  /// `capacity`: number of most-recent events retained (>= 1).
+  explicit FlightRecorder(std::size_t capacity);
+  ~FlightRecorder() override;
+
+  void on_event(const Event& e) override;
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ring_.size();
+  }
+  /// Events currently held (== capacity once the ring has wrapped).
+  [[nodiscard]] std::size_t size() const noexcept;
+  /// Total events ever seen (size() plus everything overwritten).
+  [[nodiscard]] std::uint64_t total_seen() const noexcept { return seen_; }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+
+  /// Writes the retained events as JSONL (same schema as JsonlEventSink),
+  /// oldest first, prefixed by one `flight_recorder` header line carrying
+  /// capacity/seen/dropped counts.
+  void dump(std::ostream& out) const;
+  /// `dump` to a file; returns false on I/O failure.
+  [[nodiscard]] bool dump_to_file(const std::string& path) const;
+
+  /// Installs SIGSEGV/SIGBUS/SIGFPE/SIGABRT handlers that dump `recorder`
+  /// to `path` before re-raising the default action. One recorder at a
+  /// time; the registration clears automatically when it is destroyed.
+  /// The handler formats events with snprintf into a pre-opened-path file
+  /// — best-effort by nature (a crashed heap can take the recorder with
+  /// it), which is the usual flight-recorder trade.
+  static void install_crash_handler(FlightRecorder* recorder,
+                                    std::string path);
+  /// Removes the handlers and forgets the registered recorder.
+  static void uninstall_crash_handler();
+
+ private:
+  std::vector<Event> ring_;
+  std::uint64_t seen_ = 0;  ///< next_ == seen_ % capacity.
+};
+
+}  // namespace stig::obs

@@ -1,0 +1,45 @@
+// EventLog — reads a JSONL event log back into typed events.
+//
+// The inverse of JsonlEventSink for the fixed, flat schema it writes:
+// every line is one object with a known key set (type, t, robot, peer,
+// aux, x, y, value, bit, label). Parsed `Event::label` pointers reference
+// strings interned inside the EventLog, so the log must outlive the
+// events. This is what lets `stigreport` and the span/watchdog tests
+// analyze a recorded run exactly as if it were live.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace stig::obs {
+
+class EventLog {
+ public:
+  /// Parses one JSONL line; nullopt on malformed input or unknown type.
+  /// Lines whose `type` is not an event type (e.g. a flight_recorder
+  /// header) also return nullopt.
+  [[nodiscard]] std::optional<Event> parse_line(std::string_view line);
+
+  /// Reads every line of `in`, appending parsed events; returns the number
+  /// of lines that failed to parse (header lines included).
+  std::size_t read(std::istream& in);
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+ private:
+  [[nodiscard]] const char* intern(std::string_view s);
+
+  std::set<std::string, std::less<>> labels_;  ///< Stable label storage.
+  std::vector<Event> events_;
+};
+
+}  // namespace stig::obs

@@ -1,0 +1,179 @@
+// Message-level span tracing.
+//
+// A `SpanBuilder` is an EventSink that folds the flat event stream into one
+// `MessageSpan` per transmitted frame: the sender's per-bit emission times
+// (recovered by running the framing codec over the BitEmitted stream, so a
+// frame boundary is found exactly where a receiver would find it), every
+// FrameDelivered that closed the frame at a receiver, the sender's protocol
+// phases overlapping the transmission window (latency attribution), and the
+// Lemma 4.1 acks observed while the frame was in flight.
+//
+// On top of the spans the builder derives per-robot utilization/silence
+// accounting and the run's critical path: the FIFO chain of spans on the
+// sender whose delivery finished last, split into transmit time and
+// queue-wait time. Everything exports as one JSON document (`write_json`)
+// and as nested Chrome-trace spans (`write_chrome_trace` — message spans
+// with phase children on the sender's track, delivery instants on the
+// receivers' tracks).
+//
+// The builder works identically on a live run (attach via
+// `ChatNetwork::attach_event_sink`) and on a recorded JSONL log replayed
+// through `obs::EventLog` (see jsonl_parse.hpp) — pinned by
+// tests/test_obs_span.cpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "encode/framing.hpp"
+#include "obs/sink.hpp"
+
+namespace stig::obs {
+
+/// One FrameDelivered that closed this span at a receiver.
+struct SpanDelivery {
+  std::int64_t robot = -1;  ///< Receiving robot (simulator index).
+  std::uint64_t t = 0;      ///< Instant the frame finished reassembly.
+  std::string kind;         ///< "inbox", "overheard" or "broadcast".
+};
+
+/// A half-open [begin, end) slice of the sender's phase timeline that
+/// overlaps the span's transmission window.
+struct PhaseSegment {
+  std::string phase;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] std::uint64_t instants() const noexcept {
+    return end - begin;
+  }
+};
+
+/// One transmitted frame, from first signaled bit to last delivery.
+struct MessageSpan {
+  std::uint64_t id = 0;          ///< Dense index in emission-complete order.
+  std::int64_t sender = -1;      ///< Simulator index.
+  std::int64_t addressee = -1;   ///< Simulator index; -1 for broadcast.
+  bool broadcast = false;
+  std::size_t payload_bytes = 0;
+  std::vector<std::uint64_t> bit_times;  ///< Instant of each BitEmitted.
+  std::vector<SpanDelivery> deliveries;  ///< In arrival order.
+  std::vector<PhaseSegment> phases;      ///< Sender-phase attribution.
+  std::uint64_t ack_count = 0;   ///< Acks the sender observed in-window.
+  double ack_total = 0.0;        ///< Sum of their window latencies.
+
+  [[nodiscard]] std::uint64_t start() const { return bit_times.front(); }
+  [[nodiscard]] std::uint64_t last_bit() const { return bit_times.back(); }
+  /// Instant of the last delivery (the sender's last bit when no receiver
+  /// finished reassembly — a truncated log). Not clamped to last_bit():
+  /// async senders stamp their final bit after the Lemma 4.1 ack, i.e.
+  /// *after* the receiver already delivered the frame.
+  [[nodiscard]] std::uint64_t end() const {
+    if (deliveries.empty()) return last_bit();
+    std::uint64_t e = deliveries.front().t;
+    for (const SpanDelivery& d : deliveries) e = std::max(e, d.t);
+    return e;
+  }
+  /// Instants from the first signaled bit to the last delivery.
+  [[nodiscard]] std::uint64_t end_to_end() const { return end() - start(); }
+};
+
+/// Per-robot activity accounting derived from the spans.
+struct RobotUtilization {
+  std::int64_t robot = -1;
+  std::uint64_t activations = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t bits_sent = 0;
+  std::uint64_t busy_instants = 0;    ///< Inside own transmission windows.
+  std::uint64_t silent_instants = 0;  ///< Run length minus busy.
+  double utilization = 0.0;           ///< busy / run instants.
+};
+
+/// The FIFO chain of spans on the sender whose delivery finished last.
+struct CriticalPath {
+  std::int64_t sender = -1;
+  std::vector<std::uint64_t> span_ids;   ///< In transmission order.
+  std::uint64_t total_instants = 0;      ///< First start to last end.
+  std::uint64_t transmit_instants = 0;   ///< Sum of transmission windows.
+  std::uint64_t wait_instants = 0;       ///< total - transmit (queueing).
+};
+
+class SpanBuilder final : public EventSink {
+ public:
+  void on_event(const Event& e) override;
+  /// Finalizes (phase attribution, utilization, critical path). Safe to
+  /// call repeatedly; events arriving after a flush reopen the builder.
+  void flush() override { finalize(); }
+  void finalize();
+
+  [[nodiscard]] const std::vector<MessageSpan>& spans() const {
+    return spans_;
+  }
+  [[nodiscard]] const std::vector<RobotUtilization>& utilization() const {
+    return utilization_;
+  }
+  [[nodiscard]] const CriticalPath& critical_path() const {
+    return critical_path_;
+  }
+  /// Completed instants seen (StepComplete count).
+  [[nodiscard]] std::uint64_t instants() const noexcept { return instants_; }
+  /// Sender-side frames whose CRC failed on reconstruction (0 on any
+  /// well-formed stream; nonzero means the log itself is corrupt).
+  [[nodiscard]] std::uint64_t corrupt_frames() const noexcept {
+    return corrupt_frames_;
+  }
+
+  /// One JSON document: run shape, every span, per-robot utilization and
+  /// the critical path. Calls `finalize()`.
+  void write_json(std::ostream& out);
+  /// Chrome trace_event JSON: nested message/phase spans per sender track,
+  /// delivery instants per receiver track. Calls `finalize()`.
+  void write_chrome_trace(std::ostream& out);
+
+ private:
+  /// One (sender, addressee-lane) bit stream being reassembled.
+  struct Lane {
+    encode::FrameParser parser;
+    std::vector<std::uint64_t> bit_times;  ///< Aligned with pushed bits.
+    std::uint64_t boundary = 0;       ///< Bits consumed at last frame end.
+    std::vector<std::uint64_t> span_ids;  ///< Spans completed on this lane.
+  };
+  struct RobotCounters {
+    std::uint64_t activations = 0;
+    std::uint64_t moves = 0;
+    std::uint64_t bits_sent = 0;
+  };
+
+  using LaneKey = std::pair<std::int64_t, std::int64_t>;
+
+  /// A FrameDelivered awaiting span matching. Matching happens in
+  /// `finalize()` because the async protocols deliver a frame *before* the
+  /// sender's final BitEmitted appears in the stream (the sender completes
+  /// its bit only after observing the Lemma 4.1 ack).
+  struct PendingDelivery {
+    std::int64_t robot = -1;
+    LaneKey lane;
+    std::uint64_t t = 0;
+    std::string kind;
+  };
+
+  std::map<LaneKey, Lane> lanes_;
+  std::vector<PendingDelivery> pending_deliveries_;
+  std::map<std::int64_t, std::vector<std::pair<std::uint64_t, std::string>>>
+      phase_timeline_;  ///< Per robot: (t, phase) transitions.
+  std::map<std::int64_t, std::vector<std::pair<std::uint64_t, double>>>
+      acks_;            ///< Per robot: (t, window latency).
+  std::map<std::int64_t, RobotCounters> counters_;
+  std::vector<MessageSpan> spans_;
+  std::vector<RobotUtilization> utilization_;
+  CriticalPath critical_path_;
+  std::uint64_t instants_ = 0;
+  std::uint64_t last_t_ = 0;
+  std::uint64_t corrupt_frames_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace stig::obs

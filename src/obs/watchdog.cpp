@@ -1,0 +1,221 @@
+#include "obs/watchdog.hpp"
+
+#include <iostream>
+#include <span>
+
+#include "geom/voronoi.hpp"
+#include "obs/json.hpp"
+
+namespace stig::obs {
+
+Watchdog::Watchdog(WatchdogOptions options,
+                   std::vector<geom::Vec2> t0_positions)
+    : options_(options), anchors_(std::move(t0_positions)) {
+  if (options_.check_granular && anchors_.size() >= 2) {
+    radii_.reserve(anchors_.size());
+    for (std::size_t i = 0; i < anchors_.size(); ++i) {
+      radii_.push_back(geom::granular_radius(
+          std::span<const geom::Vec2>(anchors_), i));
+    }
+    granular_disarmed_.assign(anchors_.size(), false);
+  } else {
+    options_.check_granular = false;
+  }
+}
+
+void Watchdog::set_flight_recorder(FlightRecorder* recorder,
+                                   std::string dump_path) {
+  recorder_ = recorder;
+  dump_path_ = std::move(dump_path);
+}
+
+void Watchdog::violate(WatchdogViolation v) {
+  ++total_violations_;
+  if (recorder_ != nullptr && !dumped_ && !dump_path_.empty()) {
+    dumped_ = true;
+    if (!recorder_->dump_to_file(dump_path_)) {
+      std::cerr << "watchdog: could not write flight-recorder dump to "
+                << dump_path_ << "\n";
+    }
+  }
+  if (options_.abort_on_violation) {
+    throw WatchdogError("watchdog: " + v.invariant + " violated at instant " +
+                        std::to_string(v.t) + ": " + v.detail);
+  }
+  if (violations_.size() < options_.max_recorded) {
+    violations_.push_back(std::move(v));
+  }
+}
+
+void Watchdog::check_granular(const Event& e) {
+  if (e.robot < 0 || static_cast<std::size_t>(e.robot) >= anchors_.size() ||
+      granular_disarmed_[static_cast<std::size_t>(e.robot)]) {
+    return;
+  }
+  const auto i = static_cast<std::size_t>(e.robot);
+  const double d = geom::dist(geom::Vec2{e.x, e.y}, anchors_[i]);
+  if (d < radii_[i] + options_.granular_slack) return;
+  WatchdogViolation v;
+  v.invariant = "granular";
+  v.t = e.t;
+  v.robot = e.robot;
+  v.value = d;
+  v.detail = "robot " + std::to_string(e.robot) + " left its granular (" +
+             std::to_string(d) + " > radius " + std::to_string(radii_[i]) +
+             ")";
+  violate(std::move(v));
+}
+
+void Watchdog::on_event(const Event& e) {
+  switch (e.type) {
+    case EventType::Collision: {
+      if (!options_.check_separation) return;
+      WatchdogViolation v;
+      v.invariant = "separation";
+      v.t = e.t;
+      v.robot = e.robot;
+      v.peer = e.peer;
+      v.detail = "collision between robots " + std::to_string(e.robot) +
+                 " and " + std::to_string(e.peer);
+      violate(std::move(v));
+      return;
+    }
+    case EventType::StepComplete: {
+      if (!options_.check_separation || options_.min_separation <= 0.0 ||
+          e.value >= options_.min_separation) {
+        return;
+      }
+      WatchdogViolation v;
+      v.invariant = "separation";
+      v.t = e.t;
+      v.value = e.value;
+      v.detail = "min separation " + std::to_string(e.value) +
+                 " fell below the floor " +
+                 std::to_string(options_.min_separation);
+      violate(std::move(v));
+      return;
+    }
+    case EventType::Move: {
+      if (options_.check_granular) check_granular(e);
+      return;
+    }
+    case EventType::Teleport: {
+      // Fault injection voids the containment anchor for this robot: the
+      // stabilization story explicitly allows it to re-home elsewhere.
+      if (options_.check_granular && e.robot >= 0 &&
+          static_cast<std::size_t>(e.robot) < granular_disarmed_.size()) {
+        granular_disarmed_[static_cast<std::size_t>(e.robot)] = true;
+      }
+      return;
+    }
+    case EventType::BitEmitted: {
+      if (!options_.check_bit_order) return;
+      const auto it = last_emit_t_.find(e.robot);
+      if (it != last_emit_t_.end() && e.t < it->second) {
+        WatchdogViolation v;
+        v.invariant = "bit_order";
+        v.t = e.t;
+        v.robot = e.robot;
+        v.value = static_cast<double>(it->second);
+        v.detail = "sender " + std::to_string(e.robot) +
+                   " emitted a bit at t=" + std::to_string(e.t) +
+                   " after one at t=" + std::to_string(it->second);
+        violate(std::move(v));
+      }
+      last_emit_t_[e.robot] = std::max(
+          e.t, it == last_emit_t_.end() ? std::uint64_t{0} : it->second);
+      return;
+    }
+    case EventType::BitDecoded: {
+      if (options_.check_bit_order) {
+        const std::pair<std::int64_t, std::int64_t> key{e.robot, e.peer};
+        const auto it = last_decode_t_.find(key);
+        if (it != last_decode_t_.end() && e.t < it->second) {
+          WatchdogViolation v;
+          v.invariant = "bit_order";
+          v.t = e.t;
+          v.robot = e.robot;
+          v.peer = e.peer;
+          v.value = static_cast<double>(it->second);
+          v.detail = "receiver " + std::to_string(e.robot) +
+                     " decoded a bit from " + std::to_string(e.peer) +
+                     " at t=" + std::to_string(e.t) + " after one at t=" +
+                     std::to_string(it->second);
+          violate(std::move(v));
+        }
+        last_decode_t_[key] = std::max(
+            e.t, it == last_decode_t_.end() ? std::uint64_t{0} : it->second);
+      }
+      if (options_.check_framing) {
+        encode::FrameParser& parser = streams_[{e.robot, e.peer, e.aux}];
+        const std::uint64_t corrupt_before = parser.corrupt_frames();
+        parser.push_bit(static_cast<std::uint8_t>(e.bit & 1u));
+        (void)parser.take_messages();
+        if (parser.corrupt_frames() > corrupt_before) {
+          WatchdogViolation v;
+          v.invariant = "framing";
+          v.t = e.t;
+          v.robot = e.robot;
+          v.peer = e.peer;
+          v.detail = "CRC-corrupt frame on stream " +
+                     std::to_string(e.peer) + " -> " +
+                     std::to_string(e.robot) + " (addressee " +
+                     std::to_string(e.aux) + ")";
+          violate(std::move(v));
+        }
+      }
+      return;
+    }
+    case EventType::AckObserved: {
+      if (options_.max_ack_window <= 0.0 ||
+          e.value <= options_.max_ack_window) {
+        return;
+      }
+      WatchdogViolation v;
+      v.invariant = "ack_window";
+      v.t = e.t;
+      v.robot = e.robot;
+      v.peer = e.peer;
+      v.value = e.value;
+      v.detail = "ack took " + std::to_string(e.value) +
+                 " instants, window is " +
+                 std::to_string(options_.max_ack_window);
+      violate(std::move(v));
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void Watchdog::report(std::ostream& out) const {
+  if (ok()) {
+    out << "watchdog: all invariants held\n";
+    return;
+  }
+  out << "watchdog: " << total_violations_ << " violation(s)";
+  if (total_violations_ > violations_.size()) {
+    out << " (" << violations_.size() << " recorded)";
+  }
+  out << "\n";
+  for (const WatchdogViolation& v : violations_) {
+    out << "  [" << v.invariant << "] t=" << v.t << " " << v.detail << "\n";
+  }
+}
+
+void Watchdog::write_json(std::ostream& out) const {
+  out << "{\"ok\": " << (ok() ? "true" : "false")
+      << ", \"total_violations\": " << total_violations_
+      << ", \"violations\": [";
+  for (std::size_t i = 0; i < violations_.size(); ++i) {
+    const WatchdogViolation& v = violations_[i];
+    out << (i == 0 ? "\n" : ",\n") << "  {\"invariant\": "
+        << json_quote(v.invariant) << ", \"t\": " << v.t
+        << ", \"robot\": " << v.robot << ", \"peer\": " << v.peer
+        << ", \"value\": " << json_number(v.value) << ", \"detail\": "
+        << json_quote(v.detail) << "}";
+  }
+  out << (violations_.empty() ? "" : "\n") << "]}\n";
+}
+
+}  // namespace stig::obs

@@ -1,0 +1,131 @@
+// Watchdog — online invariant checking over the event stream.
+//
+// A Watchdog is an EventSink that verifies the paper's correctness
+// invariants *while the run happens*, instead of post-hoc in tests:
+//
+//   separation   StepComplete's min pairwise separation stays above the
+//                configured floor, and no Collision event ever arrives
+//                (Lemma 3.x collision avoidance).
+//   granular     every Move keeps the robot inside the granular disc of
+//                its t0 Voronoi cell (radius = geom::granular_radius);
+//                armed only for the granular protocols — Sync2/Async2
+//                signal on the segment joining the two robots and the
+//                unbounded Async2 variant drifts by design (E8).
+//   bit_order    BitEmitted instants are non-decreasing per sender, and
+//                BitDecoded instants non-decreasing per (receiver,
+//                sender) stream — the monotone ordering every frame
+//                reassembly depends on.
+//   ack_window   AckObserved latency never exceeds the configured bound
+//                (Lemma 4.1's window, widened by observation delay).
+//   framing      replaying each receiver's BitDecoded stream through the
+//                framing codec never yields a CRC-corrupt frame.
+//
+// In report mode violations accumulate (bounded) and `report()` renders
+// them; in abort mode the first violation throws WatchdogError, which
+// unwinds out of Engine::step like a collision does. Either way, an
+// attached FlightRecorder dumps the last N events to the configured path
+// on the first violation — the black-box snapshot of what led up to it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "encode/framing.hpp"
+#include "geom/vec.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/sink.hpp"
+
+namespace stig::obs {
+
+/// Thrown in abort mode on the first violated invariant.
+class WatchdogError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct WatchdogOptions {
+  /// StepComplete separation below this is a violation. 0 keeps only the
+  /// hard floor (Collision events are always violations).
+  double min_separation = 0.0;
+  bool check_separation = true;
+  /// Granular containment. Requires t0 positions at construction; armed
+  /// only then. Slack absorbs observation roundoff at the disc edge.
+  bool check_granular = false;
+  double granular_slack = 1e-9;
+  bool check_bit_order = true;
+  bool check_framing = true;
+  /// AckObserved latency above this is a violation; 0 disables.
+  double max_ack_window = 0.0;
+  /// Throw WatchdogError on the first violation instead of recording.
+  bool abort_on_violation = false;
+  /// Violations recorded after this many are counted but not stored.
+  std::size_t max_recorded = 64;
+};
+
+/// One tripped invariant.
+struct WatchdogViolation {
+  std::string invariant;  ///< "separation", "granular", "bit_order", ...
+  std::uint64_t t = 0;
+  std::int64_t robot = -1;
+  std::int64_t peer = -1;
+  double value = 0.0;     ///< Measured quantity (separation, latency, ...).
+  std::string detail;     ///< Human-readable one-liner.
+};
+
+class Watchdog final : public EventSink {
+ public:
+  /// `t0_positions` anchor the granular-containment check (center of robot
+  /// i's granular = its t0 position, radius = geom::granular_radius);
+  /// leave empty when `check_granular` is off.
+  explicit Watchdog(WatchdogOptions options,
+                    std::vector<geom::Vec2> t0_positions = {});
+
+  void on_event(const Event& e) override;
+
+  [[nodiscard]] bool ok() const noexcept { return total_violations_ == 0; }
+  [[nodiscard]] std::uint64_t total_violations() const noexcept {
+    return total_violations_;
+  }
+  [[nodiscard]] const std::vector<WatchdogViolation>& violations()
+      const noexcept {
+    return violations_;
+  }
+
+  /// Dumps `recorder` to `dump_path` on the first violation (not owned;
+  /// null detaches).
+  void set_flight_recorder(FlightRecorder* recorder, std::string dump_path);
+
+  /// Human-readable verdict: one line per recorded violation plus a
+  /// summary; "watchdog: all invariants held" when clean.
+  void report(std::ostream& out) const;
+  /// Machine-readable verdict (one JSON object).
+  void write_json(std::ostream& out) const;
+
+ private:
+  void violate(WatchdogViolation v);
+  void check_granular(const Event& e);
+
+  WatchdogOptions options_;
+  std::vector<geom::Vec2> anchors_;        ///< t0 positions.
+  std::vector<double> radii_;              ///< Granular radii at t0.
+  std::vector<bool> granular_disarmed_;    ///< Set by Teleport (fault).
+  std::map<std::int64_t, std::uint64_t> last_emit_t_;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::uint64_t>
+      last_decode_t_;                      ///< (receiver, sender).
+  /// (receiver, sender, addressee) -> replayed stream parser.
+  std::map<std::tuple<std::int64_t, std::int64_t, std::int64_t>,
+           encode::FrameParser>
+      streams_;
+  std::vector<WatchdogViolation> violations_;
+  std::uint64_t total_violations_ = 0;
+  FlightRecorder* recorder_ = nullptr;
+  std::string dump_path_;
+  bool dumped_ = false;
+};
+
+}  // namespace stig::obs

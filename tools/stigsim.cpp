@@ -7,11 +7,12 @@
 //   stigsim --n 8 --message "hello" --from 0 --to 5
 //   stigsim --async --p 0.4 --n 4 --broadcast --message "to all" --svg run.svg
 //   stigsim --n 12 --protocol ksegment --k 3 --ids --sod --seed 9
-//   stigsim --n 6 --message hi --events e.jsonl --chrome-trace t.json \
-//           --report r.json
+//   stigsim --n 6 --message hi --events e.jsonl --chrome-trace t.json
+//   stigsim --n 6 --message hi --spans - --watchdog report --report r.json
 //
 // Exit codes: 0 message(s) delivered; 1 run finished with no delivery
-// (timeout); 2 usage error (bad flag or value); 3 runtime or I/O error.
+// (timeout); 2 usage error (bad flag or value); 3 runtime or I/O error;
+// 4 watchdog violation in report mode.
 //
 // Run `stigsim --help` for the full flag list.
 #include <chrono>
@@ -27,9 +28,13 @@
 #include "core/chat_network.hpp"
 #include "encode/bits.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/jsonl_sink.hpp"
 #include "obs/metrics.hpp"
+#include "obs/metrics_sink.hpp"
 #include "obs/sink.hpp"
+#include "obs/span.hpp"
+#include "obs/watchdog.hpp"
 #include "sim/rng.hpp"
 #include "sim/jsonl.hpp"
 #include "viz/figures.hpp"
@@ -43,6 +48,7 @@ constexpr int kExitDelivered = 0;
 constexpr int kExitNoDelivery = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitRuntime = 3;
+constexpr int kExitWatchdog = 4;
 
 struct Args {
   std::size_t n = 6;
@@ -69,6 +75,13 @@ struct Args {
   std::string events;
   std::string chrome_trace;
   std::string report;
+  std::string spans;
+  std::string span_trace;
+  std::string metrics;
+  std::string watchdog;       // "", "report" or "abort".
+  double min_separation = 0.0;
+  std::size_t flight_recorder = 0;
+  std::string flight_dump = "flight.jsonl";
   bool help = false;
 };
 
@@ -97,9 +110,20 @@ void print_help() {
       "  --events FILE     write the telemetry event log as JSON Lines\n"
       "  --chrome-trace F  write a Chrome/Perfetto trace_event file\n"
       "  --report FILE     write the machine-readable run report\n"
-      "                    (\"-\" writes the report to stdout)\n\n"
+      "                    (\"-\" writes the report to stdout)\n"
+      "  --spans FILE      write per-message span JSON (\"-\" = stdout)\n"
+      "  --span-trace F    write nested message/phase spans as a Chrome\n"
+      "                    trace_event file\n"
+      "  --metrics FILE    write a MetricsRegistry snapshot as JSON at\n"
+      "                    exit (\"-\" = stdout)\n"
+      "  --watchdog MODE   check paper invariants live: report|abort\n"
+      "  --min-separation X  watchdog separation floor (default off)\n"
+      "  --flight-recorder N keep the last N events for post-mortem dumps\n"
+      "  --flight-dump F   flight-recorder dump path (default\n"
+      "                    flight.jsonl; written on watchdog violation,\n"
+      "                    engine throw, or fatal signal)\n\n"
       "exit codes: 0 delivered; 1 no delivery; 2 usage error;\n"
-      "            3 runtime/I-O error\n";
+      "            3 runtime/I-O error; 4 watchdog violation (report mode)\n";
 }
 
 bool parse(int argc, char** argv, Args& a) {
@@ -183,6 +207,34 @@ bool parse(int argc, char** argv, Args& a) {
       const char* v = need(i);
       if (!v) return false;
       a.report = v;
+    } else if (flag == "--spans") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.spans = v;
+    } else if (flag == "--span-trace") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.span_trace = v;
+    } else if (flag == "--metrics") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.metrics = v;
+    } else if (flag == "--watchdog") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.watchdog = v;
+      if (a.watchdog != "report" && a.watchdog != "abort") {
+        std::cerr << "--watchdog must be report or abort\n";
+        return false;
+      }
+    } else if (flag == "--min-separation") {
+      if (!num(a.min_separation)) return false;
+    } else if (flag == "--flight-recorder") {
+      if (!num(a.flight_recorder)) return false;
+    } else if (flag == "--flight-dump") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.flight_dump = v;
     } else {
       std::cerr << "unknown flag: " << flag << " (see --help)\n";
       return false;
@@ -243,6 +295,21 @@ int main(int argc, char** argv) {
     }
     sinks.add(chrome.get());
   }
+  // The recorder is added before the watchdog so a violation's dump already
+  // contains the event that tripped it.
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (args.flight_recorder > 0) {
+    recorder = std::make_unique<obs::FlightRecorder>(args.flight_recorder);
+    sinks.add(recorder.get());
+    obs::FlightRecorder::install_crash_handler(recorder.get(),
+                                               args.flight_dump);
+  }
+  std::unique_ptr<obs::SpanBuilder> span_builder;
+  if (!args.spans.empty() || !args.span_trace.empty()) {
+    span_builder = std::make_unique<obs::SpanBuilder>();
+    sinks.add(span_builder.get());
+  }
+  std::unique_ptr<obs::Watchdog> watchdog;
 
   // Scatter the swarm.
   sim::Rng rng(args.seed ^ 0x5745);
@@ -274,11 +341,35 @@ int main(int argc, char** argv) {
   opt.observation_delay = args.delay;
   opt.record_positions = !args.svg.empty() || !args.jsonl.empty();
 
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<obs::MetricsSink> metrics_sink;
   try {
     core::ChatNetwork net(pts, opt);
-    obs::MetricsRegistry metrics;
+    if (!args.watchdog.empty()) {
+      obs::WatchdogOptions wopt;
+      wopt.min_separation = args.min_separation;
+      wopt.abort_on_violation = args.watchdog == "abort";
+      // Granular containment is an invariant of the granular protocols
+      // only: Sync2/Async2 signal on the segment joining the two robots
+      // (the unbounded Async2 drifts apart by design — experiment E8).
+      const core::ProtocolKind kind = net.protocol_kind();
+      wopt.check_granular = kind == core::ProtocolKind::sliced ||
+                            kind == core::ProtocolKind::ksegment ||
+                            kind == core::ProtocolKind::asyncn;
+      watchdog = std::make_unique<obs::Watchdog>(wopt, pts);
+      if (recorder != nullptr) {
+        watchdog->set_flight_recorder(recorder.get(), args.flight_dump);
+      }
+      sinks.add(watchdog.get());
+    }
+    if (!args.metrics.empty()) {
+      metrics_sink = std::make_unique<obs::MetricsSink>(metrics);
+      sinks.add(metrics_sink.get());
+    }
     if (!sinks.empty()) net.attach_event_sink(&sinks);
-    if (!args.report.empty()) net.attach_metrics(&metrics);
+    if (!args.report.empty() || !args.metrics.empty()) {
+      net.attach_metrics(&metrics);
+    }
     const auto payload = encode::bytes_of(args.message);
     if (args.broadcast) {
       net.broadcast(args.from, payload);
@@ -294,9 +385,11 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(Clock::now() - wall_start).count();
     sinks.flush();
 
-    // "--report -" reserves stdout for the JSON report so it pipes
-    // cleanly into jq; the human summary moves to stderr.
-    std::ostream& human = (args.report == "-") ? std::cerr : std::cout;
+    // "--report -" / "--spans -" / "--metrics -" reserve stdout for the
+    // JSON so it pipes cleanly into jq; the human summary moves to stderr.
+    const bool stdout_taken = args.report == "-" || args.spans == "-" ||
+                              args.metrics == "-";
+    std::ostream& human = stdout_taken ? std::cerr : std::cout;
     human << "protocol: " << args.protocol << " (resolved kind "
           << static_cast<int>(net.protocol_kind()) << "), n = " << args.n
           << ", " << (args.async_mode ? "asynchronous" : "synchronous")
@@ -341,6 +434,41 @@ int main(int argc, char** argv) {
         std::cout << "wrote " << args.report << "\n";
       }
     }
+    if (span_builder != nullptr) {
+      if (args.spans == "-") {
+        span_builder->write_json(std::cout);
+      } else if (!args.spans.empty()) {
+        std::ofstream out(args.spans);
+        if (!out) {
+          std::cerr << "error: could not write " << args.spans << "\n";
+          return kExitRuntime;
+        }
+        span_builder->write_json(out);
+        human << "wrote " << args.spans << "\n";
+      }
+      if (!args.span_trace.empty()) {
+        std::ofstream out(args.span_trace);
+        if (!out) {
+          std::cerr << "error: could not write " << args.span_trace << "\n";
+          return kExitRuntime;
+        }
+        span_builder->write_chrome_trace(out);
+        human << "wrote " << args.span_trace << "\n";
+      }
+    }
+    if (!args.metrics.empty()) {
+      if (args.metrics == "-") {
+        metrics.write_json(std::cout);
+      } else {
+        std::ofstream out(args.metrics);
+        if (!out) {
+          std::cerr << "error: could not write " << args.metrics << "\n";
+          return kExitRuntime;
+        }
+        metrics.write_json(out);
+        human << "wrote " << args.metrics << "\n";
+      }
+    }
     if (!args.events.empty()) human << "wrote " << args.events << "\n";
     if (!args.chrome_trace.empty()) {
       human << "wrote " << args.chrome_trace << "\n";
@@ -361,9 +489,21 @@ int main(int argc, char** argv) {
       }
       human << "wrote " << args.svg << "\n";
     }
+    if (watchdog != nullptr) {
+      watchdog->report(std::cerr);
+      if (!watchdog->ok()) return kExitWatchdog;
+    }
     return delivered > 0 ? kExitDelivered : kExitNoDelivery;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
+    // The black box: whatever unwound (collision, watchdog abort, I/O),
+    // leave the last events on disk for stigreport to inspect.
+    if (recorder != nullptr && !recorder->dump_to_file(args.flight_dump)) {
+      std::cerr << "error: could not write " << args.flight_dump << "\n";
+    } else if (recorder != nullptr) {
+      std::cerr << "flight recorder: wrote " << args.flight_dump << "\n";
+    }
+    if (watchdog != nullptr) watchdog->report(std::cerr);
     return kExitRuntime;
   }
 }
