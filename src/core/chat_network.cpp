@@ -29,8 +29,11 @@ ProtocolKind resolve_protocol(const ChatNetworkOptions& opt, std::size_t n) {
   return n == 2 ? ProtocolKind::async2 : ProtocolKind::asyncn;
 }
 
-std::unique_ptr<sim::Scheduler> make_scheduler(
+std::unique_ptr<sim::Scheduler> make_base_scheduler(
     const ChatNetworkOptions& opt) {
+  if (opt.replay_schedule != nullptr) {
+    return std::make_unique<sim::ReplayScheduler>(opt.replay_schedule);
+  }
   if (opt.synchrony == Synchrony::synchronous) {
     return std::make_unique<sim::SynchronousScheduler>();
   }
@@ -47,6 +50,16 @@ std::unique_ptr<sim::Scheduler> make_scheduler(
       return std::make_unique<sim::AdversarialScheduler>(opt.fairness_bound);
   }
   throw std::logic_error("unknown scheduler kind");
+}
+
+std::unique_ptr<sim::Scheduler> make_scheduler(
+    const ChatNetworkOptions& opt) {
+  std::unique_ptr<sim::Scheduler> base = make_base_scheduler(opt);
+  if (opt.record_schedule != nullptr) {
+    return std::make_unique<sim::RecordingScheduler>(std::move(base),
+                                                     opt.record_schedule);
+  }
+  return base;
 }
 
 }  // namespace

@@ -30,6 +30,7 @@
 #include "obs/report.hpp"
 #include "proto/common.hpp"
 #include "sim/engine.hpp"
+#include "sim/schedule_log.hpp"
 
 namespace stig::core {
 
@@ -88,6 +89,13 @@ struct ChatNetworkOptions {
   double observation_quantum = 0.0;  ///< Sensor grid; 0 = ideal.
   sim::Time observation_delay = 0;   ///< Stale observations; 0 = atomic.
   double visibility_radius = 0.0;    ///< Limited visibility; 0 = unlimited.
+
+  // Fuzz/replay hooks (not owned; must outlive the network).
+  sim::ScheduleLog* record_schedule = nullptr;  ///< Capture activations.
+  const sim::ScheduleLog* replay_schedule = nullptr;  ///< Play back a
+                                                      ///< recorded schedule
+                                                      ///< instead of
+                                                      ///< sampling one.
 };
 
 /// A delivered message, in simulator indices.
@@ -170,6 +178,13 @@ class ChatNetwork {
   /// The protocol robot driving simulator robot `i` (for inspection).
   [[nodiscard]] const proto::ChatRobot& chat_robot(sim::RobotIndex i) const {
     return *chat_.at(i);
+  }
+
+  /// Arms a one-shot decode fault on robot `i`: its `nth_bit`-th decoded
+  /// signal (0-based) is misread. Fuzz-harness conformance hook — see
+  /// proto::ChatRobot::inject_decode_fault.
+  void inject_decode_fault(sim::RobotIndex i, std::uint64_t nth_bit) {
+    chat_.at(i)->inject_decode_fault(nth_bit);
   }
 
  private:

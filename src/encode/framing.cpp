@@ -34,13 +34,18 @@ void FrameParser::push_bit(std::uint8_t bit) {
 
 void FrameParser::try_parse() {
   for (;;) {
+    if (resync_) {
+      if (!try_resync()) return;  // Still hunting; wait for more bytes.
+      continue;  // A frame was recovered; resume normal parsing.
+    }
     if (buffer_.empty()) return;
     const auto header = decode_varint(buffer_);
     if (!header) {
       if (buffer_.size() >= 10) {
-        // Overlong varint can never complete: resynchronize by a byte.
+        // Overlong varint can never complete: the stream is corrupted.
         ++corrupt_;
         buffer_.erase(buffer_.begin());
+        resync_ = true;
         continue;
       }
       return;  // Truncated varint: wait for more bits.
@@ -48,6 +53,7 @@ void FrameParser::try_parse() {
     if (header->value > kMaxPayload) {
       ++corrupt_;
       buffer_.erase(buffer_.begin());
+      resync_ = true;
       continue;
     }
     const std::size_t len = static_cast<std::size_t>(header->value);
@@ -62,13 +68,51 @@ void FrameParser::try_parse() {
                     buffer_.begin() + static_cast<std::ptrdiff_t>(total));
     } else {
       ++corrupt_;
-      // Drop the whole frame the length field described; if the length
-      // itself was corrupted this may eat good bytes, but the next CRC
-      // failure keeps resynchronizing.
-      buffer_.erase(buffer_.begin(),
-                    buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+      // The mismatch may be the length field's fault: if the length byte
+      // itself was corrupted, `total` lies about the frame's extent, and
+      // dropping that many bytes could eat the valid frame that follows.
+      // Drop a single byte and switch to resynchronization instead.
+      buffer_.erase(buffer_.begin());
+      resync_ = true;
     }
   }
+}
+
+bool FrameParser::try_resync() {
+  // The corrupt prefix poisons the framing: a garbage byte read as a
+  // length would make the normal parser wait (possibly forever) for a
+  // frame that is not there. Hunt instead: accept the first *complete*,
+  // CRC-valid frame starting at any offset, dropping whatever garbage
+  // precedes it. Incomplete candidates are not waited for — if one is
+  // genuine it completes on a later byte and the scan finds it then.
+  //
+  // Bytes deeper than the maximal frame extent can never begin a frame
+  // this scan would accept (complete candidates there were already
+  // rejected, longer declared lengths are over kMaxPayload), so trimming
+  // them bounds memory without losing recoverable frames.
+  constexpr std::size_t kWindow = kMaxPayload + 11;
+  if (buffer_.size() > kWindow) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.end() - static_cast<std::ptrdiff_t>(kWindow));
+  }
+  for (std::size_t at = 0; at < buffer_.size(); ++at) {
+    const std::span<const std::uint8_t> tail(buffer_.data() + at,
+                                             buffer_.size() - at);
+    const auto header = decode_varint(tail);
+    if (!header || header->value > kMaxPayload) continue;
+    const std::size_t len = static_cast<std::size_t>(header->value);
+    const std::size_t total = header->consumed + len + 1;
+    if (tail.size() < total) continue;
+    const std::span<const std::uint8_t> payload(
+        tail.data() + header->consumed, len);
+    if (crc8(payload) != tail[header->consumed + len]) continue;
+    messages_.emplace_back(payload.begin(), payload.end());
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(at + total));
+    resync_ = false;
+    return true;
+  }
+  return false;
 }
 
 void FrameParser::reset() {
@@ -76,6 +120,7 @@ void FrameParser::reset() {
   buffer_.clear();
   partial_ = 0;
   partial_count_ = 0;
+  resync_ = false;
 }
 
 std::vector<std::vector<std::uint8_t>> FrameParser::take_messages() {

@@ -52,6 +52,10 @@ class FrameParser {
 
  private:
   void try_parse();
+  /// Post-corruption recovery: accepts the first complete, CRC-valid frame
+  /// at *any* buffer offset (garbage before it is discarded). Returns true
+  /// when a frame was recovered and normal parsing may resume.
+  bool try_resync();
 
   std::vector<std::uint8_t> buffer_;  ///< Whole bytes assembled so far.
   std::uint8_t partial_ = 0;          ///< Bits of the byte in flight.
@@ -59,6 +63,7 @@ class FrameParser {
   std::vector<std::vector<std::uint8_t>> messages_;
   std::uint64_t corrupt_ = 0;
   std::uint64_t bits_ = 0;
+  bool resync_ = false;  ///< Hunting for a frame after a corrupt prefix.
 };
 
 }  // namespace stig::encode

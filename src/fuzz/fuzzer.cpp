@@ -1,0 +1,184 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "obs/watchdog.hpp"
+
+namespace stig::fuzz {
+namespace {
+
+/// (receiver, sender, payload) — the order-insensitive delivery signature
+/// the delivery and differential oracles compare.
+using DeliverySig =
+    std::tuple<std::size_t, std::size_t, std::vector<std::uint8_t>>;
+
+struct RunOutcome {
+  bool constructed = false;  ///< Reached the end without throwing.
+  bool watchdog = false;     ///< WatchdogError unwound the run.
+  std::string error;
+  bool quiescent = false;
+  sim::Time instants = 0;
+  std::vector<DeliverySig> deliveries;
+  sim::ScheduleLog log;
+};
+
+RunOutcome run_one(const FuzzConfig& cfg, core::ProtocolKind kind,
+                   bool apply_fault) {
+  RunOutcome out;
+  core::ChatNetworkOptions opt = to_options(cfg, kind);
+  opt.record_schedule = &out.log;
+
+  obs::WatchdogOptions wopt;
+  wopt.abort_on_violation = true;
+  // Granular containment holds for the granular protocols only: Sync2 and
+  // Async2 signal on the segment joining the two robots (same convention
+  // as stigsim).
+  wopt.check_granular = kind == core::ProtocolKind::sliced ||
+                        kind == core::ProtocolKind::ksegment ||
+                        kind == core::ProtocolKind::asyncn;
+  std::vector<geom::Vec2> positions = scatter(cfg.seed, cfg.n);
+  obs::Watchdog watchdog(wopt, positions);
+
+  try {
+    core::ChatNetwork net(positions, opt);
+    net.attach_event_sink(&watchdog);
+    if (apply_fault && cfg.fault) {
+      net.inject_decode_fault(cfg.fault->robot % cfg.n, cfg.fault->nth_bit);
+    }
+    if (cfg.broadcast) {
+      net.broadcast(0, cfg.payload);
+    } else {
+      net.send(0, 1, cfg.payload);
+    }
+    out.quiescent = net.run_until_quiescent(instant_budget(cfg));
+    // Settle: quiescence means the sender finished; a few more instants
+    // let every receiver's decode catch up (same tail stigsim runs). A
+    // timed-out run skips it — it is already a failure, and running on
+    // would let a shrunk budget "pass" on work done past the budget.
+    if (out.quiescent) net.run(is_synchronous(kind) ? 4 : 512);
+    out.instants = net.engine().now();
+    for (std::size_t i = 0; i < cfg.n; ++i) {
+      for (const core::Delivery& d : net.received(i)) {
+        out.deliveries.emplace_back(i, d.from, d.payload);
+      }
+    }
+    std::sort(out.deliveries.begin(), out.deliveries.end());
+    out.constructed = true;
+  } catch (const obs::WatchdogError& e) {
+    out.watchdog = true;
+    out.error = e.what();
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+std::vector<DeliverySig> expected_deliveries(const FuzzConfig& cfg) {
+  std::vector<DeliverySig> expect;
+  if (cfg.broadcast) {
+    for (std::size_t i = 1; i < cfg.n; ++i) {
+      expect.emplace_back(i, std::size_t{0}, cfg.payload);
+    }
+  } else {
+    expect.emplace_back(std::size_t{1}, std::size_t{0}, cfg.payload);
+  }
+  return expect;
+}
+
+std::string describe(const std::vector<DeliverySig>& got,
+                     const std::vector<DeliverySig>& want) {
+  std::ostringstream out;
+  out << "expected " << want.size() << " delivery(ies), got " << got.size();
+  for (const auto& [to, from, payload] : got) {
+    out << " [" << from << "->" << to << " " << payload.size() << "B]";
+  }
+  return out.str();
+}
+
+/// Classifies one protocol run against the delivery + termination oracles;
+/// FailureKind::none when both held.
+FailureKind classify(const FuzzConfig& cfg, const RunOutcome& run,
+                     const char* proto_name, std::string& detail) {
+  if (run.watchdog) {
+    detail = std::string(proto_name) + ": " + run.error;
+    return FailureKind::watchdog_violation;
+  }
+  if (!run.constructed) {
+    detail = std::string(proto_name) + ": " + run.error;
+    return FailureKind::crash;
+  }
+  if (!run.quiescent) {
+    std::ostringstream out;
+    out << proto_name << ": not quiescent after "
+        << instant_budget(cfg) << " instants";
+    detail = out.str();
+    return FailureKind::timeout;
+  }
+  const std::vector<DeliverySig> want = expected_deliveries(cfg);
+  if (run.deliveries != want) {
+    detail = std::string(proto_name) + ": " +
+             describe(run.deliveries, want);
+    return FailureKind::payload_mismatch;
+  }
+  return FailureKind::none;
+}
+
+}  // namespace
+
+const char* failure_kind_name(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::none: return "none";
+    case FailureKind::payload_mismatch: return "payload_mismatch";
+    case FailureKind::differential_mismatch: return "differential_mismatch";
+    case FailureKind::watchdog_violation: return "watchdog_violation";
+    case FailureKind::timeout: return "timeout";
+    case FailureKind::crash: return "crash";
+  }
+  return "none";
+}
+
+FailureKind failure_kind_from_name(const std::string& name) {
+  for (FailureKind k :
+       {FailureKind::payload_mismatch, FailureKind::differential_mismatch,
+        FailureKind::watchdog_violation, FailureKind::timeout,
+        FailureKind::crash}) {
+    if (name == failure_kind_name(k)) return k;
+  }
+  return FailureKind::none;
+}
+
+CaseResult run_case(const FuzzConfig& cfg) {
+  CaseResult result;
+  const RunOutcome primary = run_one(cfg, cfg.protocol, /*apply_fault=*/true);
+  result.schedule_digest = primary.log.digest();
+  result.schedule_instants = primary.log.instants();
+  result.instants = primary.instants;
+
+  result.kind = classify(cfg, primary,
+                         core::protocol_kind_name(cfg.protocol),
+                         result.detail);
+  if (result.kind != FailureKind::none) return result;
+
+  // Differential oracle. A faulted run is supposed to diverge from its
+  // clean siblings, so injection disables the comparison.
+  if (cfg.fault) return result;
+  for (core::ProtocolKind peer : equivalence_class(cfg.protocol, cfg.n)) {
+    if (peer == cfg.protocol) continue;
+    const RunOutcome alt = run_one(cfg, peer, /*apply_fault=*/false);
+    result.kind = classify(cfg, alt, core::protocol_kind_name(peer),
+                           result.detail);
+    if (result.kind != FailureKind::none) return result;
+    if (alt.deliveries != primary.deliveries) {
+      result.kind = FailureKind::differential_mismatch;
+      result.detail = std::string(core::protocol_kind_name(cfg.protocol)) +
+                      " vs " + core::protocol_kind_name(peer) +
+                      " delivered different payload sets";
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace stig::fuzz

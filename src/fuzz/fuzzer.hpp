@@ -1,0 +1,55 @@
+// run_case — execute one fuzz config under every oracle.
+//
+// A case runs its primary protocol with the invariant watchdog in abort
+// mode and the activation schedule recorded, then checks three oracles:
+//
+//   delivery       the queued payload arrives byte-equal at its addressee
+//                  (every non-sender, for broadcasts), exactly once, and
+//                  nothing else arrives;
+//   termination    the run reaches quiescence within the config's instant
+//                  budget, and no invariant (separation, granular
+//                  containment, bit order, framing CRC) is violated;
+//   differential   every protocol in the config's equivalence class
+//                  delivers the identical payload multiset under the same
+//                  scheduler seed — skipped when a fault is injected
+//                  (a faulted run is *supposed* to diverge).
+//
+// The result carries the schedule digest of the primary run: replaying the
+// same config must reproduce both the failure kind and the digest, which is
+// the harness's definition of "bit-for-bit".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/fuzz_config.hpp"
+
+namespace stig::fuzz {
+
+enum class FailureKind : unsigned char {
+  none,                   ///< All oracles passed.
+  payload_mismatch,       ///< Wrong, missing, or extra delivery.
+  differential_mismatch,  ///< Equivalence-class protocols disagreed.
+  watchdog_violation,     ///< An invariant tripped (abort mode).
+  timeout,                ///< Budget elapsed before quiescence.
+  crash,                  ///< The engine threw something else.
+};
+
+/// Stable lower-case name ("payload_mismatch", ...).
+[[nodiscard]] const char* failure_kind_name(FailureKind kind);
+/// Inverse of failure_kind_name; `none` for unknown names.
+[[nodiscard]] FailureKind failure_kind_from_name(const std::string& name);
+
+struct CaseResult {
+  FailureKind kind = FailureKind::none;
+  std::string detail;                  ///< Human-readable one-liner.
+  std::uint64_t schedule_digest = 0;   ///< Primary run's schedule.
+  std::size_t schedule_instants = 0;
+  sim::Time instants = 0;              ///< Primary run's engine clock.
+};
+
+/// Runs `cfg` under all oracles. Deterministic: equal configs produce
+/// equal results, digests included.
+[[nodiscard]] CaseResult run_case(const FuzzConfig& cfg);
+
+}  // namespace stig::fuzz

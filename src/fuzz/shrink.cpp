@@ -1,0 +1,83 @@
+#include "fuzz/shrink.hpp"
+
+#include <utility>
+
+namespace stig::fuzz {
+
+ShrinkResult shrink(const FuzzConfig& failing, const CaseResult& original,
+                    std::size_t max_attempts) {
+  ShrinkResult best{failing, original, 0};
+  const FailureKind kind = original.kind;
+
+  // Accepts `cand` as the new best iff it fails with the original kind.
+  const auto try_candidate = [&](FuzzConfig cand) -> bool {
+    if (best.attempts >= max_attempts) return false;
+    ++best.attempts;
+    CaseResult r = run_case(cand);
+    if (r.kind != kind) return false;
+    best.config = std::move(cand);
+    best.result = std::move(r);
+    return true;
+  };
+
+  // Stage 1: payload bytes. Halve from the back, then drop single bytes.
+  while (!best.config.payload.empty()) {
+    FuzzConfig cand = best.config;
+    cand.payload.resize(cand.payload.size() / 2);
+    if (!try_candidate(std::move(cand))) break;
+  }
+  bool progress = true;
+  while (progress && !best.config.payload.empty()) {
+    progress = false;
+    for (std::size_t i = best.config.payload.size(); i-- > 0;) {
+      FuzzConfig cand = best.config;
+      cand.payload.erase(cand.payload.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      if (try_candidate(std::move(cand))) {
+        progress = true;
+        break;
+      }
+    }
+  }
+
+  // Stage 2: robots. Two is the floor (and what sync2/async2 require
+  // anyway); sender 0 and receiver 1 always survive the cut.
+  const auto with_n = [&](std::size_t n) {
+    FuzzConfig cand = best.config;
+    cand.n = n;
+    if (cand.subset_size > n) cand.subset_size = n;
+    if (cand.fault) cand.fault->robot %= n;
+    return cand;
+  };
+  if (best.config.n > 2) (void)try_candidate(with_n(2));
+  while (best.config.n > 2) {
+    if (!try_candidate(with_n(best.config.n - 1))) break;
+  }
+
+  // Stage 3: instant budget. Halve while the failure survives. Skipped for
+  // timeouts — shrinking a timeout's budget reproduces it vacuously. For
+  // the other kinds this cannot over-shrink: classify() demands quiescence
+  // before calling anything a payload mismatch, so a budget below the
+  // run's natural length flips the kind to timeout and is rejected.
+  if (kind != FailureKind::timeout) {
+    while (true) {
+      FuzzConfig cand = best.config;
+      const sim::Time cur = instant_budget(cand);
+      if (cur <= 64) break;
+      cand.max_instants = cur / 2;
+      if (!try_candidate(std::move(cand))) break;
+    }
+  }
+
+  // Stage 4: canonicalize the Bernoulli activation probability.
+  if (!is_synchronous(best.config.protocol) &&
+      best.config.scheduler == core::SchedulerKind::bernoulli &&
+      best.config.p != 0.5) {
+    FuzzConfig cand = best.config;
+    cand.p = 0.5;
+    (void)try_candidate(std::move(cand));
+  }
+  return best;
+}
+
+}  // namespace stig::fuzz

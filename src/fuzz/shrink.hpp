@@ -1,0 +1,31 @@
+// Failure shrinking — reduce a failing config to a minimal reproducer.
+//
+// Greedy delta-debugging in a fixed order: payload bytes, then robots,
+// then the instant budget, then the scheduler's activation probability. A
+// candidate is accepted only when run_case reports the *same* FailureKind —
+// a shrink that morphs one failure into another is a different bug and is
+// rejected. The budget stage is skipped for timeouts (any budget cut
+// trivially "reproduces" a timeout).
+#pragma once
+
+#include <cstddef>
+
+#include "fuzz/fuzz_config.hpp"
+#include "fuzz/fuzzer.hpp"
+
+namespace stig::fuzz {
+
+struct ShrinkResult {
+  FuzzConfig config;     ///< The minimal failing config found.
+  CaseResult result;     ///< run_case(config) — same kind as the original.
+  std::size_t attempts = 0;  ///< Candidate runs spent (<= max_attempts).
+};
+
+/// Shrinks `failing` (whose run_case result was `original`). Every
+/// intermediate candidate is re-run, so the returned config's failure is
+/// verified, not inferred.
+[[nodiscard]] ShrinkResult shrink(const FuzzConfig& failing,
+                                  const CaseResult& original,
+                                  std::size_t max_attempts = 200);
+
+}  // namespace stig::fuzz

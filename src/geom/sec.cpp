@@ -24,8 +24,22 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
 // incremental construction accumulates a few ulps of error per level.
 constexpr double kSecEps = 1e-10;
 
-Circle circle_two_boundary(std::span<const Vec2> pts, std::size_t limit,
-                           const Vec2& p, const Vec2& q) {
+Circle circle_one_boundary(std::span<const Vec2> pts, std::size_t limit,
+                           const Vec2& p) {
+  Circle c{p, 0.0};
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (!c.contains(pts[i], kSecEps)) {
+      c = circle_with_two_boundary_points(pts, i, p, pts[i]);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Circle circle_with_two_boundary_points(std::span<const Vec2> pts,
+                                       std::size_t limit, const Vec2& p,
+                                       const Vec2& q) {
   Circle c = circle_from(p, q);
   for (std::size_t i = 0; i < limit; ++i) {
     if (!c.contains(pts[i], kSecEps)) {
@@ -33,32 +47,22 @@ Circle circle_two_boundary(std::span<const Vec2> pts, std::size_t limit,
       if (auto cc = circumcircle(p, q, pts[i])) {
         c = *cc;
       } else {
-        // Collinear triple: the farthest pair's diameter circle covers all.
-        Circle c1 = circle_from(p, pts[i]);
-        Circle c2 = circle_from(q, pts[i]);
-        const Circle& best =
-            c1.radius >= c2.radius ? c1 : c2;
-        c = best.contains(p, kSecEps) && best.contains(q, kSecEps)
-                ? best
-                : circle_from(p, q);
+        // Degenerate triple (collinear within tolerance, or a duplicate):
+        // there is no circumcircle. Grow the current circle just enough to
+        // take pts[i] onto its boundary. For an exactly collinear triple
+        // this *is* the farthest pair's diameter circle, and because the
+        // circle only ever grows it keeps covering every earlier prefix
+        // point — rebuilding from a point pair here shrank the circle and
+        // could un-cover them.
+        const double d = dist(pts[i], c.center);
+        const Vec2 dir = (pts[i] - c.center) / d;  // d > 0: outside c.
+        const double grown = (c.radius + d) / 2.0;
+        c = Circle{c.center + dir * (d - c.radius) / 2.0, grown};
       }
     }
   }
   return c;
 }
-
-Circle circle_one_boundary(std::span<const Vec2> pts, std::size_t limit,
-                           const Vec2& p) {
-  Circle c{p, 0.0};
-  for (std::size_t i = 0; i < limit; ++i) {
-    if (!c.contains(pts[i], kSecEps)) {
-      c = circle_two_boundary(pts, i, p, pts[i]);
-    }
-  }
-  return c;
-}
-
-}  // namespace
 
 Circle smallest_enclosing_circle(std::span<const Vec2> points) {
   if (points.empty()) return Circle{Vec2{0.0, 0.0}, 0.0};

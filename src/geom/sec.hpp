@@ -25,6 +25,19 @@ namespace stig::geom {
 /// circle at that point. Expected O(n) time, O(n) scratch space.
 [[nodiscard]] Circle smallest_enclosing_circle(std::span<const Vec2> points);
 
+/// Welzl's two-boundary-points subproblem: grows the circle through `p` and
+/// `q` until it encloses `pts[0..limit)` as well. `p` and `q` stay on the
+/// boundary whenever the input admits it (the non-degenerate case); for
+/// degenerate (collinear or duplicate) prefixes the result is still a circle
+/// enclosing every input, grown monotonically — the historically buggy
+/// fallback rebuilt the circle from a point pair and could *un-cover*
+/// earlier prefix points. Exposed so the property/fuzz tests can drive the
+/// degenerate paths directly.
+[[nodiscard]] Circle circle_with_two_boundary_points(std::span<const Vec2> pts,
+                                                     std::size_t limit,
+                                                     const Vec2& p,
+                                                     const Vec2& q);
+
 /// Returns the indices of points lying on the SEC boundary (the support set;
 /// between 1 and all-cocircular many). Useful for tests and for detecting the
 /// degenerate "robot at center O" case handled by the naming scheme.

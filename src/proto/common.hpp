@@ -92,6 +92,15 @@ class ChatRobot : public sim::Robot {
     return outbox_.empty();
   }
 
+  /// Fault-injection hook for the fuzz harness: flips this robot's
+  /// `nth_bit`-th decoded bit (0-based, counted across all streams) —
+  /// emulating a single misread movement signal. The corrupted bit flows
+  /// through the regular framing path, so the CRC must catch it; the fuzz
+  /// delivery oracle then observes the lost frame. One-shot.
+  void inject_decode_fault(std::uint64_t nth_bit) noexcept {
+    fault_bit_ = nth_bit;
+  }
+
   /// The slot this robot occupies in its own addressing space.
   [[nodiscard]] virtual std::size_t self_slot() const = 0;
   /// Number of slots (robots) in this robot's addressing space.
@@ -184,6 +193,7 @@ class ChatRobot : public sim::Robot {
   const std::vector<sim::RobotIndex>* slot_map_ = nullptr;
   std::uint64_t now_ = 0;            ///< Time of the latest activation.
   std::uint64_t ack_armed_t_ = 0;
+  std::optional<std::uint64_t> fault_bit_;  ///< Armed decode fault.
   const char* phase_name_ = nullptr;
   std::optional<geom::Vec2> last_pos_;  ///< Self position, last activation.
   bool last_was_idle_ = false;

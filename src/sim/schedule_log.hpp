@@ -1,0 +1,72 @@
+// Replayable activation-schedule capture.
+//
+// The fuzz harness's bit-for-bit replay claim rests on the schedule: two
+// runs are "the same execution" exactly when every instant activated the
+// same robots. A ScheduleLog records the activation sets an engine's
+// scheduler produced; a RecordingScheduler wraps any scheduler to fill one
+// in transparently; a ReplayScheduler plays a log back verbatim. The FNV
+// digest condenses a whole schedule into one comparable/serializable
+// fingerprint — `stigsim --replay` re-runs a repro and compares digests to
+// prove the failure was reproduced under the identical schedule.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace stig::sim {
+
+/// A recorded activation schedule: one ActivationSet per instant, in order.
+struct ScheduleLog {
+  std::vector<ActivationSet> sets;
+
+  /// FNV-1a fingerprint over (instant, robot count, activation bits).
+  /// Equal digests over equal lengths mean bit-identical schedules.
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+
+  void clear() { sets.clear(); }
+  [[nodiscard]] std::size_t instants() const noexcept { return sets.size(); }
+};
+
+/// Wraps a scheduler, appending every activation set it produces to a log.
+class RecordingScheduler final : public Scheduler {
+ public:
+  /// `log` is not owned and must outlive the scheduler.
+  RecordingScheduler(std::unique_ptr<Scheduler> inner, ScheduleLog* log)
+      : inner_(std::move(inner)), log_(log) {}
+
+  [[nodiscard]] ActivationSet activate(Time t, std::size_t n) override {
+    ActivationSet a = inner_->activate(t, n);
+    log_->sets.push_back(a);
+    return a;
+  }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  ScheduleLog* log_;
+};
+
+/// Plays a recorded schedule back verbatim. Instants past the end of the
+/// log fall back to all-active (the log captured every instant that
+/// mattered; the tail only runs the engine to its settle steps).
+class ReplayScheduler final : public Scheduler {
+ public:
+  /// `log` is not owned and must outlive the scheduler.
+  explicit ReplayScheduler(const ScheduleLog* log) : log_(log) {}
+
+  [[nodiscard]] ActivationSet activate(Time /*t*/, std::size_t n) override {
+    if (next_ < log_->sets.size() && log_->sets[next_].size() == n) {
+      return log_->sets[next_++];
+    }
+    ++next_;
+    return ActivationSet(n, true);
+  }
+
+ private:
+  const ScheduleLog* log_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace stig::sim

@@ -10,12 +10,21 @@ namespace {
 
 // Applies the fairness bound and the non-empty guarantee shared by the
 // randomized schedulers.
+//
+// Invariant on exit: streak[i] counts robot i's *current* consecutive
+// inactive instants and is always < bound. The trailing loop recomputes
+// every streak from the final activation set, so both repair paths — the
+// bound force-activation and the empty-set re-roll — reset the streak of
+// whichever robot they turned on; neither can double-count or starve a
+// robot past the bound.
 void enforce_fairness(ActivationSet& a, std::vector<std::size_t>& streak,
                       std::size_t bound, Rng& rng) {
   const std::size_t n = a.size();
   streak.resize(n, 0);
   bool any = false;
   for (std::size_t i = 0; i < n; ++i) {
+    // streak[i] + 1 is what the streak would become if i stayed inactive
+    // this instant; bound 1 therefore forces everyone active.
     if (!a[i] && streak[i] + 1 >= bound) a[i] = true;
     any = any || a[i];
   }
@@ -24,6 +33,7 @@ void enforce_fairness(ActivationSet& a, std::vector<std::size_t>& streak,
   }
   for (std::size_t i = 0; i < n; ++i) {
     streak[i] = a[i] ? 0 : streak[i] + 1;
+    assert(streak[i] < bound);
   }
 }
 
@@ -61,19 +71,20 @@ ActivationSet KSubsetScheduler::activate(Time /*t*/, std::size_t n) {
 
 ActivationSet AdversarialScheduler::activate(Time /*t*/, std::size_t n) {
   ActivationSet a(n, true);
-  if (n <= 1) return a;
+  // Bound 1 means "no robot may ever be inactive": there is nothing left
+  // to starve. The old rotate-then-starve path ignored this and put the
+  // fresh victim at streak 1 >= bound — the exact starvation the bound
+  // forbids.
+  if (n <= 1 || fairness_bound_ <= 1) return a;
   victim_ %= n;
   if (starved_for_ + 1 >= fairness_bound_) {
-    // Must activate the victim now; move on to starving the next robot.
-    starved_for_ = 0;
+    // The victim would hit the bound this instant: activate it (it stays
+    // true in `a`) and begin starving the next robot instead.
     victim_ = (victim_ + 1) % n;
-    // Starve the *new* victim from this instant on.
-    a[victim_] = false;
-    starved_for_ = 1;
-  } else {
-    a[victim_] = false;
-    ++starved_for_;
+    starved_for_ = 0;
   }
+  a[victim_] = false;
+  ++starved_for_;
   return a;
 }
 

@@ -86,6 +86,30 @@ TEST_P(FramingFuzz, ResetRealignsAfterBitInsertion) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FramingFuzz,
                          ::testing::Range<std::uint64_t>(1, 16));
 
+TEST(FrameParser, CorruptedLengthThenValidFrameResyncs) {
+  // A corrupted *length* byte makes the described extent a lie: frame A
+  // [len=1 | 0x00 | crc=0x00] arrives with its length byte smashed to 4,
+  // so the parser's CRC check fails over a 4-byte window that reaches into
+  // the valid frame B behind it. The pre-fix parser dropped the whole
+  // described extent — eating B's head and losing B for good; the one-byte
+  // resync slides until it realigns and still delivers B.
+  const std::vector<std::uint8_t> payload_a{0x00};
+  const std::vector<std::uint8_t> payload_b{0x6f, 0x6b};
+  BitString wire = encode_frame(payload_a);
+  // Rewrite the first byte (varint length 1) to 4, MSB-first.
+  for (std::size_t i = 0; i < 8; ++i) {
+    wire[i] = static_cast<std::uint8_t>((0x04 >> (7 - i)) & 1);
+  }
+  const BitString frame_b = encode_frame(payload_b);
+  wire.insert(wire.end(), frame_b.begin(), frame_b.end());
+  FrameParser parser;
+  for (std::uint8_t bit : wire) parser.push_bit(bit);
+  const auto got = parser.take_messages();
+  EXPECT_GE(parser.corrupt_frames(), 1u);
+  EXPECT_NE(std::find(got.begin(), got.end(), payload_b), got.end())
+      << "the valid frame after the corrupted length was not recovered";
+}
+
 TEST(FrameParser, MidFrameReflectsPartialInput) {
   FrameParser parser;
   EXPECT_FALSE(parser.mid_frame());

@@ -1,0 +1,96 @@
+// Differential conformance matrix (tier-1).
+//
+// run_case's differential oracle asserts that every protocol in a config's
+// equivalence class delivers the identical payload multiset under the same
+// scheduler seed. This test pins that property over a fixed corpus of
+// seeds and the full (protocol x scheduler x n) matrix, so a regression in
+// any one protocol's channel semantics fails here even if the protocol
+// still "works" in isolation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fuzz/fuzz_config.hpp"
+#include "fuzz/fuzzer.hpp"
+
+namespace {
+
+using namespace stig;
+using PK = core::ProtocolKind;
+using SK = core::SchedulerKind;
+
+fuzz::FuzzConfig matrix_config(std::uint64_t seed, PK protocol,
+                               SK scheduler, std::size_t n) {
+  fuzz::FuzzConfig cfg;
+  cfg.seed = seed;
+  cfg.protocol = protocol;
+  cfg.scheduler = scheduler;
+  cfg.p = 0.5;
+  cfg.subset_size = 1;
+  cfg.fairness_bound = 64;
+  cfg.n = n;
+  cfg.payload = {0x68, 0x69};  // "hi"
+  cfg.max_instants = fuzz::instant_budget(cfg);
+  return cfg;
+}
+
+void expect_clean(const fuzz::FuzzConfig& cfg) {
+  const fuzz::CaseResult r = fuzz::run_case(cfg);
+  EXPECT_EQ(r.kind, fuzz::FailureKind::none)
+      << core::protocol_kind_name(cfg.protocol) << " n=" << cfg.n
+      << " scheduler=" << core::scheduler_kind_name(cfg.scheduler)
+      << " seed=" << cfg.seed << ": "
+      << fuzz::failure_kind_name(r.kind) << " — " << r.detail;
+}
+
+TEST(FuzzConformance, EquivalenceClassesMatchTheLattice) {
+  const auto sync_pair = fuzz::equivalence_class(PK::sync2, 2);
+  EXPECT_EQ(sync_pair,
+            (std::vector<PK>{PK::sync2, PK::sliced, PK::ksegment}));
+  // The class always leads with the queried protocol.
+  EXPECT_EQ(fuzz::equivalence_class(PK::ksegment, 2)[0], PK::ksegment);
+  EXPECT_EQ(fuzz::equivalence_class(PK::sliced, 5),
+            (std::vector<PK>{PK::sliced, PK::ksegment}));
+  EXPECT_EQ(fuzz::equivalence_class(PK::async2, 2),
+            (std::vector<PK>{PK::async2, PK::asyncn}));
+  EXPECT_EQ(fuzz::equivalence_class(PK::asyncn, 5),
+            (std::vector<PK>{PK::asyncn}));
+}
+
+TEST(FuzzConformance, SynchronousMatrixOverCorpusSeeds) {
+  for (std::uint64_t seed : {11ULL, 12ULL, 13ULL, 14ULL, 15ULL}) {
+    // n == 2 exercises the full three-way class from each member's seat;
+    // larger swarms compare sliced vs ksegment.
+    for (PK protocol : {PK::sync2, PK::sliced, PK::ksegment}) {
+      expect_clean(matrix_config(seed, protocol, SK::bernoulli, 2));
+    }
+    expect_clean(matrix_config(seed, PK::sliced, SK::bernoulli, 5));
+  }
+}
+
+TEST(FuzzConformance, AsynchronousMatrixOverCorpusSeeds) {
+  for (std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    for (SK scheduler :
+         {SK::bernoulli, SK::centralized, SK::ksubset, SK::adversarial}) {
+      // async2 vs asyncn at n = 2, from both seats, per scheduler class.
+      expect_clean(matrix_config(seed, PK::async2, scheduler, 2));
+      expect_clean(matrix_config(seed, PK::asyncn, scheduler, 2));
+    }
+    expect_clean(matrix_config(seed, PK::asyncn, SK::bernoulli, 3));
+  }
+}
+
+TEST(FuzzConformance, BroadcastMatrixOverCorpusSeeds) {
+  for (std::uint64_t seed : {21ULL, 22ULL}) {
+    fuzz::FuzzConfig sync_cfg =
+        matrix_config(seed, PK::sliced, SK::bernoulli, 3);
+    sync_cfg.broadcast = true;
+    expect_clean(sync_cfg);
+    fuzz::FuzzConfig async_cfg =
+        matrix_config(seed, PK::async2, SK::bernoulli, 2);
+    async_cfg.broadcast = true;
+    expect_clean(async_cfg);
+  }
+}
+
+}  // namespace

@@ -125,6 +125,80 @@ TEST(SecProperty, MatchesBruteForceOnTriples) {
   }
 }
 
+TEST(SecProperty, TwoBoundaryDegenerateFallbackKeepsPrefixPoints) {
+  // Regression for the collinear-triple fallback in the two-boundary-points
+  // subproblem. With boundary pair p, q nearly collinear with a later
+  // prefix point v, the pre-fix fallback rebuilt the circle from a point
+  // pair: processing B first grew the circle to cover it, and the fallback
+  // on v then *shrank* the circle back to the (p, v) diameter — excluding
+  // B, a point the contract says must stay covered.
+  const Vec2 p{0.0, 0.0};
+  const Vec2 q{12.0, 1e-12};
+  const std::vector<Vec2> prefix{Vec2{6.0, 7.0}, Vec2{13.0, -1e-12}};
+  const Circle c = circle_with_two_boundary_points(prefix, prefix.size(),
+                                                   p, q);
+  EXPECT_TRUE(c.contains(p, 1e-7));
+  EXPECT_TRUE(c.contains(q, 1e-7));
+  for (const Vec2& v : prefix) {
+    EXPECT_TRUE(c.contains(v, 1e-7))
+        << "(" << v.x << "," << v.y << ") escaped the two-boundary circle";
+  }
+}
+
+TEST(SecProperty, CollinearSetsContainAllPoints) {
+  // Collinear inputs (with duplicates and near-collinear jitter) drive the
+  // degenerate circumcircle fallback; the SEC must still contain every
+  // input point, with the farthest pair (nearly) on the boundary.
+  sim::Rng rng(19);
+  for (int t = 0; t < 400; ++t) {
+    const Vec2 origin{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const double angle = rng.uniform(0.0, kTwoPi);
+    const Vec2 dir{std::cos(angle), std::sin(angle)};
+    const std::size_t count = 2 + rng.uniform_int(0, 8);
+    std::vector<Vec2> pts;
+    for (std::size_t i = 0; i < count; ++i) {
+      Vec2 v = origin + dir * rng.uniform(-20, 20);
+      if (rng.flip(0.3)) {
+        // Jitter below the collinearity tolerance keeps the degenerate
+        // branch in play while exercising inexact arithmetic.
+        v += dir.perp_ccw() * rng.uniform(-1e-10, 1e-10);
+      }
+      pts.push_back(v);
+      if (rng.flip(0.25)) pts.push_back(v);  // Duplicate.
+    }
+    const Circle sec = smallest_enclosing_circle(pts);
+    double span = 0.0;
+    for (const Vec2& a : pts) {
+      EXPECT_TRUE(sec.contains(a, 1e-7))
+          << "t=" << t << ": (" << a.x << "," << a.y << ") outside SEC";
+      for (const Vec2& b : pts) span = std::max(span, dist(a, b));
+    }
+    // For a collinear set the SEC is the farthest pair's diameter circle.
+    EXPECT_NEAR(sec.radius, span / 2.0, 1e-7) << "t=" << t;
+    // The support set (boundary points) names that farthest pair.
+    EXPECT_GE(sec_support(pts, sec).size(), span > 1e-9 ? 2u : 1u)
+        << "t=" << t;
+  }
+}
+
+TEST(SecProperty, DuplicatePointsCollapseToPairCircle) {
+  const Vec2 a{3.0, -2.0};
+  const Vec2 b{-1.0, 5.0};
+  // All-equal input: a zero circle at the point.
+  const std::vector<Vec2> same(5, a);
+  const Circle c0 = smallest_enclosing_circle(same);
+  EXPECT_NEAR(c0.radius, 0.0, 1e-9);
+  EXPECT_TRUE(c0.contains(a, 1e-9));
+  // Two distinct points, heavily duplicated: the (a, b) diameter circle,
+  // with every duplicate on the boundary.
+  std::vector<Vec2> pair{a, b, a, a, b, a, b, b, a};
+  const Circle c1 = smallest_enclosing_circle(pair);
+  EXPECT_NEAR(c1.radius, dist(a, b) / 2.0, 1e-9);
+  EXPECT_TRUE(c1.contains(a, 1e-9));
+  EXPECT_TRUE(c1.contains(b, 1e-9));
+  EXPECT_EQ(sec_support(pair, c1).size(), pair.size());
+}
+
 TEST(AngleProperty, ClockwiseAnglesAddUpAroundTheCircle) {
   sim::Rng rng(13);
   for (int t = 0; t < 200; ++t) {

@@ -2,6 +2,7 @@
 // fairness bound, determinism under seeds, and the adversarial pattern.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <numeric>
 
 #include "sim/scheduler.hpp"
@@ -115,6 +116,42 @@ TEST(AdversarialScheduler, StarvesUpToBoundThenRotates) {
   // The adversary actually pushes each robot to the edge of the bound.
   for (std::size_t i = 0; i < n; ++i) {
     EXPECT_GE(max_streak[i], bound - 2) << "robot " << i;
+  }
+}
+
+TEST(SchedulerFairness, NoRobotInactivePastBoundAcross10kFuzzedInstants) {
+  // Property behind Lemma 4.4's fairness premise: under every randomized
+  // and adversarial scheduler, for every bound B — including the
+  // degenerate B = 1, which forbids any inactivity at all — no robot is
+  // ever inactive for B consecutive instants. The pre-fix
+  // AdversarialScheduler starved its freshly rotated victim regardless of
+  // the bound, so at B = 1 a robot sat out an instant every rotation.
+  const Time kInstants = 10'000;
+  for (const std::size_t bound : {1u, 2u, 3u, 64u}) {
+    for (const std::size_t n : {1u, 2u, 5u}) {
+      std::vector<std::unique_ptr<Scheduler>> schedulers;
+      schedulers.push_back(
+          std::make_unique<BernoulliScheduler>(0.05, 7, bound));
+      schedulers.push_back(
+          std::make_unique<BernoulliScheduler>(0.9, 11, bound));
+      schedulers.push_back(std::make_unique<KSubsetScheduler>(1, 13, bound));
+      schedulers.push_back(std::make_unique<KSubsetScheduler>(2, 17, bound));
+      schedulers.push_back(std::make_unique<AdversarialScheduler>(bound));
+      for (std::size_t s = 0; s < schedulers.size(); ++s) {
+        std::vector<std::size_t> streak(n, 0);
+        for (Time t = 0; t < kInstants; ++t) {
+          const ActivationSet a = schedulers[s]->activate(t, n);
+          ASSERT_GE(count_active(a), 1u)
+              << "scheduler " << s << " bound " << bound << " t " << t;
+          for (std::size_t i = 0; i < n; ++i) {
+            streak[i] = a[i] ? 0 : streak[i] + 1;
+            ASSERT_LT(streak[i], bound)
+                << "scheduler " << s << " starved robot " << i << "/" << n
+                << " past bound " << bound << " at t " << t;
+          }
+        }
+      }
+    }
   }
 }
 

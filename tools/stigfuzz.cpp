@@ -1,0 +1,216 @@
+// stigfuzz — schedule-fuzzing and differential conformance driver.
+//
+// Samples (protocol x scheduler x n x payload) configurations from case
+// seeds, runs each under the engine with the invariant watchdog in abort
+// mode, and checks the delivery, termination, and differential oracles
+// (see src/fuzz/fuzzer.hpp). Every failure is shrunk to a minimal config
+// (payload -> robots -> instants -> p) and written as repro_<hash>.json
+// (plus repro_last.json) for `stigsim --replay`. Examples:
+//
+//   stigfuzz --cases 200 --seed 7
+//   stigfuzz --corpus 1,2,3,4,5 --budget 60
+//   stigfuzz --cases 1 --inject framing --out /tmp/repros
+//
+// Exit codes: 0 all cases passed; 1 at least one failure (repros written);
+// 2 usage error; 3 runtime or I/O error.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_config.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/repro.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace {
+
+using namespace stig;
+
+constexpr int kExitClean = 0;
+constexpr int kExitFailures = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitRuntime = 3;
+
+struct Args {
+  std::size_t cases = 50;
+  std::uint64_t seed = 1;
+  double budget_seconds = 0.0;  ///< 0 = no time box.
+  std::string out_dir = ".";
+  std::vector<std::uint64_t> corpus;  ///< Fixed case seeds; overrides
+                                      ///< random sampling when non-empty.
+  std::string inject;                 ///< "" or "framing".
+  bool no_shrink = false;
+  std::size_t max_shrink = 200;
+  bool help = false;
+};
+
+void print_help() {
+  std::cout <<
+      "stigfuzz — schedule fuzzer / differential conformance harness\n\n"
+      "  --cases N       number of random cases (default 50)\n"
+      "  --seed S        master seed; case i uses a seed derived from it\n"
+      "  --corpus A,B,C  run exactly these case seeds (smoke mode)\n"
+      "  --budget SEC    stop sampling after SEC seconds (0 = no limit)\n"
+      "  --out DIR       directory for repro_*.json (default .)\n"
+      "  --inject framing  arm a one-shot decode-bit flip on the receiver\n"
+      "                  in every case — proves the find/shrink/replay\n"
+      "                  pipeline end to end\n"
+      "  --no-shrink     write failures un-shrunk\n"
+      "  --max-shrink N  shrink attempt cap per failure (default 200)\n\n"
+      "oracles: delivery (bytes arrive intact), termination (quiescent\n"
+      "within budget, no invariant violation), differential (equivalent\n"
+      "protocols deliver identical payloads under the same schedule)\n\n"
+      "exit codes: 0 clean; 1 failures found (repros written);\n"
+      "            2 usage error; 3 runtime/I-O error\n";
+}
+
+bool parse(int argc, char** argv, Args& a) {
+  const auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      a.help = true;
+    } else if (flag == "--cases") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.cases = static_cast<std::size_t>(std::stoull(v));
+    } else if (flag == "--seed") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.seed = std::stoull(v);
+    } else if (flag == "--budget") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.budget_seconds = std::stod(v);
+    } else if (flag == "--out") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.out_dir = v;
+    } else if (flag == "--corpus") {
+      const char* v = need(i);
+      if (!v) return false;
+      std::stringstream ss(v);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        if (!tok.empty()) a.corpus.push_back(std::stoull(tok));
+      }
+    } else if (flag == "--inject") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.inject = v;
+      if (a.inject != "framing") {
+        std::cerr << "--inject supports: framing\n";
+        return false;
+      }
+    } else if (flag == "--no-shrink") {
+      a.no_shrink = true;
+    } else if (flag == "--max-shrink") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.max_shrink = static_cast<std::size_t>(std::stoull(v));
+    } else {
+      std::cerr << "unknown flag: " << flag << " (see --help)\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) return kExitUsage;
+  if (args.help) {
+    print_help();
+    return kExitClean;
+  }
+
+  // Case seeds: the fixed corpus verbatim, or a splitmix64-style walk from
+  // the master seed (so --seed S --cases N is one reproducible batch).
+  std::vector<std::uint64_t> seeds = args.corpus;
+  if (seeds.empty()) {
+    std::uint64_t s = args.seed;
+    for (std::size_t i = 0; i < args.cases; ++i) {
+      s += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = s;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      seeds.push_back(z ^ (z >> 31));
+    }
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  std::size_t ran = 0;
+  std::size_t failures = 0;
+  try {
+    for (std::uint64_t case_seed : seeds) {
+      if (args.budget_seconds > 0.0 && elapsed() > args.budget_seconds) {
+        std::cerr << "time budget reached after " << ran << " case(s)\n";
+        break;
+      }
+      fuzz::FuzzConfig cfg = fuzz::sample_config(case_seed);
+      if (args.inject == "framing") {
+        // Flip one decoded bit early in the first frame on the receiver:
+        // the CRC must reject the frame and the delivery oracle must see
+        // the loss.
+        cfg.fault = fuzz::FaultSpec{1, 10};
+      }
+      ++ran;
+      const fuzz::CaseResult result = fuzz::run_case(cfg);
+      if (result.kind == fuzz::FailureKind::none) continue;
+
+      ++failures;
+      std::cerr << "case seed " << case_seed << ": "
+                << fuzz::failure_kind_name(result.kind) << " — "
+                << result.detail << "\n";
+      fuzz::FuzzConfig minimal = cfg;
+      fuzz::CaseResult minimal_result = result;
+      if (!args.no_shrink) {
+        const fuzz::ShrinkResult s =
+            fuzz::shrink(cfg, result, args.max_shrink);
+        minimal = s.config;
+        minimal_result = s.result;
+        std::cerr << "  shrunk in " << s.attempts << " attempt(s): payload "
+                  << cfg.payload.size() << "B -> "
+                  << minimal.payload.size() << "B, n " << cfg.n << " -> "
+                  << minimal.n << "\n";
+      }
+      fuzz::Repro repro;
+      repro.config = minimal;
+      repro.kind = minimal_result.kind;
+      repro.detail = minimal_result.detail;
+      repro.schedule_digest = minimal_result.schedule_digest;
+      repro.schedule_instants = minimal_result.schedule_instants;
+      std::string error;
+      const auto path = fuzz::save_repro(args.out_dir, repro, &error);
+      if (!path) {
+        std::cerr << "error: " << error << "\n";
+        return kExitRuntime;
+      }
+      std::cerr << "  wrote " << *path << " (replay with: stigsim --replay "
+                << *path << ")\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitRuntime;
+  }
+
+  std::cout << "stigfuzz: " << ran << " case(s), " << failures
+            << " failure(s), " << static_cast<int>(elapsed()) << "s\n";
+  return failures == 0 ? kExitClean : kExitFailures;
+}

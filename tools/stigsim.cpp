@@ -10,9 +10,14 @@
 //   stigsim --n 6 --message hi --events e.jsonl --chrome-trace t.json
 //   stigsim --n 6 --message hi --spans - --watchdog report --report r.json
 //
-// Exit codes: 0 message(s) delivered; 1 run finished with no delivery
-// (timeout); 2 usage error (bad flag or value); 3 runtime or I/O error;
-// 4 watchdog violation in report mode.
+// `stigsim --replay repro.json` re-executes a failing case written by
+// stigfuzz and verifies the failure reproduces bit-for-bit (same failure
+// kind *and* same activation-schedule digest).
+//
+// Exit codes: 0 message(s) delivered (or replay came up clean); 1 run
+// finished with no delivery (timeout); 2 usage error (bad flag or value);
+// 3 runtime or I/O error (or replay diverged); 4 watchdog violation in
+// report mode; 5 replay reproduced the recorded failure.
 //
 // Run `stigsim --help` for the full flag list.
 #include <chrono>
@@ -27,6 +32,8 @@
 
 #include "core/chat_network.hpp"
 #include "encode/bits.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/repro.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/jsonl_sink.hpp"
@@ -49,6 +56,7 @@ constexpr int kExitNoDelivery = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitRuntime = 3;
 constexpr int kExitWatchdog = 4;
+constexpr int kExitReproduced = 5;
 
 struct Args {
   std::size_t n = 6;
@@ -79,6 +87,7 @@ struct Args {
   std::string span_trace;
   std::string metrics;
   std::string watchdog;       // "", "report" or "abort".
+  std::string replay;         // stigfuzz repro file to re-execute.
   double min_separation = 0.0;
   std::size_t flight_recorder = 0;
   std::string flight_dump = "flight.jsonl";
@@ -116,14 +125,18 @@ void print_help() {
       "                    trace_event file\n"
       "  --metrics FILE    write a MetricsRegistry snapshot as JSON at\n"
       "                    exit (\"-\" = stdout)\n"
+      "  --replay FILE     re-execute a stigfuzz repro and verify the\n"
+      "                    failure reproduces bit-for-bit (kind + schedule\n"
+      "                    digest); ignores the other run flags\n"
       "  --watchdog MODE   check paper invariants live: report|abort\n"
       "  --min-separation X  watchdog separation floor (default off)\n"
       "  --flight-recorder N keep the last N events for post-mortem dumps\n"
       "  --flight-dump F   flight-recorder dump path (default\n"
       "                    flight.jsonl; written on watchdog violation,\n"
       "                    engine throw, or fatal signal)\n\n"
-      "exit codes: 0 delivered; 1 no delivery; 2 usage error;\n"
-      "            3 runtime/I-O error; 4 watchdog violation (report mode)\n";
+      "exit codes: 0 delivered (or replay clean); 1 no delivery;\n"
+      "            2 usage error; 3 runtime/I-O error (or replay diverged);\n"
+      "            4 watchdog violation (report mode); 5 replay reproduced\n";
 }
 
 bool parse(int argc, char** argv, Args& a) {
@@ -227,6 +240,10 @@ bool parse(int argc, char** argv, Args& a) {
         std::cerr << "--watchdog must be report or abort\n";
         return false;
       }
+    } else if (flag == "--replay") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.replay = v;
     } else if (flag == "--min-separation") {
       if (!num(a.min_separation)) return false;
     } else if (flag == "--flight-recorder") {
@@ -251,6 +268,34 @@ int main(int argc, char** argv) {
   if (args.help) {
     print_help();
     return 0;
+  }
+
+  if (!args.replay.empty()) {
+    std::string error;
+    const auto repro = fuzz::load_repro(args.replay, &error);
+    if (!repro) {
+      std::cerr << "error: " << error << "\n";
+      return kExitRuntime;
+    }
+    const fuzz::CaseResult result = fuzz::run_case(repro->config);
+    std::cout << "replay: kind " << fuzz::failure_kind_name(result.kind)
+              << " (recorded " << fuzz::failure_kind_name(repro->kind)
+              << "), schedule digest 0x" << std::hex
+              << result.schedule_digest << " (recorded 0x"
+              << repro->schedule_digest << std::dec << "), "
+              << result.schedule_instants << " instant(s)\n";
+    if (result.kind == fuzz::FailureKind::none) {
+      std::cout << "replay: clean — the recorded failure did not occur\n";
+      return kExitDelivered;
+    }
+    if (result.kind == repro->kind &&
+        result.schedule_digest == repro->schedule_digest) {
+      std::cout << "replay: reproduced bit-for-bit — " << result.detail
+                << "\n";
+      return kExitReproduced;
+    }
+    std::cout << "replay: diverged from the recording\n";
+    return kExitRuntime;
   }
 
   static const std::map<std::string, core::ProtocolKind> kProtocols{
