@@ -3,7 +3,9 @@
 // protocol vs the k-segment variant: the crossover where fine slicing
 // becomes unreadable while wide slices survive is exactly the situation
 // the paper invents k-segment addressing for.
+#include <array>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/chat_network.hpp"
@@ -34,21 +36,27 @@ int main() {
   bench::Report report("a2_quantization");
   bench::Table t({"grid q", "amp/q", "2n slices %", "k=2 %", "k=5 %"},
                  report, "delivery vs grid");
-  for (double q : {0.001, 0.01, 0.02, 0.05, 0.1, 0.2}) {
-    core::ChatNetworkOptions flat;
-    flat.synchrony = core::Synchrony::synchronous;
-    flat.caps.sense_of_direction = true;
-    flat.sigma = 1.0;  // Signal amplitude 0.8.
-    flat.observation_quantum = q;
+  const std::vector<double> grids = {0.001, 0.01, 0.02, 0.05, 0.1, 0.2};
+  const std::vector<std::array<double, 3>> rows =
+      bench::batch_map(grids.size(), [&](std::size_t i) {
+        core::ChatNetworkOptions flat;
+        flat.synchrony = core::Synchrony::synchronous;
+        flat.caps.sense_of_direction = true;
+        flat.sigma = 1.0;  // Signal amplitude 0.8.
+        flat.observation_quantum = grids[i];
 
-    core::ChatNetworkOptions k2 = flat;
-    k2.protocol = core::ProtocolKind::ksegment;
-    k2.ksegment_k = 2;
-    core::ChatNetworkOptions k5 = flat;
-    k5.protocol = core::ProtocolKind::ksegment;
-    k5.ksegment_k = 5;
+        core::ChatNetworkOptions k2 = flat;
+        k2.protocol = core::ProtocolKind::ksegment;
+        k2.ksegment_k = 2;
+        core::ChatNetworkOptions k5 = flat;
+        k5.protocol = core::ProtocolKind::ksegment;
+        k5.ksegment_k = 5;
 
-    t.row(q, 0.8 / q, run_pairs(flat), run_pairs(k2), run_pairs(k5));
+        return std::array<double, 3>{run_pairs(flat), run_pairs(k2),
+                                     run_pairs(k5)};
+      });
+  for (std::size_t i = 0; i < grids.size(); ++i) {
+    t.row(grids[i], 0.8 / grids[i], rows[i][0], rows[i][1], rows[i][2]);
   }
 
   std::cout << "\nexpected shape: the 2n-slice column degrades first as the "

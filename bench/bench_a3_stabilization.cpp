@@ -3,6 +3,8 @@
 // with and without the stream-resynchronization rule. Extends the paper's
 // Section 5 stabilization remark from a sketch to a measurement.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/chat_network.hpp"
@@ -21,13 +23,16 @@ int main() {
   }
 
   // Send `rounds` messages; between messages, fault `faults_per_round`
-  // random robots to random points inside their granulars.
-  const auto run_with_faults = [&](int faults_per_round) {
+  // random robots to random points inside their granulars. Fault draws
+  // come from `fault_seed` — one derived stream per sweep row (historically
+  // every row reused the process-wide seed 77).
+  const auto run_with_faults = [&](int faults_per_round,
+                                   std::uint64_t fault_seed) {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::synchronous;
     opt.caps.sense_of_direction = true;
     core::ChatNetwork net(pts, opt);
-    sim::Rng rng(77);
+    sim::Rng rng(fault_seed);
     const int rounds = 20;
     int delivered = 0;
     for (int r = 0; r < rounds; ++r) {
@@ -58,7 +63,14 @@ int main() {
   bench::Report report("a3_stabilization");
   bench::Table t({"faults/round", "delivered %"}, report,
                  "delivery vs fault rate");
-  for (int f : {0, 1, 2, 5, 10}) t.row(f, run_with_faults(f));
+  const std::vector<int> fault_rates = {0, 1, 2, 5, 10};
+  const std::vector<double> rates =
+      bench::batch_map(fault_rates.size(), [&](std::size_t i) {
+        return run_with_faults(fault_rates[i], bench::case_seed(77, i));
+      });
+  for (std::size_t i = 0; i < fault_rates.size(); ++i) {
+    t.row(fault_rates[i], rates[i]);
+  }
 
   std::cout << "\nexpected shape: 100% delivery at every fault rate — each "
                "fault costs at most the frames in flight when it strikes "
@@ -71,24 +83,31 @@ int main() {
   std::cout << "fault injected mid-frame (worst case):\n";
   bench::Table t2({"trial", "frame 1 (hit)", "frame 2 (after)"}, report,
                   "mid-frame faults");
-  for (int trial = 0; trial < 5; ++trial) {
-    core::ChatNetworkOptions opt;
-    opt.synchrony = core::Synchrony::synchronous;
-    opt.caps.sense_of_direction = true;
-    core::ChatNetwork net(pts, opt);
-    sim::Rng rng(200 + static_cast<std::uint64_t>(trial));
-    net.send(0, 3, bench::payload(16, 1));
-    net.run(10 + 2 * static_cast<sim::Time>(trial));  // Mid-frame...
-    net.engine().teleport(0, pts[0] + geom::Vec2{0.5 * radius[0], 0.01});
-    net.run_until_quiescent(100'000);
-    net.run(8);
-    const bool first = net.received(3).size() == 1;
-    net.send(0, 3, bench::payload(16, 2));
-    net.run_until_quiescent(100'000);
-    net.run(4);
-    const bool second = net.received(3).size() >= (first ? 2u : 1u);
-    t2.row(trial, first ? "delivered" : "lost (CRC)",
-           second ? "delivered" : "LOST");
+  struct TrialRow {
+    bool first, second;
+  };
+  const std::vector<TrialRow> trials =
+      bench::batch_map(5, [&](std::size_t trial) {
+        core::ChatNetworkOptions opt;
+        opt.synchrony = core::Synchrony::synchronous;
+        opt.caps.sense_of_direction = true;
+        core::ChatNetwork net(pts, opt);
+        net.send(0, 3, bench::payload(16, 1));
+        net.run(10 + 2 * static_cast<sim::Time>(trial));  // Mid-frame...
+        net.engine().teleport(0,
+                              pts[0] + geom::Vec2{0.5 * radius[0], 0.01});
+        net.run_until_quiescent(100'000);
+        net.run(8);
+        const bool first = net.received(3).size() == 1;
+        net.send(0, 3, bench::payload(16, 2));
+        net.run_until_quiescent(100'000);
+        net.run(4);
+        const bool second = net.received(3).size() >= (first ? 2u : 1u);
+        return TrialRow{first, second};
+      });
+  for (std::size_t trial = 0; trial < trials.size(); ++trial) {
+    t2.row(trial, trials[trial].first ? "delivered" : "lost (CRC)",
+           trials[trial].second ? "delivered" : "LOST");
   }
   std::cout << "\nexpected shape: the frame struck by the fault may be lost "
                "(its CRC rejects the garbled bits) but the *next* frame "

@@ -4,7 +4,9 @@
 // swarm sizes, confirming the shape: a flat 2 instants/bit independent of n.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/chat_network.hpp"
@@ -50,41 +52,56 @@ int main() {
 
   bench::Table t({"protocol", "n", "instants/bit", "dist/bit", "idle moves"},
                  report, "per-bit costs");
-  const auto run_case = [&](const char* name, core::ChatNetworkOptions opt,
-                            std::size_t n) {
-    core::ChatNetwork net(bench::scatter(n, 100 + n, 40.0, 3.0), opt);
-    net.send(0, n - 1, msg);
-    net.run_until_quiescent(1'000'000);
-    const double instants = static_cast<double>(net.engine().now());
-    // Sender distance per bit; idle moves measured on a non-sender.
-    t.row(name, n, instants / frame_bits,
-          net.engine().trace().stats(0).distance / frame_bits,
-          net.engine().trace().stats(n - 1).moves -
-              net.stats(n - 1).bits_decoded * 0);  // Non-senders never move.
+  struct Case {
+    const char* name;
+    core::ChatNetworkOptions opt;
+    std::size_t n;
   };
-
+  std::vector<Case> cases;
   {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::synchronous;
-    run_case("sync2 (3.1)", opt, 2);
+    cases.push_back({"sync2 (3.1)", opt, 2});
   }
   for (std::size_t n : {4u, 8u, 16u, 32u}) {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::synchronous;
     opt.caps.visible_ids = true;
     opt.caps.sense_of_direction = true;
-    run_case("ids (3.2)", opt, n);
+    cases.push_back({"ids (3.2)", opt, n});
   }
   for (std::size_t n : {4u, 16u}) {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::synchronous;
     opt.caps.sense_of_direction = true;
-    run_case("lex (3.3)", opt, n);
+    cases.push_back({"lex (3.3)", opt, n});
   }
   for (std::size_t n : {4u, 16u}) {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::synchronous;
-    run_case("relative (3.4)", opt, n);
+    cases.push_back({"relative (3.4)", opt, n});
+  }
+
+  struct Row {
+    double instants_per_bit, dist_per_bit;
+    std::uint64_t idle_moves;
+  };
+  const std::vector<Row> rows =
+      bench::batch_map(cases.size(), [&](std::size_t i) {
+        const Case& c = cases[i];
+        core::ChatNetwork net(bench::scatter(c.n, 100 + c.n, 40.0, 3.0),
+                              c.opt);
+        net.send(0, c.n - 1, msg);
+        net.run_until_quiescent(1'000'000);
+        const double instants = static_cast<double>(net.engine().now());
+        // Sender distance per bit; idle moves measured on a non-sender.
+        return Row{instants / frame_bits,
+                   net.engine().trace().stats(0).distance / frame_bits,
+                   net.engine().trace().stats(c.n - 1).moves};
+      });
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    t.row(cases[i].name, cases[i].n, rows[i].instants_per_bit,
+          rows[i].dist_per_bit, rows[i].idle_moves);
   }
 
   std::cout << "\nexpected shape: 2.00 instants/bit for every protocol and "
@@ -96,15 +113,20 @@ int main() {
                "16-byte payload:\n";
   bench::Table t2({"bits/symbol", "instants", "instants/bit"}, report,
                   "byte coding");
-  for (unsigned b : {1u, 2u, 4u, 8u}) {
-    core::ChatNetworkOptions opt;
-    opt.synchrony = core::Synchrony::synchronous;
-    opt.sync2_bits_per_symbol = b;
-    core::ChatNetwork net(bench::scatter(2, 7, 10.0, 4.0), opt);
-    net.send(0, 1, msg);
-    net.run_until_quiescent(100'000);
-    const double instants = static_cast<double>(net.engine().now());
-    t2.row(b, net.engine().now(), instants / frame_bits);
+  const std::vector<unsigned> symbol_bits = {1u, 2u, 4u, 8u};
+  const std::vector<sim::Time> coding_rows =
+      bench::batch_map(symbol_bits.size(), [&](std::size_t i) {
+        core::ChatNetworkOptions opt;
+        opt.synchrony = core::Synchrony::synchronous;
+        opt.sync2_bits_per_symbol = symbol_bits[i];
+        core::ChatNetwork net(bench::scatter(2, 7, 10.0, 4.0), opt);
+        net.send(0, 1, msg);
+        net.run_until_quiescent(100'000);
+        return net.engine().now();
+      });
+  for (std::size_t i = 0; i < symbol_bits.size(); ++i) {
+    t2.row(symbol_bits[i], coding_rows[i],
+           static_cast<double>(coding_rows[i]) / frame_bits);
   }
   std::cout << "\nexpected shape: instants/bit = 2/bits_per_symbol — one "
                "movement now carries a whole symbol.\n";

@@ -3,7 +3,10 @@
 // so the per-bit instant count should scale like ~1/p with the activation
 // probability and grow with n (more robots to observe). This bench sweeps
 // both.
+#include <cstdint>
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/chat_network.hpp"
@@ -22,17 +25,26 @@ int main() {
                "probability p\n";
   bench::Table t({"p", "instants", "instants/bit", "sender acts/bit"},
                  report, "async2 vs p");
-  for (double p : {0.1, 0.2, 0.3, 0.5, 0.7, 0.9}) {
-    core::ChatNetworkOptions opt;
-    opt.synchrony = core::Synchrony::asynchronous;
-    opt.activation_probability = p;
-    opt.seed = 17;
-    core::ChatNetwork net({geom::Vec2{0, 0}, geom::Vec2{8, 0}}, opt);
-    net.send(0, 1, msg);
-    net.run_until_quiescent(10'000'000);
-    t.row(p, net.engine().now(),
-          static_cast<double>(net.engine().now()) / frame_bits,
-          static_cast<double>(net.stats(0).activations) / frame_bits);
+  const std::vector<double> probs = {0.1, 0.2, 0.3, 0.5, 0.7, 0.9};
+  struct PRow {
+    sim::Time instants;
+    std::uint64_t sender_acts;
+  };
+  const std::vector<PRow> prows =
+      bench::batch_map(probs.size(), [&](std::size_t i) {
+        core::ChatNetworkOptions opt;
+        opt.synchrony = core::Synchrony::asynchronous;
+        opt.activation_probability = probs[i];
+        opt.seed = bench::case_seed(17, i);  // One stream per row.
+        core::ChatNetwork net({geom::Vec2{0, 0}, geom::Vec2{8, 0}}, opt);
+        net.send(0, 1, msg);
+        net.run_until_quiescent(10'000'000);
+        return PRow{net.engine().now(), net.stats(0).activations};
+      });
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    t.row(probs[i], prows[i].instants,
+          static_cast<double>(prows[i].instants) / frame_bits,
+          static_cast<double>(prows[i].sender_acts) / frame_bits);
   }
   std::cout << "\nexpected shape: instants/bit grows as p falls — each ack "
                "window needs the peer observed changing twice — with the "
@@ -40,17 +52,23 @@ int main() {
 
   std::cout << "AsyncN (Section 4.2): instants per bit vs n (p = 0.5)\n";
   bench::Table t2({"n", "instants", "instants/bit"}, report, "asyncn vs n");
-  for (std::size_t n : {2u, 3u, 4u, 6u, 8u}) {
-    core::ChatNetworkOptions opt;
-    opt.synchrony = core::Synchrony::asynchronous;
-    opt.protocol = core::ProtocolKind::asyncn;  // Same protocol at n=2 too.
-    opt.activation_probability = 0.5;
-    opt.seed = 23;
-    core::ChatNetwork net(bench::scatter(n, 50 + n, 30.0, 4.0), opt);
-    net.send(0, n - 1, msg);
-    net.run_until_quiescent(10'000'000);
-    t2.row(n, net.engine().now(),
-           static_cast<double>(net.engine().now()) / frame_bits);
+  const std::vector<std::size_t> swarm_sizes = {2u, 3u, 4u, 6u, 8u};
+  const std::vector<sim::Time> nrows =
+      bench::batch_map(swarm_sizes.size(), [&](std::size_t i) {
+        const std::size_t n = swarm_sizes[i];
+        core::ChatNetworkOptions opt;
+        opt.synchrony = core::Synchrony::asynchronous;
+        opt.protocol = core::ProtocolKind::asyncn;  // Same protocol at n=2.
+        opt.activation_probability = 0.5;
+        opt.seed = bench::case_seed(23, i);
+        core::ChatNetwork net(bench::scatter(n, 50 + n, 30.0, 4.0), opt);
+        net.send(0, n - 1, msg);
+        net.run_until_quiescent(10'000'000);
+        return net.engine().now();
+      });
+  for (std::size_t i = 0; i < swarm_sizes.size(); ++i) {
+    t2.row(swarm_sizes[i], nrows[i],
+           static_cast<double>(nrows[i]) / frame_bits);
   }
   std::cout << "\nexpected shape: per-bit cost grows slowly with n — the "
                "sender must observe *every* robot change twice per window, "
@@ -60,23 +78,28 @@ int main() {
   std::cout << "scheduler comparison (Async2, 4-byte message):\n";
   bench::Table t3({"scheduler", "instants", "instants/bit"}, report,
                   "schedulers");
-  const auto sched_case = [&](const char* name, core::SchedulerKind k) {
-    core::ChatNetworkOptions opt;
-    opt.synchrony = core::Synchrony::asynchronous;
-    opt.scheduler = k;
-    opt.activation_probability = 0.5;
-    opt.fairness_bound = 32;
-    opt.seed = 29;
-    core::ChatNetwork net({geom::Vec2{0, 0}, geom::Vec2{8, 0}}, opt);
-    net.send(0, 1, msg);
-    net.run_until_quiescent(10'000'000);
-    t3.row(name, net.engine().now(),
-           static_cast<double>(net.engine().now()) / frame_bits);
-  };
-  sched_case("bernoulli p=.5", core::SchedulerKind::bernoulli);
-  sched_case("centralized", core::SchedulerKind::centralized);
-  sched_case("ksubset k=1", core::SchedulerKind::ksubset);
-  sched_case("adversarial", core::SchedulerKind::adversarial);
+  const std::vector<std::pair<const char*, core::SchedulerKind>> scheds = {
+      {"bernoulli p=.5", core::SchedulerKind::bernoulli},
+      {"centralized", core::SchedulerKind::centralized},
+      {"ksubset k=1", core::SchedulerKind::ksubset},
+      {"adversarial", core::SchedulerKind::adversarial}};
+  const std::vector<sim::Time> srows =
+      bench::batch_map(scheds.size(), [&](std::size_t i) {
+        core::ChatNetworkOptions opt;
+        opt.synchrony = core::Synchrony::asynchronous;
+        opt.scheduler = scheds[i].second;
+        opt.activation_probability = 0.5;
+        opt.fairness_bound = 32;
+        opt.seed = bench::case_seed(29, i);
+        core::ChatNetwork net({geom::Vec2{0, 0}, geom::Vec2{8, 0}}, opt);
+        net.send(0, 1, msg);
+        net.run_until_quiescent(10'000'000);
+        return net.engine().now();
+      });
+  for (std::size_t i = 0; i < scheds.size(); ++i) {
+    t3.row(scheds[i].first, srows[i],
+           static_cast<double>(srows[i]) / frame_bits);
+  }
   std::cout << "\nexpected shape: the round-robin centralized schedule is "
                "ack-optimal (every activation of one robot is observed by "
                "the other's next activation); the random one-at-a-time "

@@ -6,6 +6,7 @@
 // This bench measures both and compares against the prediction.
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/chat_network.hpp"
@@ -24,31 +25,42 @@ int main() {
   bench::Table t({"n", "slices 2n", "k=2", "k=ceil(lg n)", "digits(k=lg)",
                   "measured/flat", "predicted"},
                  report, "slicing vs k-segment");
-  for (std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
-    const auto pts = bench::scatter(n, 400 + n, 80.0, 3.0);
-    const auto run_with = [&](core::ProtocolKind kind, std::size_t k) {
-      core::ChatNetworkOptions opt;
-      opt.synchrony = core::Synchrony::synchronous;
-      opt.caps.sense_of_direction = true;
-      opt.protocol = kind;
-      opt.ksegment_k = k;
-      core::ChatNetwork net(pts, opt);
-      net.send(0, n - 1, msg);
-      net.run_until_quiescent(1'000'000);
-      return net.engine().now();
-    };
-    const auto flat = run_with(core::ProtocolKind::sliced, 0);
-    const auto k2 = run_with(core::ProtocolKind::ksegment, 2);
-    const std::size_t klog = std::max<std::size_t>(
-        2, static_cast<std::size_t>(std::ceil(std::log2(n))));
-    const auto klg = run_with(core::ProtocolKind::ksegment, klog);
-    const std::size_t digits = encode::digits_needed(n, klog);
+  const std::vector<std::size_t> sizes = {4u, 8u, 16u, 32u, 64u};
+  struct SizeRow {
+    sim::Time flat, k2, klg;
+    std::size_t digits;
+  };
+  const std::vector<SizeRow> size_rows =
+      bench::batch_map(sizes.size(), [&](std::size_t i) {
+        const std::size_t n = sizes[i];
+        const auto pts = bench::scatter(n, 400 + n, 80.0, 3.0);
+        const auto run_with = [&](core::ProtocolKind kind, std::size_t k) {
+          core::ChatNetworkOptions opt;
+          opt.synchrony = core::Synchrony::synchronous;
+          opt.caps.sense_of_direction = true;
+          opt.protocol = kind;
+          opt.ksegment_k = k;
+          core::ChatNetwork net(pts, opt);
+          net.send(0, n - 1, msg);
+          net.run_until_quiescent(1'000'000);
+          return net.engine().now();
+        };
+        const std::size_t klog = std::max<std::size_t>(
+            2, static_cast<std::size_t>(std::ceil(std::log2(n))));
+        return SizeRow{run_with(core::ProtocolKind::sliced, 0),
+                       run_with(core::ProtocolKind::ksegment, 2),
+                       run_with(core::ProtocolKind::ksegment, klog),
+                       encode::digits_needed(n, klog)};
+      });
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const SizeRow& r = size_rows[i];
     // Paper's prediction for the *addressing* overhead with k = log n
     // slices: log_k(n) = log n / log log n extra symbols per message.
     const double predicted =
-        (frame_bits + static_cast<double>(digits)) / frame_bits;
-    t.row(n, flat, k2, klg, digits,
-          static_cast<double>(klg) / static_cast<double>(flat), predicted);
+        (frame_bits + static_cast<double>(r.digits)) / frame_bits;
+    t.row(sizes[i], r.flat, r.k2, r.klg, r.digits,
+          static_cast<double>(r.klg) / static_cast<double>(r.flat),
+          predicted);
   }
 
   std::cout << "\nexpected shape: the flat 2n-slice protocol is constant "
@@ -61,16 +73,21 @@ int main() {
   std::cout << "instants per message vs k at n = 32:\n";
   bench::Table t2({"k", "digits", "instants"}, report, "k sweep");
   const auto pts = bench::scatter(32, 77, 80.0, 3.0);
-  for (std::size_t k : {2u, 3u, 4u, 6u, 8u, 16u, 31u}) {
-    core::ChatNetworkOptions opt;
-    opt.synchrony = core::Synchrony::synchronous;
-    opt.caps.sense_of_direction = true;
-    opt.protocol = core::ProtocolKind::ksegment;
-    opt.ksegment_k = k;
-    core::ChatNetwork net(pts, opt);
-    net.send(0, 31, msg);
-    net.run_until_quiescent(1'000'000);
-    t2.row(k, encode::digits_needed(32, k), net.engine().now());
+  const std::vector<std::size_t> ks = {2u, 3u, 4u, 6u, 8u, 16u, 31u};
+  const std::vector<sim::Time> k_rows =
+      bench::batch_map(ks.size(), [&](std::size_t i) {
+        core::ChatNetworkOptions opt;
+        opt.synchrony = core::Synchrony::synchronous;
+        opt.caps.sense_of_direction = true;
+        opt.protocol = core::ProtocolKind::ksegment;
+        opt.ksegment_k = ks[i];
+        core::ChatNetwork net(pts, opt);
+        net.send(0, 31, msg);
+        net.run_until_quiescent(1'000'000);
+        return net.engine().now();
+      });
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    t2.row(ks[i], encode::digits_needed(32, ks[i]), k_rows[i]);
   }
   std::cout << "\nexpected shape: instants fall as k grows (fewer digits), "
                "converging to the flat protocol's cost as k approaches "

@@ -4,6 +4,7 @@
 // silent. Our asynchronous solutions are not silent (Remark 4.3)."
 // This bench measures idle movement and idle distance for every protocol.
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/chat_network.hpp"
@@ -18,56 +19,75 @@ int main() {
                   "silent?"},
                  report, "idle movement");
 
-  const auto run_case = [&](const char* name, core::ChatNetworkOptions opt,
-                            std::size_t n) {
-    core::ChatNetwork net(bench::scatter(n, 500 + n, 30.0, 4.0), opt);
-    net.run(kIdleInstants);  // Nobody ever sends.
-    double moves = 0.0;
-    double dist = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      moves += static_cast<double>(net.engine().trace().stats(i).moves);
-      dist += net.engine().trace().stats(i).distance;
-    }
-    moves /= static_cast<double>(n);
-    dist /= static_cast<double>(n);
-    t.row(name, moves, dist, moves == 0.0 ? "yes" : "no");
+  struct Case {
+    const char* name;
+    core::ChatNetworkOptions opt;
+    std::size_t n;
   };
-
+  std::vector<Case> cases;
   {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::synchronous;
-    run_case("sync2 (3.1)", opt, 2);
+    cases.push_back({"sync2 (3.1)", opt, 2});
   }
   {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::synchronous;
     opt.caps.visible_ids = true;
     opt.caps.sense_of_direction = true;
-    run_case("sliced ids (3.2)", opt, 8);
+    cases.push_back({"sliced ids (3.2)", opt, 8});
   }
   {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::synchronous;
-    run_case("sliced rel (3.4)", opt, 8);
+    cases.push_back({"sliced rel (3.4)", opt, 8});
   }
   {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::synchronous;
     opt.caps.sense_of_direction = true;
     opt.protocol = core::ProtocolKind::ksegment;
-    run_case("ksegment (5)", opt, 8);
+    cases.push_back({"ksegment (5)", opt, 8});
   }
   {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::asynchronous;
-    opt.seed = 3;
-    run_case("async2 (4.1)", opt, 2);
+    cases.push_back({"async2 (4.1)", opt, 2});
   }
   {
     core::ChatNetworkOptions opt;
     opt.synchrony = core::Synchrony::asynchronous;
-    opt.seed = 3;
-    run_case("asyncn (4.2)", opt, 8);
+    cases.push_back({"asyncn (4.2)", opt, 8});
+  }
+  // The two asynchronous rows draw their scheduler streams from distinct
+  // derived seeds (historically both reused the process-wide seed 3).
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    if (cases[i].opt.synchrony == core::Synchrony::asynchronous) {
+      cases[i].opt.seed = bench::case_seed(3, i);
+    }
+  }
+
+  struct Row {
+    double moves, dist;
+  };
+  const std::vector<Row> rows =
+      bench::batch_map(cases.size(), [&](std::size_t i) {
+        const Case& c = cases[i];
+        core::ChatNetwork net(bench::scatter(c.n, 500 + c.n, 30.0, 4.0),
+                              c.opt);
+        net.run(kIdleInstants);  // Nobody ever sends.
+        double moves = 0.0;
+        double dist = 0.0;
+        for (std::size_t j = 0; j < c.n; ++j) {
+          moves += static_cast<double>(net.engine().trace().stats(j).moves);
+          dist += net.engine().trace().stats(j).distance;
+        }
+        return Row{moves / static_cast<double>(c.n),
+                   dist / static_cast<double>(c.n)};
+      });
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    t.row(cases[i].name, rows[i].moves, rows[i].dist,
+          rows[i].moves == 0.0 ? "yes" : "no");
   }
 
   std::cout << "\nexpected shape: all synchronous protocols are silent "

@@ -3,6 +3,7 @@
 // channel as a backup, delivery returns to 100%. Also demonstrates the
 // Section 3.4 redundancy: every robot overhears every motion message.
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/backup_channel.hpp"
@@ -19,41 +20,54 @@ int main() {
   bench::Report report("e5_fault_tolerance");
   bench::Table t({"loss prob", "radio-only %", "hybrid %", "fallbacks"},
                  report, "delivery vs loss");
-  for (double loss : {0.0, 0.1, 0.3, 0.5, 0.8, 1.0}) {
-    // Radio-only.
-    core::WirelessOptions wopt;
-    wopt.loss_probability = loss;
-    wopt.seed = 41;
-    core::WirelessChannel radio_only(n, wopt);
-    int radio_delivered = 0;
-    for (int m = 0; m < kMessages; ++m) {
-      if (radio_only
-              .transmit(0, m % n, (m + 1) % n, bench::payload(2, m))
-              .delivered) {
-        ++radio_delivered;
-      }
-    }
+  const std::vector<double> losses = {0.0, 0.1, 0.3, 0.5, 0.8, 1.0};
+  struct Row {
+    int radio_delivered;
+    std::size_t hybrid_delivered;
+    std::uint64_t fallbacks;
+  };
+  const std::vector<Row> rows =
+      bench::batch_map(losses.size(), [&](std::size_t i) {
+        // Each loss row draws its own radio stream (historically every row
+        // reused the process-wide seed 41).
+        core::WirelessOptions wopt;
+        wopt.loss_probability = losses[i];
+        wopt.seed = bench::case_seed(41, i);
 
-    // Hybrid.
-    core::ChatNetworkOptions mopt;
-    mopt.synchrony = core::Synchrony::synchronous;
-    mopt.caps.sense_of_direction = true;
-    core::ChatNetwork motion(bench::scatter(n, 600, 30.0, 4.0), mopt);
-    core::WirelessChannel radio(n, wopt);
-    core::HybridMessenger hybrid(motion, radio);
-    for (int m = 0; m < kMessages; ++m) {
-      hybrid.send(m % n, (m + 1) % n, bench::payload(2, m));
-    }
-    hybrid.flush(10'000'000);
-    motion.run(2);
-    std::size_t hybrid_delivered = 0;
-    for (std::size_t j = 0; j < n; ++j) {
-      hybrid_delivered += hybrid.received(j).size();
-    }
+        // Radio-only.
+        core::WirelessChannel radio_only(n, wopt);
+        int radio_delivered = 0;
+        for (int m = 0; m < kMessages; ++m) {
+          if (radio_only
+                  .transmit(0, m % n, (m + 1) % n, bench::payload(2, m))
+                  .delivered) {
+            ++radio_delivered;
+          }
+        }
 
-    t.row(loss, 100.0 * radio_delivered / kMessages,
-          100.0 * static_cast<double>(hybrid_delivered) / kMessages,
-          hybrid.stats().motion_fallbacks);
+        // Hybrid.
+        core::ChatNetworkOptions mopt;
+        mopt.synchrony = core::Synchrony::synchronous;
+        mopt.caps.sense_of_direction = true;
+        core::ChatNetwork motion(bench::scatter(n, 600, 30.0, 4.0), mopt);
+        core::WirelessChannel radio(n, wopt);
+        core::HybridMessenger hybrid(motion, radio);
+        for (int m = 0; m < kMessages; ++m) {
+          hybrid.send(m % n, (m + 1) % n, bench::payload(2, m));
+        }
+        hybrid.flush(10'000'000);
+        motion.run(2);
+        std::size_t hybrid_delivered = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+          hybrid_delivered += hybrid.received(j).size();
+        }
+        return Row{radio_delivered, hybrid_delivered,
+                   hybrid.stats().motion_fallbacks};
+      });
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    t.row(losses[i], 100.0 * rows[i].radio_delivered / kMessages,
+          100.0 * static_cast<double>(rows[i].hybrid_delivered) / kMessages,
+          rows[i].fallbacks);
   }
   std::cout << "\nexpected shape: radio-only delivery = 1 - loss; hybrid "
                "stays at 100% regardless, every drop recovered over the "

@@ -3,7 +3,9 @@
 // alternating directions (with shrinking steps to avoid collision). Our
 // banded realization bounces inside a fixed band. This bench compares
 // footprint growth, minimum separation (collision check) and delivery.
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/chat_network.hpp"
@@ -18,29 +20,41 @@ int main() {
                   "min separation", "delivered"},
                  report, "unbounded vs banded");
 
-  for (const bool banded : {false, true}) {
-    core::ChatNetworkOptions opt;
-    opt.synchrony = core::Synchrony::asynchronous;
-    opt.async2_banded = banded;
-    opt.seed = 7;
-    opt.record_positions = true;
-    core::ChatNetwork net({geom::Vec2{-2, 0}, geom::Vec2{2, 0}}, opt);
-    net.send(0, 1, msg);
-    net.send(1, 0, msg);
-    const bool ok = net.run_until_quiescent(5'000'000);
-    net.run(5000);  // Idle for a long while after: footprint keeps moving?
-    double max_pos = 0.0;
-    for (const auto& config : net.engine().trace().positions()) {
-      for (const auto& p : config) max_pos = std::max(max_pos, p.norm());
-    }
-    net.run(64);
-    const std::size_t delivered =
-        net.received(0).size() + net.received(1).size();
-    t.row(banded ? "banded" : "unbounded", net.engine().now(),
-          geom::dist(net.engine().positions()[0],
-                     net.engine().positions()[1]),
-          max_pos, net.engine().trace().min_separation(),
-          (ok && delivered == 2) ? "2/2" : "FAIL");
+  const std::vector<bool> variants = {false, true};
+  struct Row {
+    sim::Time instants;
+    double gap, max_pos, min_sep;
+    bool ok;
+  };
+  const std::vector<Row> rows =
+      bench::batch_map(variants.size(), [&](std::size_t i) {
+        core::ChatNetworkOptions opt;
+        opt.synchrony = core::Synchrony::asynchronous;
+        opt.async2_banded = variants[i];
+        opt.seed = bench::case_seed(7, i);  // One stream per variant.
+        opt.record_positions = true;
+        core::ChatNetwork net({geom::Vec2{-2, 0}, geom::Vec2{2, 0}}, opt);
+        net.send(0, 1, msg);
+        net.send(1, 0, msg);
+        const bool ok = net.run_until_quiescent(5'000'000);
+        net.run(5000);  // Idle a long while after: footprint keeps moving?
+        double max_pos = 0.0;
+        for (const auto& config : net.engine().trace().positions()) {
+          for (const auto& p : config) max_pos = std::max(max_pos, p.norm());
+        }
+        net.run(64);
+        const std::size_t delivered =
+            net.received(0).size() + net.received(1).size();
+        return Row{net.engine().now(),
+                   geom::dist(net.engine().positions()[0],
+                              net.engine().positions()[1]),
+                   max_pos, net.engine().trace().min_separation(),
+                   ok && delivered == 2};
+      });
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    t.row(variants[i] ? "banded" : "unbounded", rows[i].instants,
+          rows[i].gap, rows[i].max_pos, rows[i].min_sep,
+          rows[i].ok ? "2/2" : "FAIL");
   }
 
   std::cout << "\nexpected shape: both variants deliver everything and "

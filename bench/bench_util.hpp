@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -13,9 +14,42 @@
 
 #include "geom/vec.hpp"
 #include "obs/json.hpp"
+#include "par/batch_runner.hpp"
+#include "par/seed.hpp"
 #include "sim/rng.hpp"
 
 namespace stig::bench {
+
+/// Per-case seed for sweep row `index` of a bench rooted at `root`. Every
+/// repetition gets its own derived stream (no per-process seed reuse
+/// across rows), and the derivation is index-keyed, so a row's seed never
+/// depends on how many rows ran before it — which is what lets `batch_map`
+/// fan rows out without changing any number.
+[[nodiscard]] inline std::uint64_t case_seed(std::uint64_t root,
+                                             std::uint64_t index) {
+  return par::derive_seed(root, index);
+}
+
+/// Worker threads for `batch_map`: the STIG_BENCH_JOBS environment
+/// variable (0 = all cores); unset or empty means 1 (sequential-equivalent
+/// — the same pool, one worker).
+[[nodiscard]] inline std::size_t batch_jobs() {
+  const char* env = std::getenv("STIG_BENCH_JOBS");
+  if (env == nullptr || *env == '\0') return 1;
+  return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+}
+
+/// Runs `fn(0) .. fn(count-1)` across a BatchRunner pool with
+/// `batch_jobs()` workers and returns the results in index order. Sweep
+/// bodies must derive all randomness from `case_seed` (or other
+/// index-keyed seeds) — then the emitted rows are byte-identical at any
+/// STIG_BENCH_JOBS, and the JSON artifact stays comparable to baselines
+/// regenerated at a different job count.
+template <typename Fn>
+[[nodiscard]] auto batch_map(std::size_t count, Fn&& fn) {
+  par::BatchRunner runner(par::BatchOptions{.jobs = batch_jobs()});
+  return runner.map(count, std::forward<Fn>(fn));
+}
 
 /// Scatters n pairwise-separated points in a box, deterministically.
 inline std::vector<geom::Vec2> scatter(std::size_t n, std::uint64_t seed,

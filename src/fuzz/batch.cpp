@@ -1,0 +1,21 @@
+#include "fuzz/batch.hpp"
+
+#include "par/batch_runner.hpp"
+
+namespace stig::fuzz {
+
+std::vector<BatchCase> run_cases(std::span<const std::uint64_t> seeds,
+                                 const std::optional<FaultSpec>& fault,
+                                 std::size_t jobs) {
+  par::BatchRunner runner(par::BatchOptions{.jobs = jobs});
+  return runner.map(seeds.size(), [&](std::size_t i) {
+    BatchCase out;
+    out.case_seed = seeds[i];
+    out.config = sample_config(seeds[i]);
+    out.config.fault = fault;
+    out.result = run_case(out.config);
+    return out;
+  });
+}
+
+}  // namespace stig::fuzz

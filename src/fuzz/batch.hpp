@@ -1,0 +1,38 @@
+// run_cases — fan a batch of fuzz cases across a BatchRunner pool.
+//
+// Each case is an independent simulation: its config derives entirely from
+// its case seed (plus an optional armed fault shared by the whole batch),
+// so cases parallelize with no coordination. Results come back indexed by
+// position in `seeds` — the batch at --jobs 8 is byte-identical to the
+// batch at --jobs 1, including schedule digests, which is the invariance
+// property tests/test_par_runner.cpp and the tier-1 stigfuzz smoke pin.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fuzz/fuzz_config.hpp"
+#include "fuzz/fuzzer.hpp"
+
+namespace stig::fuzz {
+
+/// One executed case: the seed it came from, the sampled (and possibly
+/// fault-armed) config, and the oracle verdict.
+struct BatchCase {
+  std::uint64_t case_seed = 0;
+  FuzzConfig config;
+  CaseResult result;
+};
+
+/// Runs every seed's case, `jobs` at a time (0 = hardware concurrency).
+/// `fault`, when set, is armed on every case (stigfuzz --inject framing).
+/// The returned vector is ordered like `seeds` regardless of job count;
+/// the first worker exception (if any) is rethrown after the pool drains.
+[[nodiscard]] std::vector<BatchCase> run_cases(
+    std::span<const std::uint64_t> seeds,
+    const std::optional<FaultSpec>& fault = std::nullopt,
+    std::size_t jobs = 0);
+
+}  // namespace stig::fuzz

@@ -118,4 +118,28 @@ ConvexPolygon intersect_halfplanes(const ConvexPolygon& bounds,
   return poly;
 }
 
+ConvexPolygon convex_hull(std::span<const Vec2> points) {
+  std::vector<Vec2> pts(points.begin(), points.end());
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const std::size_t n = pts.size();
+  if (n < 3) return ConvexPolygon::from_ccw_vertices(std::move(pts));
+  // Lower then upper chain; strict left turns only, so collinear interior
+  // points are dropped and the CCW invariant holds exactly.
+  std::vector<Vec2> hull(2 * n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 && orient(hull[k - 2], hull[k - 1], pts[i]) <= 0.0) --k;
+    hull[k++] = pts[i];
+  }
+  for (std::size_t i = n - 1, lower = k + 1; i-- > 0;) {
+    while (k >= lower && orient(hull[k - 2], hull[k - 1], pts[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);  // Last point equals the first.
+  return ConvexPolygon::from_ccw_vertices(std::move(hull));
+}
+
 }  // namespace stig::geom

@@ -85,4 +85,10 @@ class ConvexPolygon {
 [[nodiscard]] ConvexPolygon intersect_halfplanes(
     const ConvexPolygon& bounds, std::span<const HalfPlane> halfplanes);
 
+/// Convex hull of a point set (Andrew's monotone chain, O(n log n)),
+/// returned as a counterclockwise polygon. Collinear points interior to a
+/// hull edge are dropped; duplicates collapse. Fewer than three distinct
+/// points yield the degenerate polygon on those points (possibly empty).
+[[nodiscard]] ConvexPolygon convex_hull(std::span<const Vec2> points);
+
 }  // namespace stig::geom

@@ -1,0 +1,93 @@
+#include "geom/geom_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "geom/sec.hpp"
+
+namespace stig::geom {
+
+std::uint64_t configuration_hash(std::span<const Vec2> points) noexcept {
+  // FNV-1a over the coordinate bytes. Doubles hash by representation —
+  // exactly right here, since an epoch ends on *any* observable position
+  // change. Seed with the count so prefixes of a configuration differ.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ points.size();
+  for (const Vec2& p : points) {
+    unsigned char bytes[2 * sizeof(double)];
+    std::memcpy(bytes, &p.x, sizeof(double));
+    std::memcpy(bytes + sizeof(double), &p.y, sizeof(double));
+    for (unsigned char b : bytes) {
+      h ^= b;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+GeomCache& GeomCache::local() {
+  thread_local GeomCache cache;
+  return cache;
+}
+
+GeomCache::Entry& GeomCache::entry_for(std::span<const Vec2> points) {
+  const std::uint64_t key = configuration_hash(points);
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    if (e->key == key && e->points.size() == points.size() &&
+        std::equal(e->points.begin(), e->points.end(), points.begin())) {
+      e->last_used = ++clock_;
+      ++hits_;
+      return *e;
+    }
+  }
+  ++misses_;
+  if (entries_.size() >= kCapacity) {
+    auto lru = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const std::unique_ptr<Entry>& a, const std::unique_ptr<Entry>& b) {
+          return a->last_used < b->last_used;
+        });
+    entries_.erase(lru);
+  }
+  auto e = std::make_unique<Entry>();
+  e->key = key;
+  e->points.assign(points.begin(), points.end());
+  e->last_used = ++clock_;
+  entries_.push_back(std::move(e));
+  return *entries_.back();
+}
+
+const Circle& GeomCache::sec(std::span<const Vec2> points) {
+  Entry& e = entry_for(points);
+  if (!e.sec) e.sec = smallest_enclosing_circle(e.points);
+  return *e.sec;
+}
+
+const VoronoiDiagram& GeomCache::voronoi(std::span<const Vec2> points) {
+  Entry& e = entry_for(points);
+  if (!e.voronoi) e.voronoi = VoronoiDiagram::compute(e.points);
+  return *e.voronoi;
+}
+
+const ConvexPolygon& GeomCache::hull(std::span<const Vec2> points) {
+  Entry& e = entry_for(points);
+  if (!e.hull) e.hull = convex_hull(e.points);
+  return *e.hull;
+}
+
+const std::vector<double>& GeomCache::granular_radii(
+    std::span<const Vec2> points) {
+  Entry& e = entry_for(points);
+  if (!e.radii) {
+    std::vector<double> radii;
+    radii.reserve(e.points.size());
+    for (std::size_t i = 0; i < e.points.size(); ++i) {
+      radii.push_back(granular_radius(e.points, i));
+    }
+    e.radii = std::move(radii);
+  }
+  return *e.radii;
+}
+
+void GeomCache::clear() { entries_.clear(); }
+
+}  // namespace stig::geom

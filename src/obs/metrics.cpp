@@ -60,6 +60,39 @@ double LogHistogram::max() const noexcept {
              : 0.0;
 }
 
+void LogHistogram::merge_from(const LogHistogram& other) {
+  if (other.min_value_ != min_value_ ||
+      other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument(
+        "LogHistogram::merge_from: bucket layouts differ");
+  }
+  if (&other == this || !other.any_.load(std::memory_order_relaxed)) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i].fetch_add(other.bucket_count_at(i), std::memory_order_relaxed);
+  }
+  total_.fetch_add(other.count(), std::memory_order_relaxed);
+  double s = sum_.load(std::memory_order_relaxed);
+  const double add = other.sum();
+  while (
+      !sum_.compare_exchange_weak(s, s + add, std::memory_order_relaxed)) {
+  }
+  const double omin = other.min();
+  const double omax = other.max();
+  if (!any_.exchange(true, std::memory_order_relaxed)) {
+    min_.store(omin, std::memory_order_relaxed);
+    max_.store(omax, std::memory_order_relaxed);
+    return;
+  }
+  double m = min_.load(std::memory_order_relaxed);
+  while (omin < m &&
+         !min_.compare_exchange_weak(m, omin, std::memory_order_relaxed)) {
+  }
+  double mx = max_.load(std::memory_order_relaxed);
+  while (omax > mx &&
+         !max_.compare_exchange_weak(mx, omax, std::memory_order_relaxed)) {
+  }
+}
+
 double LogHistogram::quantile_upper(double q) const noexcept {
   const std::uint64_t n = count();
   if (n == 0) return 0.0;
@@ -119,6 +152,47 @@ LogHistogram& MetricsRegistry::histogram(const std::string& name,
                                          double min_value,
                                          std::size_t buckets) {
   return *lookup(name, Kind::histogram, min_value, buckets).histogram;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  if (&other == this) return;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  for (const auto& [name, theirs] : other.instruments_) {
+    auto it = instruments_.find(name);
+    if (it == instruments_.end()) {
+      Instrument inst;
+      inst.kind = theirs.kind;
+      switch (theirs.kind) {
+        case Kind::counter:
+          inst.counter = std::make_unique<Counter>();
+          break;
+        case Kind::gauge:
+          inst.gauge = std::make_unique<Gauge>();
+          break;
+        case Kind::histogram:
+          inst.histogram = std::make_unique<LogHistogram>(
+              theirs.histogram->min_value(),
+              theirs.histogram->bucket_count());
+          break;
+      }
+      it = instruments_.emplace(name, std::move(inst)).first;
+    } else if (it->second.kind != theirs.kind) {
+      throw std::invalid_argument("MetricsRegistry::merge_from: \"" + name +
+                                  "\" registered as a different kind");
+    }
+    Instrument& mine = it->second;
+    switch (theirs.kind) {
+      case Kind::counter:
+        mine.counter->add(theirs.counter->value());
+        break;
+      case Kind::gauge:
+        mine.gauge->set(theirs.gauge->value());
+        break;
+      case Kind::histogram:
+        mine.histogram->merge_from(*theirs.histogram);
+        break;
+    }
+  }
 }
 
 std::size_t MetricsRegistry::size() const {

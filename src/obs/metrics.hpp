@@ -10,6 +10,15 @@
 // [min_value * 2^(i-1), min_value * 2^i), and the last bucket is the
 // overflow. Log-scale keeps the footprint constant across the ten orders of
 // magnitude between "instants per bit" and "nanoseconds per Engine::step".
+//
+// Concurrency model for batch runs (src/par): one registry per task, merged
+// into the batch registry on join via `merge_from`. Individual instruments
+// are thread-safe (relaxed atomics), but sharing one registry across
+// concurrently-running cases would interleave their samples and make
+// per-case numbers meaningless — the per-task-registry + merge pattern
+// keeps every case's metrics attributable AND gives a deterministic,
+// job-count-invariant aggregate (counter sums and histogram buckets are
+// commutative; gauges are last-write-wins in join order, i.e. case order).
 #pragma once
 
 #include <atomic>
@@ -83,6 +92,14 @@ class LogHistogram {
   }
   [[nodiscard]] double min() const noexcept;
   [[nodiscard]] double max() const noexcept;
+  /// Lower edge of the first sized bucket, as passed at construction.
+  [[nodiscard]] double min_value() const noexcept { return min_value_; }
+
+  /// Folds `other`'s samples into this histogram: bucket counts, total and
+  /// sum add; min/max widen. Throws std::invalid_argument when the bucket
+  /// layouts (min_value, bucket count) differ — merging those would move
+  /// samples across bucket edges. `other` must be quiescent.
+  void merge_from(const LogHistogram& other);
 
   /// Upper edge of the bucket containing the q-quantile (0 <= q <= 1); an
   /// upper bound on the true quantile, exact up to bucket resolution.
@@ -109,6 +126,14 @@ class MetricsRegistry {
   /// different parameters return the existing histogram unchanged.
   LogHistogram& histogram(const std::string& name, double min_value = 1.0,
                           std::size_t buckets = 48);
+
+  /// Folds every instrument of `other` into this registry, creating
+  /// instruments that do not exist yet: counters add, gauges take `other`'s
+  /// value (last-write-wins, in join order), histograms merge bucketwise.
+  /// Throws std::invalid_argument on a kind or bucket-layout clash. `other`
+  /// must be quiescent (its task has joined); merging a registry into
+  /// itself is a no-op.
+  void merge_from(const MetricsRegistry& other);
 
   /// Renders every instrument as one JSON object, keys sorted by name:
   /// counters as integers, gauges as numbers, histograms as

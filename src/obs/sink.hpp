@@ -5,6 +5,13 @@
 // and one virtual dispatch per event when it is on. Sinks compose through
 // `MultiSink`; `CollectSink` buffers events in memory (tests, ad-hoc
 // analysis); `CountingSink` discards them (overhead measurement).
+//
+// Concurrency model: a sink belongs to one simulation, and a simulation
+// runs on one thread — sinks are therefore single-threaded by contract and
+// take no locks. Parallel batch runs (src/par) follow the same pattern as
+// obs::MetricsRegistry: each task wires its own sink into its own
+// ChatNetwork and the driver combines the buffered results after the task
+// joins. Never share one sink instance across concurrently-running cases.
 #pragma once
 
 #include <cstdint>

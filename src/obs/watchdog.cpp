@@ -3,6 +3,7 @@
 #include <iostream>
 #include <span>
 
+#include "geom/geom_cache.hpp"
 #include "geom/voronoi.hpp"
 #include "obs/json.hpp"
 
@@ -12,11 +13,9 @@ Watchdog::Watchdog(WatchdogOptions options,
                    std::vector<geom::Vec2> t0_positions)
     : options_(options), anchors_(std::move(t0_positions)) {
   if (options_.check_granular && anchors_.size() >= 2) {
-    radii_.reserve(anchors_.size());
-    for (std::size_t i = 0; i < anchors_.size(); ++i) {
-      radii_.push_back(geom::granular_radius(
-          std::span<const geom::Vec2>(anchors_), i));
-    }
+    // Shares the configuration-epoch cache with the protocols: the watchdog
+    // anchors at the same t0 snapshot SlicedCore already paid for.
+    radii_ = geom::GeomCache::local().granular_radii(anchors_);
     granular_disarmed_.assign(anchors_.size(), false);
   } else {
     options_.check_granular = false;

@@ -1,0 +1,109 @@
+#include "par/batch_runner.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace stig::par {
+
+BatchRunner::BatchRunner(BatchOptions options)
+    : queue_bound_(std::max<std::size_t>(options.queue_bound, 1)) {
+  std::size_t jobs = options.jobs;
+  if (jobs == 0) {
+    jobs = std::max<unsigned>(std::thread::hardware_concurrency(), 1);
+  }
+  deques_.resize(jobs);
+  workers_.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+BatchRunner::~BatchRunner() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Drain (a destructor must not abandon queued work), then stop.
+    idle_cv_.wait(lock, [this] { return queued_ == 0 && active_ == 0; });
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void BatchRunner::submit(Task task) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_cv_.wait(lock, [this] { return queued_ < queue_bound_; });
+  deques_[next_worker_].push_back(std::move(task));
+  next_worker_ = (next_worker_ + 1) % deques_.size();
+  ++queued_;
+  stats_.peak_queued = std::max(stats_.peak_queued, queued_);
+  lock.unlock();
+  work_cv_.notify_one();
+}
+
+void BatchRunner::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queued_ == 0 && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+BatchStats BatchRunner::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+bool BatchRunner::pop_task(std::size_t self, Task& task) {
+  if (!deques_[self].empty()) {
+    task = std::move(deques_[self].front());
+    deques_[self].pop_front();
+    return true;
+  }
+  // Steal from the back of the fullest peer: the owner works the front of
+  // its deque, thieves take the opposite end (least disturbance, and the
+  // fullest peer heuristic balances a skewed round-robin deal).
+  std::size_t victim = deques_.size();
+  std::size_t victim_depth = 0;
+  for (std::size_t i = 0; i < deques_.size(); ++i) {
+    if (i != self && deques_[i].size() > victim_depth) {
+      victim = i;
+      victim_depth = deques_[i].size();
+    }
+  }
+  if (victim == deques_.size()) return false;
+  task = std::move(deques_[victim].back());
+  deques_[victim].pop_back();
+  ++stats_.stolen;
+  return true;
+}
+
+void BatchRunner::worker_loop(std::size_t self) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    Task task;
+    if (pop_task(self, task)) {
+      --queued_;
+      ++active_;
+      lock.unlock();
+      space_cv_.notify_one();
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> error_lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      task = nullptr;  // Destroy captures outside the relock below.
+      lock.lock();
+      --active_;
+      ++stats_.executed;
+      if (queued_ == 0 && active_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+  }
+}
+
+}  // namespace stig::par

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "geom/geom_cache.hpp"
 #include "geom/granular.hpp"
 #include "geom/line.hpp"
 #include "geom/voronoi.hpp"
@@ -22,7 +23,8 @@ std::vector<Violation> validate_sliced_trace(
             ? horizon_direction(t0_positions, i)
             : geom::Vec2{0.0, 1.0};
     granulars.emplace_back(t0_positions[i],
-                           geom::granular_radius(t0_positions, i), diameters,
+                           geom::cached_granular_radius(t0_positions, i),
+                           diameters,
                            reference);
   }
 

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "geom/angle.hpp"
+#include "geom/geom_cache.hpp"
 #include "geom/sec.hpp"
 
 namespace stig::proto {
@@ -48,7 +49,9 @@ std::vector<std::size_t> id_ranks(std::span<const sim::VisibleId> ids) {
 geom::Vec2 horizon_direction(std::span<const geom::Vec2> points,
                              std::size_t self) {
   assert(points.size() >= 2);
-  const geom::Circle sec = geom::smallest_enclosing_circle(points);
+  // Memoized: every robot's labeling pass asks for the SEC of the same t0
+  // configuration; the cache turns n^2 Welzl runs per swarm into one.
+  const geom::Circle sec = geom::cached_sec(points);
   const geom::Vec2 off = points[self] - sec.center;
   // Scale-aware degeneracy threshold: "at the center" relative to the SEC
   // radius, so the rule is unit-independent.
@@ -92,7 +95,7 @@ RelativeNaming relative_naming(std::span<const geom::Vec2> points,
                                std::size_t self) {
   assert(points.size() >= 2);
   RelativeNaming naming;
-  const geom::Circle sec = geom::smallest_enclosing_circle(points);
+  const geom::Circle sec = geom::cached_sec(points);
   naming.sec_center = sec.center;
   naming.reference = horizon_direction(points, self);
 

@@ -4,7 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
-#include "geom/voronoi.hpp"
+#include "geom/geom_cache.hpp"
 
 namespace stig::proto {
 namespace {
@@ -73,8 +73,12 @@ SlicedCore::SlicedCore(const sim::Snapshot& t0, NamingMode naming,
   }
 
   granulars_.reserve(n_);
+  // Memoized per configuration epoch: all n robots build their SlicedCore
+  // from the same t0 snapshot, so one O(n^2) radii pass serves the swarm.
+  const std::vector<double>& radii =
+      geom::GeomCache::local().granular_radii(centers_);
   for (std::size_t i = 0; i < n_; ++i) {
-    const double r = geom::granular_radius(centers_, i);
+    const double r = radii[i];
     if (r <= 0.0) {
       throw std::invalid_argument("granular radius must be positive");
     }

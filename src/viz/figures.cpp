@@ -2,7 +2,7 @@
 
 #include <array>
 
-#include "geom/sec.hpp"
+#include "geom/geom_cache.hpp"
 #include "geom/voronoi.hpp"
 #include "proto/naming.hpp"
 
@@ -32,7 +32,7 @@ SvgScene draw_swarm(std::span<const geom::Vec2> pts,
 
   geom::Circle sec;
   if (what.sec || what.naming == proto::NamingMode::relative) {
-    sec = geom::smallest_enclosing_circle(pts);
+    sec = geom::cached_sec(pts);
   }
   if (what.sec) {
     Style s;
@@ -54,7 +54,7 @@ SvgScene draw_swarm(std::span<const geom::Vec2> pts,
 
   for (std::size_t i = 0; i < pts.size(); ++i) {
     if (what.granulars || what.diameters > 0) {
-      const double radius = geom::granular_radius(pts, i);
+      const double radius = geom::cached_granular_radius(pts, i);
       const geom::Vec2 reference =
           what.naming == proto::NamingMode::relative
               ? proto::horizon_direction(pts, i)

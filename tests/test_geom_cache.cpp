@@ -1,0 +1,213 @@
+// GeomCache contract tests: cached geometry is bit-identical to direct
+// recomputation across random and degenerate configurations, any single
+// robot moving starts a new configuration epoch (fresh key, fresh values),
+// and the LRU keeps memory bounded under streaming workloads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "geom/convex.hpp"
+#include "geom/geom_cache.hpp"
+#include "geom/sec.hpp"
+#include "geom/voronoi.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace stig;
+using geom::Vec2;
+
+std::vector<Vec2> random_points(sim::Rng& rng, std::size_t n) {
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(-50.0, 50.0), rng.uniform(-50.0, 50.0)});
+  }
+  return pts;
+}
+
+void expect_matches_direct(geom::GeomCache& cache,
+                           const std::vector<Vec2>& pts,
+                           const char* what) {
+  // Exact (==) comparisons throughout: the cache memoizes the very same
+  // functions on the very same coordinates, so results must be bitwise
+  // equal — any tolerance here would hide a cache serving stale geometry.
+  const geom::Circle direct_sec = geom::smallest_enclosing_circle(pts);
+  const geom::Circle& cached_sec = cache.sec(pts);
+  EXPECT_EQ(cached_sec.center.x, direct_sec.center.x) << what;
+  EXPECT_EQ(cached_sec.center.y, direct_sec.center.y) << what;
+  EXPECT_EQ(cached_sec.radius, direct_sec.radius) << what;
+
+  const geom::ConvexPolygon direct_hull = geom::convex_hull(pts);
+  const geom::ConvexPolygon& cached_hull = cache.hull(pts);
+  ASSERT_EQ(cached_hull.vertices().size(), direct_hull.vertices().size())
+      << what;
+  for (std::size_t v = 0; v < direct_hull.vertices().size(); ++v) {
+    EXPECT_EQ(cached_hull.vertices()[v].x, direct_hull.vertices()[v].x)
+        << what;
+    EXPECT_EQ(cached_hull.vertices()[v].y, direct_hull.vertices()[v].y)
+        << what;
+  }
+
+  if (pts.size() >= 2) {
+    const std::vector<double>& cached_radii = cache.granular_radii(pts);
+    ASSERT_EQ(cached_radii.size(), pts.size()) << what;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      EXPECT_EQ(cached_radii[i], geom::granular_radius(pts, i))
+          << what << " robot " << i;
+    }
+
+    const geom::VoronoiDiagram direct_vor = geom::VoronoiDiagram::compute(pts);
+    const geom::VoronoiDiagram& cached_vor = cache.voronoi(pts);
+    ASSERT_EQ(cached_vor.size(), direct_vor.size()) << what;
+    for (std::size_t i = 0; i < direct_vor.size(); ++i) {
+      const auto& dv = direct_vor.cell(i).polygon.vertices();
+      const auto& cv = cached_vor.cell(i).polygon.vertices();
+      ASSERT_EQ(cv.size(), dv.size()) << what << " cell " << i;
+      for (std::size_t v = 0; v < dv.size(); ++v) {
+        EXPECT_EQ(cv[v].x, dv[v].x) << what << " cell " << i;
+        EXPECT_EQ(cv[v].y, dv[v].y) << what << " cell " << i;
+      }
+    }
+  }
+}
+
+TEST(GeomCache, MatchesDirectOnRandomConfigurations) {
+  sim::Rng rng(20260807);
+  geom::GeomCache cache;
+  for (int cfg = 0; cfg < 1000; ++cfg) {
+    const std::size_t n =
+        2 + static_cast<std::size_t>(rng.uniform_int(0, 10));
+    const std::vector<Vec2> pts = random_points(rng, n);
+    expect_matches_direct(cache, pts, "random");
+    // A second pass through the same configuration must hit, not recompute.
+    const std::uint64_t misses_before = cache.misses();
+    (void)cache.sec(pts);
+    EXPECT_EQ(cache.misses(), misses_before);
+  }
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST(GeomCache, MatchesDirectOnDegenerateConfigurations) {
+  geom::GeomCache cache;
+
+  // Collinear: every point on y = 2x + 1.
+  std::vector<Vec2> line;
+  for (int i = 0; i < 7; ++i) {
+    line.push_back({static_cast<double>(i), 2.0 * i + 1.0});
+  }
+  expect_matches_direct(cache, line, "collinear");
+
+  // Cocircular: 8 points on a circle of radius 5 — the all-points-support
+  // SEC case and the everything-on-the-hull case at once.
+  std::vector<Vec2> ring;
+  for (int i = 0; i < 8; ++i) {
+    const double a = 2.0 * 3.14159265358979323846 * i / 8.0;
+    ring.push_back({5.0 * std::cos(a), 5.0 * std::sin(a)});
+  }
+  expect_matches_direct(cache, ring, "cocircular");
+
+  // Tiny inputs: the n < 3 hull and n == 2 Voronoi edge cases.
+  expect_matches_direct(cache, {{1.0, 2.0}, {3.0, 4.0}}, "pair");
+}
+
+TEST(GeomCache, SingleRobotMoveStartsNewEpoch) {
+  geom::GeomCache cache;
+  sim::Rng rng(99);
+  std::vector<Vec2> pts = random_points(rng, 6);
+
+  const std::uint64_t hash_before = geom::configuration_hash(pts);
+  const geom::Circle sec_before = cache.sec(pts);
+  const std::vector<double> radii_before = cache.granular_radii(pts);
+  const std::uint64_t misses_before = cache.misses();
+
+  // Even a sub-nanometre move is a new configuration: the key hashes raw
+  // coordinate bytes, not a rounded position.
+  pts[3].x += 1e-9;
+  EXPECT_NE(geom::configuration_hash(pts), hash_before);
+
+  expect_matches_direct(cache, pts, "after move");
+  EXPECT_GT(cache.misses(), misses_before) << "move must miss, not hit";
+
+  // The old epoch's values are still served for the old coordinates.
+  pts[3].x -= 1e-9;
+  const geom::Circle& sec_again = cache.sec(pts);
+  EXPECT_EQ(sec_again.center.x, sec_before.center.x);
+  EXPECT_EQ(sec_again.center.y, sec_before.center.y);
+  EXPECT_EQ(sec_again.radius, sec_before.radius);
+  ASSERT_EQ(cache.granular_radii(pts).size(), radii_before.size());
+  for (std::size_t i = 0; i < radii_before.size(); ++i) {
+    EXPECT_EQ(cache.granular_radii(pts)[i], radii_before[i]);
+  }
+}
+
+TEST(GeomCache, LruKeepsMemoryBoundedAndRecentEntriesHot) {
+  geom::GeomCache cache;
+  sim::Rng rng(4242);
+  std::vector<std::vector<Vec2>> configs;
+  for (int c = 0; c < 20; ++c) {
+    configs.push_back(random_points(rng, 5));
+    (void)cache.sec(configs.back());
+    EXPECT_LE(cache.size(), geom::GeomCache::kCapacity);
+  }
+  EXPECT_EQ(cache.size(), geom::GeomCache::kCapacity);
+
+  // The most recent configuration is still resident...
+  std::uint64_t misses = cache.misses();
+  (void)cache.sec(configs.back());
+  EXPECT_EQ(cache.misses(), misses);
+  // ...and the oldest was evicted.
+  misses = cache.misses();
+  (void)cache.sec(configs.front());
+  EXPECT_EQ(cache.misses(), misses + 1);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(GeomCache, ConfigurationHashIsStableAndOrderSensitive) {
+  const std::vector<Vec2> a = {{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<Vec2> b = {{3.0, 4.0}, {1.0, 2.0}};
+  EXPECT_EQ(geom::configuration_hash(a), geom::configuration_hash(a));
+  // Robot identity matters: the same multiset of positions with swapped
+  // indices is a different configuration (granular_radius(i) differs).
+  EXPECT_NE(geom::configuration_hash(a), geom::configuration_hash(b));
+}
+
+TEST(GeomCache, ThreadLocalWrappersServeTheLocalCache) {
+  sim::Rng rng(7);
+  const std::vector<Vec2> pts = random_points(rng, 5);
+  geom::GeomCache& cache = geom::GeomCache::local();
+  const std::uint64_t hits_before = cache.hits();
+
+  const geom::Circle direct = geom::smallest_enclosing_circle(pts);
+  const geom::Circle& c1 = geom::cached_sec(pts);
+  EXPECT_EQ(c1.radius, direct.radius);
+  (void)geom::cached_sec(pts);
+  EXPECT_GT(cache.hits(), hits_before);
+
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(geom::cached_granular_radius(pts, i),
+              geom::granular_radius(pts, i));
+  }
+}
+
+TEST(ConvexHull, SpanOverloadBasics) {
+  // Square plus an interior point: the hull is the square alone.
+  const std::vector<Vec2> sq = {
+      {0.0, 0.0}, {4.0, 0.0}, {4.0, 4.0}, {0.0, 4.0}, {2.0, 1.0}};
+  EXPECT_EQ(geom::convex_hull(sq).vertices().size(), 4u);
+
+  // Collinear points collapse to the two extremes.
+  const std::vector<Vec2> line = {
+      {0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}, {4.0, 4.0}};
+  EXPECT_EQ(geom::convex_hull(line).vertices().size(), 2u);
+
+  // Fewer than 3 points pass through unchanged.
+  const std::vector<Vec2> two = {{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_EQ(geom::convex_hull(two).vertices().size(), 2u);
+}
+
+}  // namespace

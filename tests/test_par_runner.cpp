@@ -1,0 +1,218 @@
+// BatchRunner contract tests: job-count invariance of fuzz batches (the
+// tier-1 acceptance property of the parallel subsystem), seed derivation
+// compatibility with the historical stigfuzz walk, drain-on-exception,
+// bounded-queue backpressure, and metrics merge-on-join.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "fuzz/batch.hpp"
+#include "obs/metrics.hpp"
+#include "par/batch_runner.hpp"
+#include "par/seed.hpp"
+
+namespace {
+
+using namespace stig;
+
+TEST(SeedDerivation, MatchesHistoricalSplitmixWalk) {
+  // stigfuzz used to walk splitmix64 statefully; derive_seed must produce
+  // the same sequence so existing corpora and repros keep their meaning.
+  const std::uint64_t root = 1;
+  std::uint64_t s = root;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    s += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    EXPECT_EQ(par::derive_seed(root, i), z) << "index " << i;
+  }
+}
+
+TEST(SeedDerivation, IndexKeyedNotOrderKeyed) {
+  // Case 7's seed is the same whether or not cases 0..6 ran first.
+  EXPECT_EQ(par::derive_seed(42, 7), par::derive_seed(42, 7));
+  EXPECT_NE(par::derive_seed(42, 7), par::derive_seed(42, 8));
+  EXPECT_NE(par::derive_seed(42, 7), par::derive_seed(43, 7));
+}
+
+// The acceptance property: the same 200-case fuzz batch is byte-identical
+// — verdicts, details, schedule digests, engine clocks — at 1, 2 and 8
+// worker threads.
+TEST(BatchRunnerInvariance, FuzzBatchIdenticalAcrossJobCounts) {
+  const std::size_t kCases = 200;
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(kCases);
+  for (std::size_t i = 0; i < kCases; ++i) {
+    seeds.push_back(par::derive_seed(7, i));
+  }
+
+  const std::vector<fuzz::BatchCase> jobs1 = fuzz::run_cases(seeds, {}, 1);
+  const std::vector<fuzz::BatchCase> jobs2 = fuzz::run_cases(seeds, {}, 2);
+  const std::vector<fuzz::BatchCase> jobs8 = fuzz::run_cases(seeds, {}, 8);
+
+  ASSERT_EQ(jobs1.size(), kCases);
+  ASSERT_EQ(jobs2.size(), kCases);
+  ASSERT_EQ(jobs8.size(), kCases);
+  for (std::size_t i = 0; i < kCases; ++i) {
+    for (const std::vector<fuzz::BatchCase>* other : {&jobs2, &jobs8}) {
+      const fuzz::BatchCase& a = jobs1[i];
+      const fuzz::BatchCase& b = (*other)[i];
+      EXPECT_EQ(a.case_seed, b.case_seed) << "case " << i;
+      EXPECT_EQ(a.result.kind, b.result.kind) << "case " << i;
+      EXPECT_EQ(a.result.detail, b.result.detail) << "case " << i;
+      EXPECT_EQ(a.result.schedule_digest, b.result.schedule_digest)
+          << "case " << i;
+      EXPECT_EQ(a.result.schedule_instants, b.result.schedule_instants)
+          << "case " << i;
+      EXPECT_EQ(a.result.instants, b.result.instants) << "case " << i;
+    }
+  }
+}
+
+TEST(BatchRunner, MapReturnsResultsInIndexOrder) {
+  par::BatchRunner runner(par::BatchOptions{.jobs = 4});
+  const std::vector<std::uint64_t> out =
+      runner.map(64, [](std::size_t i) -> std::uint64_t { return i * 31; });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * 31);
+  EXPECT_EQ(runner.stats().executed, 64u);
+}
+
+TEST(BatchRunner, DrainsRemainingTasksWhenOneThrows) {
+  std::atomic<int> ran{0};
+  par::BatchRunner runner(par::BatchOptions{.jobs = 2});
+  for (int i = 0; i < 32; ++i) {
+    runner.submit([&ran, i] {
+      if (i == 5) {
+        ran.fetch_add(1);
+        throw std::runtime_error("task 5 exploded");
+      }
+      ran.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(runner.wait(), std::runtime_error);
+  // Every sibling still ran — one failure never cancels the batch.
+  EXPECT_EQ(ran.load(), 32);
+  EXPECT_EQ(runner.stats().executed, 32u);
+  // The error was consumed; the pool stays usable.
+  runner.submit([&ran] { ran.fetch_add(1); });
+  EXPECT_NO_THROW(runner.wait());
+  EXPECT_EQ(ran.load(), 33);
+}
+
+TEST(BatchRunner, MapRethrowsLowestFailingIndexAfterFullDrain) {
+  par::BatchRunner runner(par::BatchOptions{.jobs = 4});
+  std::vector<std::atomic<bool>> attempted(16);
+  try {
+    (void)runner.map(16, [&attempted](std::size_t i) -> int {
+      attempted[i].store(true);
+      if (i == 3) throw std::runtime_error("index 3");
+      if (i == 7) throw std::runtime_error("index 7");
+      return static_cast<int>(i);
+    });
+    FAIL() << "map must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 3");
+  }
+  for (std::size_t i = 0; i < attempted.size(); ++i) {
+    EXPECT_TRUE(attempted[i].load()) << "index " << i << " was skipped";
+  }
+}
+
+TEST(BatchRunner, BackpressureBoundsQueueLength) {
+  par::BatchRunner runner(par::BatchOptions{.jobs = 1, .queue_bound = 4});
+  for (int i = 0; i < 100; ++i) {
+    // Slow enough that an unbounded queue would pile far past 4.
+    runner.submit(
+        [] { std::this_thread::sleep_for(std::chrono::microseconds(100)); });
+  }
+  runner.wait();
+  const par::BatchStats stats = runner.stats();
+  EXPECT_EQ(stats.executed, 100u);
+  EXPECT_LE(stats.peak_queued, 4u);
+  EXPECT_GE(stats.peak_queued, 1u);
+}
+
+TEST(BatchRunner, DefaultJobsIsHardwareConcurrency) {
+  par::BatchRunner runner;
+  EXPECT_GE(runner.jobs(), 1u);
+}
+
+// The per-task-registry pattern: each task records into its own registry;
+// the batch registry absorbs them on join.
+TEST(MetricsMerge, CountersAddGaugesLastWriteHistogramsBucketwise) {
+  obs::MetricsRegistry total;
+  total.counter("cases").add(3);
+  total.gauge("last_p").set(0.25);
+  total.histogram("instants", 1.0, 8).record(4.0);
+
+  obs::MetricsRegistry task;
+  task.counter("cases").add(2);
+  task.counter("failures").add(1);  // New in the task registry.
+  task.gauge("last_p").set(0.75);
+  task.histogram("instants", 1.0, 8).record(64.0);
+  task.histogram("instants", 1.0, 8).record(0.5);
+
+  total.merge_from(task);
+  EXPECT_EQ(total.counter("cases").value(), 5u);
+  EXPECT_EQ(total.counter("failures").value(), 1u);
+  EXPECT_DOUBLE_EQ(total.gauge("last_p").value(), 0.75);
+  const obs::LogHistogram& h = total.histogram("instants", 1.0, 8);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 68.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 64.0);
+  EXPECT_EQ(h.bucket_count_at(h.bucket_index(4.0)), 1u);
+  EXPECT_EQ(h.bucket_count_at(0), 1u);  // The 0.5 underflow sample.
+}
+
+TEST(MetricsMerge, MergeIsDeterministicAcrossTaskOrder) {
+  // Counter and histogram merges commute, so any join order gives the
+  // same aggregate — the property that makes batch metrics job-count
+  // invariant.
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("x").add(10);
+  b.counter("x").add(32);
+  a.histogram("h").record(2.0);
+  b.histogram("h").record(200.0);
+
+  obs::MetricsRegistry ab;
+  ab.merge_from(a);
+  ab.merge_from(b);
+  obs::MetricsRegistry ba;
+  ba.merge_from(b);
+  ba.merge_from(a);
+
+  std::ostringstream ja, jb;
+  ab.write_json(ja);
+  ba.write_json(jb);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(MetricsMerge, KindAndLayoutClashesThrow) {
+  obs::MetricsRegistry total;
+  total.counter("x");
+  obs::MetricsRegistry task;
+  task.gauge("x");
+  EXPECT_THROW(total.merge_from(task), std::invalid_argument);
+
+  obs::LogHistogram narrow(1.0, 8);
+  obs::LogHistogram wide(1.0, 16);
+  EXPECT_THROW(narrow.merge_from(wide), std::invalid_argument);
+
+  // Self-merge is an explicit no-op, not a double-count.
+  total.counter("x").add(4);
+  total.merge_from(total);
+  EXPECT_EQ(total.counter("x").value(), 4u);
+}
+
+}  // namespace

@@ -8,22 +8,34 @@
 // (plus repro_last.json) for `stigsim --replay`. Examples:
 //
 //   stigfuzz --cases 200 --seed 7
+//   stigfuzz --cases 2000 --jobs 8
 //   stigfuzz --corpus 1,2,3,4,5 --budget 60
 //   stigfuzz --cases 1 --inject framing --out /tmp/repros
 //
+// --jobs N fans cases across a par::BatchRunner pool. Case seeds derive
+// from the master seed by index (par::derive_seed), so the verdicts AND
+// schedule digests of --jobs 8 are byte-identical to --jobs 1; failures
+// are reported, shrunk and written in seed order either way.
+//
 // Exit codes: 0 all cases passed; 1 at least one failure (repros written);
 // 2 usage error; 3 runtime or I/O error.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <iostream>
+#include <optional>
+#include <span>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "fuzz/batch.hpp"
 #include "fuzz/fuzz_config.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "fuzz/repro.hpp"
 #include "fuzz/shrink.hpp"
+#include "par/seed.hpp"
 
 namespace {
 
@@ -44,6 +56,7 @@ struct Args {
   std::string inject;                 ///< "" or "framing".
   bool no_shrink = false;
   std::size_t max_shrink = 200;
+  std::size_t jobs = 1;               ///< Worker threads; 0 = all cores.
   bool help = false;
 };
 
@@ -59,7 +72,10 @@ void print_help() {
       "                  in every case — proves the find/shrink/replay\n"
       "                  pipeline end to end\n"
       "  --no-shrink     write failures un-shrunk\n"
-      "  --max-shrink N  shrink attempt cap per failure (default 200)\n\n"
+      "  --max-shrink N  shrink attempt cap per failure (default 200)\n"
+      "  --jobs N        run cases on N worker threads (default 1;\n"
+      "                  0 = all cores). Verdicts and schedule digests\n"
+      "                  are identical for every N\n\n"
       "oracles: delivery (bytes arrive intact), termination (quiescent\n"
       "within budget, no invariant violation), differential (equivalent\n"
       "protocols deliver identical payloads under the same schedule)\n\n"
@@ -117,6 +133,10 @@ bool parse(int argc, char** argv, Args& a) {
       const char* v = need(i);
       if (!v) return false;
       a.max_shrink = static_cast<std::size_t>(std::stoull(v));
+    } else if (flag == "--jobs") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.jobs = static_cast<std::size_t>(std::stoull(v));
     } else {
       std::cerr << "unknown flag: " << flag << " (see --help)\n";
       return false;
@@ -135,17 +155,13 @@ int main(int argc, char** argv) {
     return kExitClean;
   }
 
-  // Case seeds: the fixed corpus verbatim, or a splitmix64-style walk from
-  // the master seed (so --seed S --cases N is one reproducible batch).
+  // Case seeds: the fixed corpus verbatim, or derived from the master seed
+  // by case index (so --seed S --cases N is one reproducible batch, and
+  // case i's seed does not depend on how many cases run before it).
   std::vector<std::uint64_t> seeds = args.corpus;
   if (seeds.empty()) {
-    std::uint64_t s = args.seed;
     for (std::size_t i = 0; i < args.cases; ++i) {
-      s += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = s;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      seeds.push_back(z ^ (z >> 31));
+      seeds.push_back(par::derive_seed(args.seed, i));
     }
   }
 
@@ -155,55 +171,67 @@ int main(int argc, char** argv) {
     return std::chrono::duration<double>(Clock::now() - start).count();
   };
 
+  // One-shot decode-bit flip early in the first frame on the receiver:
+  // the CRC must reject the frame and the delivery oracle must see the
+  // loss.
+  const std::optional<fuzz::FaultSpec> fault =
+      args.inject == "framing" ? std::optional(fuzz::FaultSpec{1, 10})
+                               : std::nullopt;
+
+  // Cases fan out across the pool a chunk at a time; the time budget is
+  // checked at chunk boundaries, and failures are shrunk and written
+  // sequentially, in seed order — identical output at any --jobs.
+  const std::size_t chunk = std::max<std::size_t>(
+      16, 4 * (args.jobs == 0
+                   ? std::max<unsigned>(std::thread::hardware_concurrency(), 1)
+                   : args.jobs));
+
   std::size_t ran = 0;
   std::size_t failures = 0;
   try {
-    for (std::uint64_t case_seed : seeds) {
+    for (std::size_t begin = 0; begin < seeds.size(); begin += chunk) {
       if (args.budget_seconds > 0.0 && elapsed() > args.budget_seconds) {
         std::cerr << "time budget reached after " << ran << " case(s)\n";
         break;
       }
-      fuzz::FuzzConfig cfg = fuzz::sample_config(case_seed);
-      if (args.inject == "framing") {
-        // Flip one decoded bit early in the first frame on the receiver:
-        // the CRC must reject the frame and the delivery oracle must see
-        // the loss.
-        cfg.fault = fuzz::FaultSpec{1, 10};
-      }
-      ++ran;
-      const fuzz::CaseResult result = fuzz::run_case(cfg);
-      if (result.kind == fuzz::FailureKind::none) continue;
+      const std::size_t end = std::min(seeds.size(), begin + chunk);
+      const std::vector<fuzz::BatchCase> batch = fuzz::run_cases(
+          std::span(seeds).subspan(begin, end - begin), fault, args.jobs);
+      ran += batch.size();
+      for (const fuzz::BatchCase& bc : batch) {
+        if (bc.result.kind == fuzz::FailureKind::none) continue;
 
-      ++failures;
-      std::cerr << "case seed " << case_seed << ": "
-                << fuzz::failure_kind_name(result.kind) << " — "
-                << result.detail << "\n";
-      fuzz::FuzzConfig minimal = cfg;
-      fuzz::CaseResult minimal_result = result;
-      if (!args.no_shrink) {
-        const fuzz::ShrinkResult s =
-            fuzz::shrink(cfg, result, args.max_shrink);
-        minimal = s.config;
-        minimal_result = s.result;
-        std::cerr << "  shrunk in " << s.attempts << " attempt(s): payload "
-                  << cfg.payload.size() << "B -> "
-                  << minimal.payload.size() << "B, n " << cfg.n << " -> "
-                  << minimal.n << "\n";
+        ++failures;
+        std::cerr << "case seed " << bc.case_seed << ": "
+                  << fuzz::failure_kind_name(bc.result.kind) << " — "
+                  << bc.result.detail << "\n";
+        fuzz::FuzzConfig minimal = bc.config;
+        fuzz::CaseResult minimal_result = bc.result;
+        if (!args.no_shrink) {
+          const fuzz::ShrinkResult s =
+              fuzz::shrink(bc.config, bc.result, args.max_shrink);
+          minimal = s.config;
+          minimal_result = s.result;
+          std::cerr << "  shrunk in " << s.attempts
+                    << " attempt(s): payload " << bc.config.payload.size()
+                    << "B -> " << minimal.payload.size() << "B, n "
+                    << bc.config.n << " -> " << minimal.n << "\n";
+        }
+        fuzz::Repro repro;
+        repro.config = minimal;
+        repro.kind = minimal_result.kind;
+        repro.detail = minimal_result.detail;
+        repro.schedule_digest = minimal_result.schedule_digest;
+        repro.schedule_instants = minimal_result.schedule_instants;
+        std::string error;
+        const auto path = fuzz::save_repro(args.out_dir, repro, &error);
+        if (!path) {
+          std::cerr << "error: " << error << "\n";
+          return kExitRuntime;
+        }
+        std::cerr << "  wrote " << *path
+                  << " (replay with: stigsim --replay " << *path << ")\n";
       }
-      fuzz::Repro repro;
-      repro.config = minimal;
-      repro.kind = minimal_result.kind;
-      repro.detail = minimal_result.detail;
-      repro.schedule_digest = minimal_result.schedule_digest;
-      repro.schedule_instants = minimal_result.schedule_instants;
-      std::string error;
-      const auto path = fuzz::save_repro(args.out_dir, repro, &error);
-      if (!path) {
-        std::cerr << "error: " << error << "\n";
-        return kExitRuntime;
-      }
-      std::cerr << "  wrote " << *path << " (replay with: stigsim --replay "
-                << *path << ")\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

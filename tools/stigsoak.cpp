@@ -1,0 +1,250 @@
+// stigsoak — long-running soak driver over the fuzz oracles.
+//
+// Where stigfuzz answers "do these N cases pass right now", stigsoak keeps
+// drawing fresh batches until a wall-clock box expires, which is the shape
+// nightly CI wants: bounded time, unbounded cases, repros and a
+// machine-readable report on the way out. Rounds are independently seeded
+// from the root (round r's seeds derive from derive_seed(root, r), case i
+// within it from derive_seed(round_root, i)), so any failing case is
+// reproducible from `--seed` + the round/index printed with it — or just
+// from the repro file, which stores the full config. Examples:
+//
+//   stigsoak --minutes 30 --jobs 0
+//   stigsoak --seconds 20 --round-cases 100 --report soak_report.json
+//
+// Exit codes match stigfuzz: 0 all cases passed; 1 at least one failure
+// (repros written); 2 usage error; 3 runtime or I/O error.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/batch.hpp"
+#include "fuzz/fuzz_config.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/repro.hpp"
+#include "fuzz/shrink.hpp"
+#include "obs/json.hpp"
+#include "par/seed.hpp"
+
+namespace {
+
+using namespace stig;
+
+constexpr int kExitClean = 0;
+constexpr int kExitFailures = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitRuntime = 3;
+
+struct Args {
+  double seconds = 60.0;        ///< Wall-clock box for drawing new rounds.
+  std::uint64_t seed = 1;       ///< Root seed; rounds derive from it.
+  std::size_t round_cases = 200;
+  std::size_t jobs = 0;         ///< 0 = all cores.
+  std::size_t max_rounds = 0;   ///< 0 = until the time box expires.
+  std::size_t max_shrink = 200;
+  std::string out_dir = ".";
+  std::string report_path;      ///< "" = no report; "-" = stdout.
+  bool help = false;
+};
+
+void print_help() {
+  std::cout <<
+      "stigsoak — time-boxed soak runner over the fuzz oracles\n\n"
+      "  --seconds SEC    wall-clock box (default 60); no new round starts\n"
+      "                   after it expires (the running round completes)\n"
+      "  --minutes MIN    same, in minutes\n"
+      "  --seed S         root seed; round r derives its case seeds from it\n"
+      "  --round-cases N  cases per round (default 200)\n"
+      "  --jobs N         worker threads per round (default 0 = all cores)\n"
+      "  --max-rounds N   stop after N rounds even inside the box (0 = off)\n"
+      "  --max-shrink N   shrink attempt cap per failure (default 200)\n"
+      "  --out DIR        directory for repro_*.json (default .)\n"
+      "  --report PATH    write a JSON run report (\"-\" = stdout)\n\n"
+      "exit codes: 0 clean; 1 failures found (repros written);\n"
+      "            2 usage error; 3 runtime/I-O error\n";
+}
+
+bool parse(int argc, char** argv, Args& a) {
+  const auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      a.help = true;
+    } else if (flag == "--seconds") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.seconds = std::stod(v);
+    } else if (flag == "--minutes") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.seconds = std::stod(v) * 60.0;
+    } else if (flag == "--seed") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.seed = std::stoull(v);
+    } else if (flag == "--round-cases") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.round_cases = static_cast<std::size_t>(std::stoull(v));
+      if (a.round_cases == 0) {
+        std::cerr << "--round-cases must be >= 1\n";
+        return false;
+      }
+    } else if (flag == "--jobs") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.jobs = static_cast<std::size_t>(std::stoull(v));
+    } else if (flag == "--max-rounds") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.max_rounds = static_cast<std::size_t>(std::stoull(v));
+    } else if (flag == "--max-shrink") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.max_shrink = static_cast<std::size_t>(std::stoull(v));
+    } else if (flag == "--out") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.out_dir = v;
+    } else if (flag == "--report") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.report_path = v;
+    } else {
+      std::cerr << "unknown flag: " << flag << " (see --help)\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SoakTally {
+  std::size_t rounds = 0;
+  std::size_t cases = 0;
+  std::size_t failures = 0;
+  // One slot per fuzz::FailureKind, indexed by its enum value.
+  std::vector<std::size_t> by_kind =
+      std::vector<std::size_t>(static_cast<std::size_t>(
+                                   fuzz::FailureKind::crash) + 1,
+                               0);
+};
+
+void write_report(std::ostream& out, const Args& args, const SoakTally& t,
+                  double wall_seconds) {
+  out << "{\"tool\":\"stigsoak\""
+      << ",\"seed\":" << args.seed
+      << ",\"round_cases\":" << args.round_cases
+      << ",\"jobs\":" << args.jobs
+      << ",\"rounds\":" << t.rounds
+      << ",\"cases\":" << t.cases
+      << ",\"failures\":" << t.failures
+      << ",\"failures_by_kind\":{";
+  bool first = true;
+  for (std::size_t k = 0; k < t.by_kind.size(); ++k) {
+    if (t.by_kind[k] == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << obs::json_quote(fuzz::failure_kind_name(
+               static_cast<fuzz::FailureKind>(k)))
+        << ':' << t.by_kind[k];
+  }
+  out << "},\"wall_seconds\":" << obs::json_number(wall_seconds) << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) return kExitUsage;
+  if (args.help) {
+    print_help();
+    return kExitClean;
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  SoakTally tally;
+  try {
+    for (std::size_t round = 0;; ++round) {
+      if (args.max_rounds > 0 && round >= args.max_rounds) break;
+      if (round > 0 && elapsed() >= args.seconds) break;
+
+      const std::uint64_t round_root = par::derive_seed(args.seed, round);
+      std::vector<std::uint64_t> seeds;
+      seeds.reserve(args.round_cases);
+      for (std::size_t i = 0; i < args.round_cases; ++i) {
+        seeds.push_back(par::derive_seed(round_root, i));
+      }
+
+      const std::vector<fuzz::BatchCase> batch =
+          fuzz::run_cases(seeds, std::nullopt, args.jobs);
+      ++tally.rounds;
+      tally.cases += batch.size();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const fuzz::BatchCase& bc = batch[i];
+        if (bc.result.kind == fuzz::FailureKind::none) continue;
+        ++tally.failures;
+        ++tally.by_kind[static_cast<std::size_t>(bc.result.kind)];
+        std::cerr << "round " << round << " case " << i << " (seed "
+                  << bc.case_seed << "): "
+                  << fuzz::failure_kind_name(bc.result.kind) << " — "
+                  << bc.result.detail << "\n";
+        const fuzz::ShrinkResult s =
+            fuzz::shrink(bc.config, bc.result, args.max_shrink);
+        fuzz::Repro repro;
+        repro.config = s.config;
+        repro.kind = s.result.kind;
+        repro.detail = s.result.detail;
+        repro.schedule_digest = s.result.schedule_digest;
+        repro.schedule_instants = s.result.schedule_instants;
+        std::string error;
+        const auto path = fuzz::save_repro(args.out_dir, repro, &error);
+        if (!path) {
+          std::cerr << "error: " << error << "\n";
+          return kExitRuntime;
+        }
+        std::cerr << "  wrote " << *path
+                  << " (replay with: stigsim --replay " << *path << ")\n";
+      }
+      std::cerr << "round " << round << ": " << batch.size() << " case(s), "
+                << tally.failures << " failure(s) so far, "
+                << static_cast<int>(elapsed()) << "s\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitRuntime;
+  }
+
+  const double wall = elapsed();
+  if (!args.report_path.empty()) {
+    if (args.report_path == "-") {
+      write_report(std::cout, args, tally, wall);
+    } else {
+      std::ofstream out(args.report_path);
+      if (!out) {
+        std::cerr << "error: cannot write " << args.report_path << "\n";
+        return kExitRuntime;
+      }
+      write_report(out, args, tally, wall);
+    }
+  }
+  std::cout << "stigsoak: " << tally.rounds << " round(s), " << tally.cases
+            << " case(s), " << tally.failures << " failure(s), "
+            << static_cast<int>(wall) << "s\n";
+  return tally.failures == 0 ? kExitClean : kExitFailures;
+}
