@@ -25,6 +25,7 @@ int main() {
     int radio_delivered;
     std::size_t hybrid_delivered;
     std::uint64_t fallbacks;
+    bool flushed;
   };
   const std::vector<Row> rows =
       bench::batch_map(losses.size(), [&](std::size_t i) {
@@ -55,20 +56,30 @@ int main() {
         for (int m = 0; m < kMessages; ++m) {
           hybrid.send(m % n, (m + 1) % n, bench::payload(2, m));
         }
-        hybrid.flush(10'000'000);
+        // flush() returns whether the motion channel drained; a false here
+        // means the fallback path silently under-delivered and the hybrid
+        // column is measuring an unfinished run.
+        const bool flushed = hybrid.flush(10'000'000);
         motion.run(2);
         std::size_t hybrid_delivered = 0;
         for (std::size_t j = 0; j < n; ++j) {
           hybrid_delivered += hybrid.received(j).size();
         }
         return Row{radio_delivered, hybrid_delivered,
-                   hybrid.stats().motion_fallbacks};
+                   hybrid.stats().motion_fallbacks, flushed};
       });
+  bool all_flushed = true;
   for (std::size_t i = 0; i < losses.size(); ++i) {
     t.row(losses[i], 100.0 * rows[i].radio_delivered / kMessages,
           100.0 * static_cast<double>(rows[i].hybrid_delivered) / kMessages,
           rows[i].fallbacks);
+    if (!rows[i].flushed) {
+      all_flushed = false;
+      std::cerr << "error: hybrid flush did not reach quiescence at loss "
+                << losses[i] << "\n";
+    }
   }
+  report.value("all_flushed", std::uint64_t{all_flushed ? 1u : 0u});
   std::cout << "\nexpected shape: radio-only delivery = 1 - loss; hybrid "
                "stays at 100% regardless, every drop recovered over the "
                "movement-signal channel.\n\n";
@@ -88,5 +99,5 @@ int main() {
             << "addressee + " << n - 2
             << " eavesdroppers) — any robot can replay the message if the "
                "addressee's sensors later fail.\n";
-  return 0;
+  return all_flushed ? 0 : 1;
 }

@@ -243,6 +243,9 @@ obs::RunReport ChatNetwork::report() const {
   r.instants = engine_->now();
   r.quiescent = quiescent();
   r.min_separation = engine_->trace().min_separation();
+  for (const proto::ChatRobot* robot : chat_) {
+    if (robot->decode_fault_pending()) ++r.unfired_decode_faults;
+  }
   r.per_robot.resize(chat_.size());
   for (std::size_t i = 0; i < chat_.size(); ++i) {
     const sim::MotionStats& m = engine_->trace().stats(i);
@@ -313,10 +316,12 @@ void ChatNetwork::run(sim::Time instants) {
 }
 
 bool ChatNetwork::quiescent() const {
-  return std::all_of(chat_.begin(), chat_.end(),
-                     [](const proto::ChatRobot* r) {
-                       return r->send_queue_empty();
-                     });
+  const sim::Time now = engine_->now();
+  for (std::size_t i = 0; i < chat_.size(); ++i) {
+    if (interceptor_ != nullptr && interceptor_->crashed(i, now)) continue;
+    if (!chat_[i]->send_queue_empty()) return false;
+  }
+  return true;
 }
 
 bool ChatNetwork::run_until_quiescent(sim::Time max_instants) {

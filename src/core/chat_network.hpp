@@ -130,7 +130,10 @@ class ChatNetwork {
   /// guaranteed), or `max_instants` elapse. Returns true on quiescence.
   bool run_until_quiescent(sim::Time max_instants);
 
-  /// True when no robot has bits left to send.
+  /// True when no robot has bits left to send. When a fault interceptor is
+  /// attached (see `attach_step_interceptor`), robots it reports crashed
+  /// are exempt: their outboxes can never drain, and waiting on them would
+  /// make every faulted run a timeout.
   [[nodiscard]] bool quiescent() const;
 
   /// Messages delivered to robot `i` so far (in decode order).
@@ -180,11 +183,22 @@ class ChatNetwork {
     return *chat_.at(i);
   }
 
-  /// Arms a one-shot decode fault on robot `i`: its `nth_bit`-th decoded
-  /// signal (0-based) is misread. Fuzz-harness conformance hook — see
+  /// Arms a one-shot decode fault on robot `i`: `burst` consecutive decoded
+  /// signals starting at its `nth_bit`-th (0-based) are misread. Throws if
+  /// a fault is already armed on `i`. Fuzz/fault-harness hook — see
   /// proto::ChatRobot::inject_decode_fault.
-  void inject_decode_fault(sim::RobotIndex i, std::uint64_t nth_bit) {
-    chat_.at(i)->inject_decode_fault(nth_bit);
+  void inject_decode_fault(sim::RobotIndex i, std::uint64_t nth_bit,
+                           std::uint64_t burst = 1) {
+    chat_.at(i)->inject_decode_fault(nth_bit, burst);
+  }
+
+  /// Attaches a fault-injection interceptor to the engine (not owned; null
+  /// detaches). Beyond forwarding to `sim::Engine::set_step_interceptor`,
+  /// the network also consults it in `quiescent()` so crash-stopped robots
+  /// do not block termination.
+  void attach_step_interceptor(sim::StepInterceptor* interceptor) {
+    interceptor_ = interceptor;
+    engine_->set_step_interceptor(interceptor);
   }
 
  private:
@@ -193,6 +207,7 @@ class ChatNetwork {
   ChatNetworkOptions options_;
   ProtocolKind kind_ = ProtocolKind::automatic;
   std::unique_ptr<sim::Engine> engine_;
+  sim::StepInterceptor* interceptor_ = nullptr;  ///< Not owned.
   std::vector<proto::ChatRobot*> chat_;  ///< Non-owning; engine owns.
   /// slot_to_engine_[i][slot] = simulator index of the robot that robot i's
   /// protocol calls `slot`.

@@ -1,0 +1,68 @@
+// FaultInjector — applies a FaultPlan to a running engine.
+//
+// The injector is the sim::StepInterceptor the engine consults every
+// instant: it masks crashed and stalled robots out of the scheduler's
+// activation set, displaces jittered robots after the instant's moves, and
+// emits one FaultInjected telemetry event the first time each scheduled
+// fault takes effect (so the watchdog's crash_silence invariant arms at the
+// right instant, and traces show the faults alongside the protocol
+// activity).
+//
+// Burst faults (decode corruption) live in the message layer, not the
+// engine — `arm_bursts` plants them on a ChatNetwork up front.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "obs/sink.hpp"
+#include "sim/engine.hpp"
+
+namespace stig::core {
+class ChatNetwork;
+}  // namespace stig::core
+
+namespace stig::fault {
+
+class FaultInjector final : public sim::StepInterceptor {
+ public:
+  /// Takes the plan by value (normalized copies are cheap; the injector
+  /// must outlive the engine it is attached to, not the plan's source).
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Routes FaultInjected events into `sink` (not owned; null = silent).
+  void set_event_sink(obs::EventSink* sink) noexcept { sink_ = sink; }
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  // sim::StepInterceptor
+  void on_activation(sim::Time t, sim::ActivationSet& active) override;
+  void on_positions(sim::Time t,
+                    std::vector<geom::Vec2>& positions) override;
+  [[nodiscard]] bool crashed(sim::RobotIndex i, sim::Time t) const override;
+
+  /// The instant robot `i` crash-stops, if the plan crashes it at all.
+  [[nodiscard]] std::optional<sim::Time> crash_time(
+      sim::RobotIndex i) const;
+
+ private:
+  void emit(sim::Time t, sim::RobotIndex robot, const char* kind,
+            double value);
+
+  FaultPlan plan_;
+  std::vector<bool> crash_fired_;
+  std::vector<bool> stall_fired_;
+  std::vector<bool> jitter_fired_;
+  obs::EventSink* sink_ = nullptr;
+};
+
+/// Arms the plan's burst faults on `net` via inject_decode_fault. At most
+/// one burst per robot is armed (a ChatRobot holds one pending fault; the
+/// normalized plan's first burst per robot wins). Emits a FaultInjected
+/// "burst" event at t=0 per armed fault into `sink` (null = silent).
+/// Returns the number armed.
+std::size_t arm_bursts(core::ChatNetwork& net, const FaultPlan& plan,
+                       obs::EventSink* sink);
+
+}  // namespace stig::fault

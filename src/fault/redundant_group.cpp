@@ -1,0 +1,242 @@
+#include "fault/redundant_group.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "obs/event.hpp"
+#include "par/seed.hpp"
+
+namespace stig::fault {
+
+std::uint32_t fnv1a32(std::span<const std::uint8_t> bytes) {
+  std::uint32_t h = 2166136261u;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+FaultPlan lane_slice(const FaultPlan& plan, std::size_t lane,
+                     std::size_t n) {
+  FaultPlan out;
+  const auto mine = [&](sim::RobotIndex physical) {
+    return physical / n == lane;
+  };
+  for (CrashFault f : plan.crashes) {
+    if (!mine(f.robot)) continue;
+    f.robot %= n;
+    out.crashes.push_back(f);
+  }
+  for (StallFault f : plan.stalls) {
+    if (!mine(f.robot)) continue;
+    f.robot %= n;
+    out.stalls.push_back(f);
+  }
+  for (JitterFault f : plan.jitters) {
+    if (!mine(f.robot)) continue;
+    f.robot %= n;
+    out.jitters.push_back(f);
+  }
+  for (BurstFault f : plan.bursts) {
+    if (!mine(f.robot)) continue;
+    f.robot %= n;
+    out.bursts.push_back(f);
+  }
+  normalize(out);
+  return out;
+}
+
+RedundantChatNetwork::RedundantChatNetwork(std::vector<geom::Vec2> positions,
+                                           RedundantOptions options)
+    : n_(positions.size()) {
+  if (options.group_size == 0) {
+    throw std::invalid_argument("RedundantChatNetwork: group_size >= 1");
+  }
+  const std::size_t g = options.group_size;
+  logs_.resize(g);  // Never resized again: lanes keep pointers into it.
+  injectors_.reserve(g);
+  lanes_.reserve(g);
+  for (std::size_t lane = 0; lane < g; ++lane) {
+    core::ChatNetworkOptions o = options.base;
+    o.seed = par::derive_seed(options.base.seed, lane);
+    if (options.record_schedules) o.record_schedule = &logs_[lane];
+    injectors_.push_back(std::make_unique<FaultInjector>(
+        lane_slice(options.plan, lane, n_)));
+    lanes_.push_back(
+        std::make_unique<core::ChatNetwork>(positions, o));
+    lanes_.back()->attach_step_interceptor(injectors_.back().get());
+    // Decode bursts live in the message layer; armed up front (silently —
+    // the per-lane sink is not attached yet; the injector announces
+    // crash/stall/jitter as they fire during the run).
+    arm_bursts(*lanes_.back(), injectors_.back()->plan(), nullptr);
+  }
+  voted_.assign(n_, {});
+}
+
+void RedundantChatNetwork::send(sim::RobotIndex from, sim::RobotIndex to,
+                                std::span<const std::uint8_t> payload) {
+  for (auto& lane : lanes_) lane->send(from, to, payload);
+}
+
+void RedundantChatNetwork::broadcast(sim::RobotIndex from,
+                                     std::span<const std::uint8_t> payload) {
+  for (auto& lane : lanes_) lane->broadcast(from, payload);
+}
+
+void RedundantChatNetwork::attach_lane_sink(std::size_t k,
+                                            obs::EventSink* sink) {
+  lanes_.at(k)->attach_event_sink(sink);
+  injectors_.at(k)->set_event_sink(sink);
+}
+
+RedundantChatNetwork::RunResult RedundantChatNetwork::run_until_settled(
+    sim::Time max_instants, sim::Time stall_window,
+    sim::Time settle_tail) {
+  if (stall_window == 0) stall_window = 1;
+  const std::size_t g = lanes_.size();
+  const auto progress = [&](std::size_t l) {
+    std::uint64_t p = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const proto::ChatStats& s = lanes_[l]->stats(i);
+      p += s.bits_sent + s.bits_decoded;
+    }
+    return p;
+  };
+
+  std::vector<bool> settled(g, false);
+  std::vector<std::uint64_t> last_progress(g, 0);
+  std::vector<sim::Time> stalled_for(g, 0);
+  std::vector<sim::Time> used(g, 0);
+  RunResult res;
+  for (std::size_t l = 0; l < g; ++l) last_progress[l] = progress(l);
+
+  std::size_t remaining = g;
+  while (remaining > 0) {
+    for (std::size_t l = 0; l < g; ++l) {
+      if (settled[l]) continue;
+      if (lanes_[l]->quiescent()) {
+        settled[l] = true;
+        --remaining;
+        continue;
+      }
+      if (used[l] >= max_instants) {
+        settled[l] = true;
+        --remaining;
+        ++res.timeout_lanes;
+        continue;
+      }
+      try {
+        lanes_[l]->step();
+      } catch (const std::exception& e) {
+        // A faulted lane may die outright (a jitter shove can collide
+        // robots; a watchdog in abort mode may trip). The lane is a failed
+        // group member: settle it and let its deliveries so far vote.
+        res.lane_errors.emplace_back(l, e.what());
+        settled[l] = true;
+        --remaining;
+        continue;
+      }
+      ++used[l];
+      const std::uint64_t p = progress(l);
+      if (p != last_progress[l]) {
+        last_progress[l] = p;
+        stalled_for[l] = 0;
+      } else if (++stalled_for[l] >= stall_window) {
+        // Neither quiescent nor advancing: a crashed peer has wedged this
+        // lane (an async ack that will never arrive). Its surviving
+        // deliveries still count toward the vote.
+        settled[l] = true;
+        --remaining;
+        ++res.stalled_lanes;
+      }
+    }
+  }
+
+  for (std::size_t l = 0; l < g && settle_tail > 0; ++l) {
+    if (!lanes_[l]->quiescent()) continue;
+    try {
+      lanes_[l]->run(settle_tail);
+    } catch (const std::exception& e) {
+      res.lane_errors.emplace_back(l, e.what());
+    }
+  }
+
+  res.all_quiescent =
+      std::all_of(lanes_.begin(), lanes_.end(),
+                  [](const auto& lane) { return lane->quiescent(); });
+  for (std::size_t l = 0; l < g; ++l) {
+    res.instants = std::max(res.instants, used[l]);
+  }
+  vote(res.instants);
+  return res;
+}
+
+void RedundantChatNetwork::vote(sim::Time t) {
+  voted_.assign(n_, {});
+  const std::size_t g = lanes_.size();
+  for (sim::RobotIndex r = 0; r < n_; ++r) {
+    // Per stream (unicast-before-broadcast, then sender), the per-lane
+    // payload sequences in decode order.
+    std::map<std::pair<bool, sim::RobotIndex>,
+             std::vector<std::vector<const std::vector<std::uint8_t>*>>>
+        streams;
+    for (std::size_t l = 0; l < g; ++l) {
+      for (const core::Delivery& d : lanes_[l]->received(r)) {
+        auto& seqs = streams[{d.broadcast, d.from}];
+        if (seqs.empty()) seqs.resize(g);
+        seqs[l].push_back(&d.payload);
+      }
+    }
+    for (const auto& [key, seqs] : streams) {
+      const auto [broadcast, from] = key;
+      std::size_t max_len = 0;
+      for (const auto& s : seqs) max_len = std::max(max_len, s.size());
+      for (std::size_t k = 0; k < max_len; ++k) {
+        // Plurality over the lanes that have a k-th delivery; ties prefer
+        // the lane with the longest stream (the least-truncated witness),
+        // then the lowest lane index. Crash faults only truncate, so under
+        // crash-only plans every candidate here is already equal.
+        std::size_t best_lane = g;
+        std::size_t best_count = 0;
+        std::size_t best_len = 0;
+        for (std::size_t l = 0; l < g; ++l) {
+          if (seqs[l].size() <= k) continue;
+          std::size_t count = 0;
+          for (std::size_t m = 0; m < g; ++m) {
+            if (seqs[m].size() > k && *seqs[m][k] == *seqs[l][k]) ++count;
+          }
+          if (count > best_count ||
+              (count == best_count && seqs[l].size() > best_len)) {
+            best_lane = l;
+            best_count = count;
+            best_len = seqs[l].size();
+          }
+        }
+        VotedDelivery v;
+        v.from = from;
+        v.to = broadcast ? from : r;
+        v.broadcast = broadcast;
+        v.ordinal = k;
+        v.agreeing_lanes = best_count;
+        v.payload = *seqs[best_lane][k];
+        if (sink_ != nullptr) {
+          obs::Event e;
+          e.type = obs::EventType::MaskedDelivery;
+          e.t = t;
+          e.robot = static_cast<std::int64_t>(r);
+          e.peer = static_cast<std::int64_t>(from);
+          e.aux = static_cast<std::int64_t>(k);
+          e.bit = fnv1a32(v.payload);
+          e.value = static_cast<double>(best_count);
+          e.label = broadcast ? "broadcast" : "unicast";
+          sink_->on_event(e);
+        }
+        voted_[r].push_back(std::move(v));
+      }
+    }
+  }
+}
+
+}  // namespace stig::fault

@@ -6,13 +6,14 @@ namespace stig::fuzz {
 
 std::vector<BatchCase> run_cases(std::span<const std::uint64_t> seeds,
                                  const std::optional<FaultSpec>& fault,
-                                 std::size_t jobs) {
+                                 std::size_t jobs, bool force_faults) {
   par::BatchRunner runner(par::BatchOptions{.jobs = jobs});
   return runner.map(seeds.size(), [&](std::size_t i) {
     BatchCase out;
     out.case_seed = seeds[i];
     out.config = sample_config(seeds[i]);
     out.config.fault = fault;
+    if (force_faults) force_fault_dimensions(out.config);
     out.result = run_case(out.config);
     return out;
   });

@@ -28,11 +28,14 @@ struct BatchCase {
 
 /// Runs every seed's case, `jobs` at a time (0 = hardware concurrency).
 /// `fault`, when set, is armed on every case (stigfuzz --inject framing).
+/// `force_faults` forces the fault-masking dimensions onto every case
+/// (stigfuzz --faults): a seed-derived group size and FaultPlan replace
+/// whatever the sampler drew, so the whole batch runs crash-masked.
 /// The returned vector is ordered like `seeds` regardless of job count;
 /// the first worker exception (if any) is rethrown after the pool drains.
 [[nodiscard]] std::vector<BatchCase> run_cases(
     std::span<const std::uint64_t> seeds,
     const std::optional<FaultSpec>& fault = std::nullopt,
-    std::size_t jobs = 0);
+    std::size_t jobs = 0, bool force_faults = false);
 
 }  // namespace stig::fuzz

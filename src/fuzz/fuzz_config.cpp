@@ -3,9 +3,41 @@
 #include <algorithm>
 #include <sstream>
 
+#include "par/seed.hpp"
 #include "sim/rng.hpp"
 
 namespace stig::fuzz {
+namespace {
+
+/// Draws the fault-masking plan for `cfg`: faults target physical robots
+/// in lanes 1..group_size-1 only (lane 0 stays the fault-free witness) and
+/// fire inside the first quarter of the instant budget, where the payload
+/// is actually in flight. Derived from cfg.seed — independent of the
+/// sampling RNG so forcing the dimensions later lands on the same plan.
+fault::FaultPlan sample_case_fault_plan(const FuzzConfig& cfg) {
+  fault::FaultPlanShape shape;
+  shape.robots = (cfg.group_size - 1) * cfg.n;
+  shape.horizon =
+      std::max<sim::Time>(1, instant_budget(cfg) / 4);
+  shape.max_crashes = 2;
+  shape.max_stalls = 1;
+  shape.max_jitters = 1;
+  shape.max_bursts = 1;
+  shape.stall_max = 128;
+  shape.jitter_ticks_max = 512;
+  shape.burst_bit_max = 8 * (cfg.payload.size() + 2) * 2;
+  shape.burst_width_max = 5;
+  fault::FaultPlan plan = fault::sample_fault_plan(
+      par::derive_seed(cfg.seed, 0xfa17), shape);
+  // Shift every target out of lane 0.
+  for (auto& f : plan.crashes) f.robot += cfg.n;
+  for (auto& f : plan.stalls) f.robot += cfg.n;
+  for (auto& f : plan.jitters) f.robot += cfg.n;
+  for (auto& f : plan.bursts) f.robot += cfg.n;
+  return plan;
+}
+
+}  // namespace
 
 bool is_synchronous(core::ProtocolKind kind) {
   return kind == core::ProtocolKind::sync2 ||
@@ -121,7 +153,21 @@ FuzzConfig sample_config(std::uint64_t case_seed) {
   }
   cfg.broadcast = rng.flip(0.2);
   cfg.max_instants = instant_budget(cfg);
+
+  // Fault-masking dimension, drawn last so the base config a given seed
+  // produces is unchanged from earlier corpus generations.
+  if (rng.flip(0.25)) {
+    cfg.group_size = rng.flip(0.3) ? 3 : 2;
+    cfg.fault_plan = sample_case_fault_plan(cfg);
+  }
   return cfg;
+}
+
+void force_fault_dimensions(FuzzConfig& cfg) {
+  cfg.group_size = 2 + (par::mix_seed(cfg.seed ^ 0x6d45) & 1);
+  cfg.max_instants = 0;
+  cfg.max_instants = instant_budget(cfg);
+  cfg.fault_plan = sample_case_fault_plan(cfg);
 }
 
 core::ChatNetworkOptions to_options(const FuzzConfig& cfg,
@@ -153,6 +199,12 @@ std::string canonical(const FuzzConfig& cfg) {
       << ";max_instants=" << instant_budget(cfg);
   if (cfg.fault) {
     out << ";fault=" << cfg.fault->robot << ":" << cfg.fault->nth_bit;
+  }
+  // Masking dimensions appear only when armed, so every pre-existing
+  // config keeps its historical canonical form (and hash).
+  if (cfg.group_size > 1 || !cfg.fault_plan.empty()) {
+    out << ";group=" << cfg.group_size
+        << ";plan=" << fault::format_fault_plan(cfg.fault_plan);
   }
   return out.str();
 }

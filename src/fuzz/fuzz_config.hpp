@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/chat_network.hpp"
+#include "fault/fault_plan.hpp"
 #include "geom/vec.hpp"
 #include "sim/types.hpp"
 
@@ -45,6 +46,15 @@ struct FuzzConfig {
                                     ///< unicast 0 -> 1.
   sim::Time max_instants = 0;       ///< 0 = use instant_budget(*this).
   std::optional<FaultSpec> fault;   ///< Injected decode fault, if any.
+
+  // Fault-masking dimensions (src/fault). group_size == 1 and an empty
+  // plan mean the classic single-lane run; neither contributes to the
+  // canonical serialization then, so pre-existing config hashes are
+  // unchanged. group_size >= 2 runs the case through
+  // fault::RedundantChatNetwork with `fault_plan` applied (plan robots are
+  // physical indices: lane * n + logical).
+  std::size_t group_size = 1;
+  fault::FaultPlan fault_plan;
 };
 
 /// True for the synchronous-side protocols (sync2/sliced/ksegment).
@@ -65,8 +75,16 @@ struct FuzzConfig {
 [[nodiscard]] sim::Time instant_budget(const FuzzConfig& cfg);
 
 /// Deterministically draws a config from `case_seed` (protocol x scheduler
-/// x n x payload x broadcast). Never arms a fault.
+/// x n x payload x broadcast). Never arms a decode FaultSpec; a fraction of
+/// cases draw the fault-masking dimensions (group_size in {2, 3} plus a
+/// FaultPlan confined to lanes 1..g-1, so lane 0 always witnesses the
+/// fault-free behaviour and the delivery oracle stays exact).
 [[nodiscard]] FuzzConfig sample_config(std::uint64_t case_seed);
+
+/// Forces the fault-masking dimensions onto `cfg` (stigfuzz --faults):
+/// group size and plan derived from cfg.seed, lane 0 kept clean. Replaces
+/// any existing plan; refreshes max_instants.
+void force_fault_dimensions(FuzzConfig& cfg);
 
 /// ChatNetworkOptions for running `cfg` as protocol `kind` (the
 /// differential oracle substitutes class members for cfg.protocol).

@@ -1,9 +1,11 @@
 #include "fuzz/fuzzer.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 #include <tuple>
 
+#include "fault/redundant_group.hpp"
 #include "obs/watchdog.hpp"
 
 namespace stig::fuzz {
@@ -125,6 +127,119 @@ FailureKind classify(const FuzzConfig& cfg, const RunOutcome& run,
   return FailureKind::none;
 }
 
+/// The masked run: every lane is a full protocol run with its slice of the
+/// fault plan injected; the oracles move up one level. Invariants are
+/// checked per lane (report mode — a faulted lane's engine exception is a
+/// tolerated member failure, not a case failure) plus the mask watchdog
+/// over the vote; termination means no lane was still progressing when the
+/// budget ran out (wedged lanes are the *expected* shape of a crash fault);
+/// delivery compares the VOTED payloads against the fault-free expectation
+/// — the crash-masking claim itself. The differential oracle is skipped:
+/// redundancy, not protocol equivalence, is under test.
+CaseResult run_case_masked(const FuzzConfig& cfg) {
+  CaseResult result;
+  const std::size_t g = cfg.group_size;
+  const char* proto = core::protocol_kind_name(cfg.protocol);
+
+  fault::RedundantOptions ropt;
+  ropt.base = to_options(cfg, cfg.protocol);
+  ropt.group_size = g;
+  ropt.plan = cfg.fault_plan;
+  ropt.record_schedules = true;
+
+  // Stalled robots consume budget without progress, so the plan's total
+  // stall time rides on top of the fault-free instant budget.
+  sim::Time budget = instant_budget(cfg);
+  for (const fault::StallFault& s : cfg.fault_plan.stalls) {
+    budget += s.instants;
+  }
+  const sim::Time stall_window = std::max<sim::Time>(512, budget / 64);
+
+  std::vector<geom::Vec2> positions = scatter(cfg.seed, cfg.n);
+  obs::Watchdog mask_dog{obs::WatchdogOptions{}};
+  std::vector<std::unique_ptr<obs::Watchdog>> lane_dogs;
+
+  try {
+    fault::RedundantChatNetwork net(positions, ropt);
+    for (std::size_t l = 0; l < g; ++l) {
+      obs::WatchdogOptions wopt;
+      wopt.check_granular = cfg.protocol == core::ProtocolKind::sliced ||
+                            cfg.protocol == core::ProtocolKind::ksegment ||
+                            cfg.protocol == core::ProtocolKind::asyncn;
+      const fault::FaultPlan& slice = net.injector(l).plan();
+      // A burst corrupts decoded bits by design: the framing replay would
+      // flag exactly the corruption the CRC is there to absorb. A jitter
+      // shove may legitimately collide robots; the engine's own exception
+      // settles the lane as a failed member.
+      wopt.check_framing = slice.bursts.empty();
+      wopt.check_separation = slice.jitters.empty();
+      lane_dogs.push_back(std::make_unique<obs::Watchdog>(wopt, positions));
+      net.attach_lane_sink(l, lane_dogs.back().get());
+    }
+    net.set_event_sink(&mask_dog);
+    if (cfg.broadcast) {
+      net.broadcast(0, cfg.payload);
+    } else {
+      net.send(0, 1, cfg.payload);
+    }
+    const auto res = net.run_until_settled(
+        budget, stall_window, is_synchronous(cfg.protocol) ? 4 : 512);
+
+    std::uint64_t digest = 0xcbf29ce484222325ULL;
+    for (std::size_t l = 0; l < g; ++l) {
+      digest ^= net.lane_log(l).digest();
+      digest *= 0x100000001b3ULL;
+      result.schedule_instants =
+          std::max(result.schedule_instants, net.lane_log(l).instants());
+    }
+    result.schedule_digest = digest;
+    result.instants = res.instants;
+
+    for (std::size_t l = 0; l < g; ++l) {
+      if (lane_dogs[l]->ok()) continue;
+      const obs::WatchdogViolation& v = lane_dogs[l]->violations().front();
+      result.kind = FailureKind::watchdog_violation;
+      result.detail = std::string(proto) + " masked lane " +
+                      std::to_string(l) + ": " + v.invariant + ": " +
+                      v.detail;
+      return result;
+    }
+    if (!mask_dog.ok()) {
+      const obs::WatchdogViolation& v = mask_dog.violations().front();
+      result.kind = FailureKind::watchdog_violation;
+      result.detail =
+          std::string(proto) + " mask: " + v.invariant + ": " + v.detail;
+      return result;
+    }
+    if (res.timeout_lanes > 0) {
+      std::ostringstream out;
+      out << proto << " masked: " << res.timeout_lanes
+          << " lane(s) still progressing after " << budget << " instants";
+      result.kind = FailureKind::timeout;
+      result.detail = out.str();
+      return result;
+    }
+    std::vector<DeliverySig> got;
+    for (std::size_t i = 0; i < cfg.n; ++i) {
+      for (const fault::VotedDelivery& v : net.voted(i)) {
+        got.emplace_back(i, v.from, v.payload);
+      }
+    }
+    std::sort(got.begin(), got.end());
+    const std::vector<DeliverySig> want = expected_deliveries(cfg);
+    if (got != want) {
+      result.kind = FailureKind::payload_mismatch;
+      result.detail = std::string(proto) + " masked(g=" + std::to_string(g) +
+                      "): " + describe(got, want);
+      return result;
+    }
+  } catch (const std::exception& e) {
+    result.kind = FailureKind::crash;
+    result.detail = std::string(proto) + " masked: " + e.what();
+  }
+  return result;
+}
+
 }  // namespace
 
 const char* failure_kind_name(FailureKind kind) {
@@ -150,6 +265,10 @@ FailureKind failure_kind_from_name(const std::string& name) {
 }
 
 CaseResult run_case(const FuzzConfig& cfg) {
+  // A one-shot decode flip (the --inject pipeline self-test) forces the
+  // single-lane path: the flip itself is under test, and the masked run
+  // has no receiver to arm it on.
+  if (cfg.group_size > 1 && !cfg.fault) return run_case_masked(cfg);
   CaseResult result;
   const RunOutcome primary = run_one(cfg, cfg.protocol, /*apply_fault=*/true);
   result.schedule_digest = primary.log.digest();

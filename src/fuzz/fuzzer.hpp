@@ -17,6 +17,13 @@
 // The result carries the schedule digest of the primary run: replaying the
 // same config must reproduce both the failure kind and the digest, which is
 // the harness's definition of "bit-for-bit".
+//
+// Configs with group_size > 1 instead run masked through
+// fault::RedundantChatNetwork: per-lane watchdogs (report mode) plus the
+// mask-agreement watchdog replace the abort-mode watchdog, termination
+// means no lane exhausted the budget while still progressing, and the
+// delivery oracle compares the *voted* payloads — the crash-masking claim.
+// The schedule digest is then the FNV combination of the per-lane digests.
 #pragma once
 
 #include <cstdint>

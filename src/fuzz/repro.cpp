@@ -127,7 +127,10 @@ void write_repro_json(std::ostream& out, const Repro& r) {
       << "  \"max_instants\": " << instant_budget(c) << ",\n"
       << "  \"fault_robot\": "
       << (c.fault ? static_cast<long long>(c.fault->robot) : -1LL) << ",\n"
-      << "  \"fault_bit\": " << (c.fault ? c.fault->nth_bit : 0) << "\n"
+      << "  \"fault_bit\": " << (c.fault ? c.fault->nth_bit : 0) << ",\n"
+      << "  \"group_size\": " << c.group_size << ",\n"
+      << "  \"fault_plan\": "
+      << obs::json_quote(fault::format_fault_plan(c.fault_plan)) << "\n"
       << "}\n";
 }
 
@@ -228,6 +231,17 @@ std::optional<Repro> load_repro(const std::string& path,
         std::strtoull(fault_robot->c_str(), nullptr, 0));
     if (const auto bit = u64("fault_bit")) f.nth_bit = *bit;
     c.fault = f;
+  }
+  // Masking keys are absent from version-1 files written before the fault
+  // subsystem existed; their defaults (single lane, empty plan) apply.
+  if (const auto v = u64("group_size")) {
+    if (*v < 1) return fail("bad group_size");
+    c.group_size = static_cast<std::size_t>(*v);
+  }
+  if (const auto plan = find_value(text, "fault_plan")) {
+    const auto parsed = fault::parse_fault_plan(*plan);
+    if (!parsed) return fail("bad fault_plan \"" + *plan + "\"");
+    c.fault_plan = *parsed;
   }
   return r;
 }

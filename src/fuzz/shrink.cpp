@@ -40,8 +40,82 @@ ShrinkResult shrink(const FuzzConfig& failing, const CaseResult& original,
     }
   }
 
+  // Stage 1b: fault-masking dimensions. First try dropping the whole
+  // masked layer (the failure may not need redundancy at all), then remove
+  // individual faults, then shrink fault magnitudes, then the group size.
+  // Runs before the robot stage because plan robots are *physical* indices
+  // (lane * n + logical) — changing n would silently re-target every fault.
+  if (best.config.group_size > 1 || !best.config.fault_plan.empty()) {
+    {
+      FuzzConfig cand = best.config;
+      cand.group_size = 1;
+      cand.fault_plan = {};
+      (void)try_candidate(std::move(cand));
+    }
+    const auto drop_each = [&](auto member) {
+      bool again = true;
+      while (again) {
+        again = false;
+        auto& faults = best.config.fault_plan.*member;
+        for (std::size_t i = faults.size(); i-- > 0;) {
+          FuzzConfig cand = best.config;
+          auto& list = cand.fault_plan.*member;
+          list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+          if (try_candidate(std::move(cand))) {
+            again = true;
+            break;
+          }
+        }
+      }
+    };
+    drop_each(&fault::FaultPlan::crashes);
+    drop_each(&fault::FaultPlan::stalls);
+    drop_each(&fault::FaultPlan::jitters);
+    drop_each(&fault::FaultPlan::bursts);
+    bool magnitudes = true;
+    while (magnitudes) {
+      magnitudes = false;
+      for (std::size_t i = 0; i < best.config.fault_plan.stalls.size();
+           ++i) {
+        if (best.config.fault_plan.stalls[i].instants <= 1) continue;
+        FuzzConfig cand = best.config;
+        cand.fault_plan.stalls[i].instants /= 2;
+        if (try_candidate(std::move(cand))) magnitudes = true;
+      }
+      for (std::size_t i = 0; i < best.config.fault_plan.bursts.size();
+           ++i) {
+        if (best.config.fault_plan.bursts[i].width <= 1) continue;
+        FuzzConfig cand = best.config;
+        cand.fault_plan.bursts[i].width /= 2;
+        if (try_candidate(std::move(cand))) magnitudes = true;
+      }
+    }
+    if (best.config.group_size > 2) {
+      // Only sound when no fault targets the dropped lane's robots.
+      FuzzConfig cand = best.config;
+      cand.group_size = 2;
+      bool targets_high_lane = false;
+      const std::size_t limit = 2 * cand.n;
+      for (const auto& f : cand.fault_plan.crashes) {
+        if (f.robot >= limit) targets_high_lane = true;
+      }
+      for (const auto& f : cand.fault_plan.stalls) {
+        if (f.robot >= limit) targets_high_lane = true;
+      }
+      for (const auto& f : cand.fault_plan.jitters) {
+        if (f.robot >= limit) targets_high_lane = true;
+      }
+      for (const auto& f : cand.fault_plan.bursts) {
+        if (f.robot >= limit) targets_high_lane = true;
+      }
+      if (!targets_high_lane) (void)try_candidate(std::move(cand));
+    }
+  }
+
   // Stage 2: robots. Two is the floor (and what sync2/async2 require
-  // anyway); sender 0 and receiver 1 always survive the cut.
+  // anyway); sender 0 and receiver 1 always survive the cut. Skipped when
+  // a fault plan survived stage 1b: plan robots are physical indices
+  // (lane * n + logical), so a different n re-targets every fault.
   const auto with_n = [&](std::size_t n) {
     FuzzConfig cand = best.config;
     cand.n = n;
@@ -49,9 +123,11 @@ ShrinkResult shrink(const FuzzConfig& failing, const CaseResult& original,
     if (cand.fault) cand.fault->robot %= n;
     return cand;
   };
-  if (best.config.n > 2) (void)try_candidate(with_n(2));
-  while (best.config.n > 2) {
-    if (!try_candidate(with_n(best.config.n - 1))) break;
+  if (best.config.fault_plan.empty()) {
+    if (best.config.n > 2) (void)try_candidate(with_n(2));
+    while (best.config.n > 2) {
+      if (!try_candidate(with_n(best.config.n - 1))) break;
+    }
   }
 
   // Stage 3: instant budget. Halve while the failure survives. Skipped for

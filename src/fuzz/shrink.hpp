@@ -1,11 +1,15 @@
 // Failure shrinking — reduce a failing config to a minimal reproducer.
 //
-// Greedy delta-debugging in a fixed order: payload bytes, then robots,
-// then the instant budget, then the scheduler's activation probability. A
-// candidate is accepted only when run_case reports the *same* FailureKind —
-// a shrink that morphs one failure into another is a different bug and is
-// rejected. The budget stage is skipped for timeouts (any budget cut
-// trivially "reproduces" a timeout).
+// Greedy delta-debugging in a fixed order: payload bytes, then the
+// fault-masking dimensions (drop the masked layer whole, else individual
+// faults, fault magnitudes, and the group size), then robots, then the
+// instant budget, then the scheduler's activation probability. A candidate
+// is accepted only when run_case reports the *same* FailureKind — a shrink
+// that morphs one failure into another is a different bug and is rejected.
+// The budget stage is skipped for timeouts (any budget cut trivially
+// "reproduces" a timeout); the robot stage is skipped while a fault plan
+// survives (plan robots are physical lane*n+logical indices, so changing n
+// would re-target every fault).
 #pragma once
 
 #include <cstddef>

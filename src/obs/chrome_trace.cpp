@@ -80,6 +80,21 @@ void ChromeTraceSink::on_event(const Event& e) {
     case EventType::Teleport:
       emit_instant(e, "teleport");
       break;
+    case EventType::FaultInjected:
+      emit_instant(e, std::string("fault ") +
+                          (e.label != nullptr ? e.label : "?"));
+      break;
+    case EventType::Retransmit:
+      emit_instant(e, std::string(e.label != nullptr ? e.label : "retry") +
+                          " #" + std::to_string(e.aux) + " -> " +
+                          std::to_string(e.peer));
+      break;
+    case EventType::MaskedDelivery:
+      emit_instant(e, "masked frame from " + std::to_string(e.peer) + " (" +
+                          std::to_string(static_cast<std::uint64_t>(
+                              e.value)) +
+                          " lanes)");
+      break;
     case EventType::Collision:
       emit_instant(e, "collision with " + std::to_string(e.peer));
       break;

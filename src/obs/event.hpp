@@ -38,11 +38,24 @@ enum class EventType : unsigned char {
   Teleport,        ///< Fault injection moved `robot` to (x,y).
   StepComplete,    ///< Instant `t` finished (value = min pairwise
                    ///< separation of the new configuration).
+  FaultInjected,   ///< The fault plan fired on `robot` (label = fault kind:
+                   ///< "crash", "stall", "jitter" or "burst"; value = the
+                   ///< fault's magnitude — stall length, jitter distance or
+                   ///< burst width; 0 for crash).
+  Retransmit,      ///< The reliable message layer re-sent message `aux`
+                   ///< from `robot` to `peer` (value = attempt number;
+                   ///< label = "retry" or "backup" once degraded to the
+                   ///< backup channel).
+  MaskedDelivery,  ///< The redundancy layer voted a delivery for logical
+                   ///< `robot` from logical `peer` (aux = delivery ordinal
+                   ///< on that stream; bit = FNV-1a-32 payload hash;
+                   ///< value = agreeing lanes; label = "broadcast" for
+                   ///< one-to-all, "unicast" otherwise).
 };
 
 /// Number of distinct event types (for per-type counters).
 inline constexpr unsigned kEventTypeCount =
-    static_cast<unsigned>(EventType::StepComplete) + 1;
+    static_cast<unsigned>(EventType::MaskedDelivery) + 1;
 
 /// One telemetry record. Fields not meaningful for a given type keep their
 /// defaults; `label`, when set, must point at storage outliving the run
@@ -73,6 +86,9 @@ struct Event {
     case EventType::AckObserved: return "ack_observed";
     case EventType::Teleport: return "teleport";
     case EventType::StepComplete: return "step_complete";
+    case EventType::FaultInjected: return "fault_injected";
+    case EventType::Retransmit: return "retransmit";
+    case EventType::MaskedDelivery: return "masked_delivery";
   }
   return "unknown";
 }

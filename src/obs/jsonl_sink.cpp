@@ -33,6 +33,13 @@ FieldMask mask_for(EventType t) {
       return {.robot = true, .pos = true};
     case EventType::StepComplete:
       return {.value = true};
+    case EventType::FaultInjected:
+      return {.robot = true, .value = true};
+    case EventType::Retransmit:
+      return {.robot = true, .peer = true, .aux = true, .value = true};
+    case EventType::MaskedDelivery:
+      return {.robot = true, .peer = true, .aux = true, .value = true,
+              .bit = true};
   }
   return {};
 }

@@ -13,6 +13,7 @@ void RunReport::write_json(std::ostream& out) const {
   out << "  \"instants\": " << instants << ",\n";
   out << "  \"quiescent\": " << (quiescent ? "true" : "false") << ",\n";
   out << "  \"messages_delivered\": " << messages_delivered << ",\n";
+  out << "  \"unfired_decode_faults\": " << unfired_decode_faults << ",\n";
   out << "  \"bits_sent\": " << bits_sent << ",\n";
   out << "  \"instants_per_bit\": " << json_number(instants_per_bit)
       << ",\n";

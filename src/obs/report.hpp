@@ -39,6 +39,11 @@ struct RunReport {
   std::uint64_t instants = 0;
   bool quiescent = false;      ///< Every queued message fully transmitted.
   std::uint64_t messages_delivered = 0;
+  /// Decode faults armed via inject_decode_fault that never fired (the
+  /// robot never decoded its nth signal). A nonzero count means the
+  /// harness asked for a corruption the run could not express — usually a
+  /// miscalibrated `nth_bit`, and previously a silent no-op.
+  std::uint64_t unfired_decode_faults = 0;
 
   // Headline shape numbers (E1/E2/E4-style).
   std::uint64_t bits_sent = 0;         ///< Total completed signals.

@@ -1,5 +1,6 @@
 #include "obs/watchdog.hpp"
 
+#include <cstring>
 #include <iostream>
 #include <span>
 
@@ -65,6 +66,21 @@ void Watchdog::check_granular(const Event& e) {
   violate(std::move(v));
 }
 
+void Watchdog::check_crash_silence(const Event& e, const char* activity) {
+  if (!options_.check_crash_silence || crash_t_.empty()) return;
+  const auto it = crash_t_.find(e.robot);
+  if (it == crash_t_.end() || e.t < it->second) return;
+  WatchdogViolation v;
+  v.invariant = "crash_silence";
+  v.t = e.t;
+  v.robot = e.robot;
+  v.value = static_cast<double>(it->second);
+  v.detail = "robot " + std::to_string(e.robot) + " " + activity +
+             " at t=" + std::to_string(e.t) +
+             " despite crashing at t=" + std::to_string(it->second);
+  violate(std::move(v));
+}
+
 void Watchdog::on_event(const Event& e) {
   switch (e.type) {
     case EventType::Collision: {
@@ -95,7 +111,55 @@ void Watchdog::on_event(const Event& e) {
       return;
     }
     case EventType::Move: {
+      check_crash_silence(e, "moved");
       if (options_.check_granular) check_granular(e);
+      return;
+    }
+    case EventType::Activation: {
+      check_crash_silence(e, "activated");
+      return;
+    }
+    case EventType::FaultInjected: {
+      if (e.label != nullptr && std::strcmp(e.label, "crash") == 0 &&
+          e.robot >= 0) {
+        // Keep the earliest crash instant: a robot crashes once.
+        const auto it = crash_t_.find(e.robot);
+        if (it == crash_t_.end() || e.t < it->second) crash_t_[e.robot] = e.t;
+      }
+      return;
+    }
+    case EventType::MaskedDelivery: {
+      if (!options_.check_mask_agreement) return;
+      const bool broadcast =
+          e.label != nullptr && std::strcmp(e.label, "broadcast") == 0;
+      if (e.value < 1.0) {
+        WatchdogViolation v;
+        v.invariant = "mask_agreement";
+        v.t = e.t;
+        v.robot = e.robot;
+        v.peer = e.peer;
+        v.value = e.value;
+        v.detail = "masked delivery " + std::to_string(e.aux) +
+                   " on stream " + std::to_string(e.peer) + " -> " +
+                   std::to_string(e.robot) + " had no agreeing lane";
+        violate(std::move(v));
+        return;
+      }
+      const auto key = std::make_tuple(e.robot, e.peer, e.aux, broadcast);
+      const auto [it, inserted] = mask_hashes_.emplace(key, e.bit);
+      if (!inserted && it->second != e.bit) {
+        WatchdogViolation v;
+        v.invariant = "mask_agreement";
+        v.t = e.t;
+        v.robot = e.robot;
+        v.peer = e.peer;
+        v.value = e.value;
+        v.detail = "masked delivery " + std::to_string(e.aux) +
+                   " on stream " + std::to_string(e.peer) + " -> " +
+                   std::to_string(e.robot) +
+                   " re-voted a different payload hash";
+        violate(std::move(v));
+      }
       return;
     }
     case EventType::Teleport: {
@@ -108,6 +172,7 @@ void Watchdog::on_event(const Event& e) {
       return;
     }
     case EventType::BitEmitted: {
+      check_crash_silence(e, "emitted a bit");
       if (!options_.check_bit_order) return;
       const auto it = last_emit_t_.find(e.robot);
       if (it != last_emit_t_.end() && e.t < it->second) {
@@ -126,6 +191,7 @@ void Watchdog::on_event(const Event& e) {
       return;
     }
     case EventType::BitDecoded: {
+      check_crash_silence(e, "decoded a bit");
       if (options_.check_bit_order) {
         const std::pair<std::int64_t, std::int64_t> key{e.robot, e.peer};
         const auto it = last_decode_t_.find(key);

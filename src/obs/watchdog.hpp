@@ -19,6 +19,14 @@
 //                (Lemma 4.1's window, widened by observation delay).
 //   framing      replaying each receiver's BitDecoded stream through the
 //                framing codec never yields a CRC-corrupt frame.
+//   crash_silence  a robot the fault plan crash-stopped (FaultInjected with
+//                label "crash") never activates, moves, emits or decodes a
+//                bit at or after its crash instant — the crash-stop model's
+//                defining property.
+//   mask_agreement  the redundancy layer's voted deliveries are consistent:
+//                two MaskedDelivery events for the same logical stream and
+//                delivery ordinal always carry the same payload hash, and
+//                every vote has at least one agreeing lane.
 //
 // In report mode violations accumulate (bounded) and `report()` renders
 // them; in abort mode the first violation throws WatchdogError, which
@@ -59,6 +67,12 @@ struct WatchdogOptions {
   double granular_slack = 1e-9;
   bool check_bit_order = true;
   bool check_framing = true;
+  /// Crash-stopped robots stay silent. Harmless without fault injection
+  /// (no FaultInjected event ever arms it), so on by default.
+  bool check_crash_silence = true;
+  /// Voted deliveries agree per stream ordinal. Harmless without the
+  /// redundancy layer (no MaskedDelivery events), so on by default.
+  bool check_mask_agreement = true;
   /// AckObserved latency above this is a violation; 0 disables.
   double max_ack_window = 0.0;
   /// Throw WatchdogError on the first violation instead of recording.
@@ -109,6 +123,7 @@ class Watchdog final : public EventSink {
  private:
   void violate(WatchdogViolation v);
   void check_granular(const Event& e);
+  void check_crash_silence(const Event& e, const char* activity);
 
   WatchdogOptions options_;
   std::vector<geom::Vec2> anchors_;        ///< t0 positions.
@@ -121,6 +136,11 @@ class Watchdog final : public EventSink {
   std::map<std::tuple<std::int64_t, std::int64_t, std::int64_t>,
            encode::FrameParser>
       streams_;
+  std::map<std::int64_t, std::uint64_t> crash_t_;  ///< robot -> crash time.
+  /// (receiver, sender, delivery ordinal, broadcast) -> voted payload hash.
+  std::map<std::tuple<std::int64_t, std::int64_t, std::int64_t, bool>,
+           std::uint32_t>
+      mask_hashes_;
   std::vector<WatchdogViolation> violations_;
   std::uint64_t total_violations_ = 0;
   FlightRecorder* recorder_ = nullptr;

@@ -128,12 +128,13 @@ void ChatRobot::reset_streams_from(std::size_t sender_slot) {
 
 void ChatRobot::on_bit_decoded(std::size_t sender_slot,
                                std::size_t addressee_slot, std::uint8_t bit) {
-  if (fault_bit_ && *fault_bit_ == stats_.bits_decoded) {
-    // Armed decode fault (fuzz harness): this one signal is misread. The
+  if (fault_first_ && stats_.bits_decoded >= *fault_first_) {
+    // Armed decode fault (fuzz/fault harness): this signal is misread. The
     // flip happens before telemetry so every downstream consumer — the
     // watchdog's framing replay included — sees the stream the robot saw.
+    // Bursts corrupt consecutive decoded signals until exhausted.
     bit ^= 1U;
-    fault_bit_.reset();
+    if (--fault_bits_left_ == 0) fault_first_.reset();
   }
   ++stats_.bits_decoded;
   if (sink_ != nullptr) {

@@ -17,6 +17,7 @@
 #include <map>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "encode/bits.hpp"
@@ -92,13 +93,32 @@ class ChatRobot : public sim::Robot {
     return outbox_.empty();
   }
 
-  /// Fault-injection hook for the fuzz harness: flips this robot's
-  /// `nth_bit`-th decoded bit (0-based, counted across all streams) —
-  /// emulating a single misread movement signal. The corrupted bit flows
-  /// through the regular framing path, so the CRC must catch it; the fuzz
-  /// delivery oracle then observes the lost frame. One-shot.
-  void inject_decode_fault(std::uint64_t nth_bit) noexcept {
-    fault_bit_ = nth_bit;
+  /// Fault-injection hook for the fuzz/fault harnesses: flips `burst`
+  /// consecutive decoded bits starting at this robot's `nth_bit`-th decoded
+  /// signal (0-based, counted across all streams) — emulating misread
+  /// movement signals. The corrupted bits flow through the regular framing
+  /// path, so the CRC must catch them; the delivery oracle then observes
+  /// the lost frame(s). One-shot: re-arming while a fault is still pending
+  /// is a harness bug and throws; whether the injection ever fired is
+  /// surfaced via `decode_fault_pending` (and the run report).
+  void inject_decode_fault(std::uint64_t nth_bit, std::uint64_t burst = 1) {
+    if (fault_first_) {
+      throw std::logic_error(
+          "inject_decode_fault: a decode fault is already armed");
+    }
+    if (burst == 0) {
+      throw std::invalid_argument("inject_decode_fault: empty burst");
+    }
+    fault_first_ = nth_bit;
+    fault_bits_left_ = burst;
+  }
+
+  /// True while an armed decode fault has bits left to fire. A pending
+  /// fault at the end of a run means the injection never happened (the
+  /// robot never decoded that many signals) — the harness asked for a
+  /// fault the run could not express.
+  [[nodiscard]] bool decode_fault_pending() const noexcept {
+    return fault_first_.has_value();
   }
 
   /// The slot this robot occupies in its own addressing space.
@@ -193,7 +213,8 @@ class ChatRobot : public sim::Robot {
   const std::vector<sim::RobotIndex>* slot_map_ = nullptr;
   std::uint64_t now_ = 0;            ///< Time of the latest activation.
   std::uint64_t ack_armed_t_ = 0;
-  std::optional<std::uint64_t> fault_bit_;  ///< Armed decode fault.
+  std::optional<std::uint64_t> fault_first_;  ///< Armed decode fault start.
+  std::uint64_t fault_bits_left_ = 0;         ///< Remaining burst length.
   const char* phase_name_ = nullptr;
   std::optional<geom::Vec2> last_pos_;  ///< Self position, last activation.
   bool last_was_idle_ = false;

@@ -185,10 +185,14 @@ void Engine::step() {
 
 void Engine::step_impl() {
   const std::size_t n = specs_.size();
-  const ActivationSet active = scheduler_->activate(t_, n);
+  ActivationSet active = scheduler_->activate(t_, n);
   assert(std::any_of(active.begin(), active.end(),
                      [](bool b) { return b; }) &&
          "scheduler must activate at least one robot");
+  // Fault masking happens on the scheduler's *output*, so a recorded
+  // schedule stays the fault-free one and a replay under the same fault
+  // plan re-masks identically.
+  if (interceptor_ != nullptr) interceptor_->on_activation(t_, active);
 
   const std::vector<geom::Vec2> before = positions_;
   if (options_.observation_delay > 0) {
@@ -231,6 +235,37 @@ void Engine::step_impl() {
           throw CollisionError("robots " + std::to_string(i) + " and " +
                                std::to_string(j) + " collided at instant " +
                                std::to_string(t_));
+        }
+      }
+    }
+  }
+
+  if (interceptor_ != nullptr) {
+    const std::vector<geom::Vec2> pre = after;
+    interceptor_->on_positions(t_, after);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (after[i] == pre[i]) continue;
+      // Transient perturbation: surface it like the teleport fault so the
+      // watchdog re-anchors granular containment for the shoved robot.
+      if (sink_ != nullptr) {
+        obs::Event e;
+        e.type = obs::EventType::Teleport;
+        e.t = t_;
+        e.robot = static_cast<std::int64_t>(i);
+        e.x = after[i].x;
+        e.y = after[i].y;
+        sink_->on_event(e);
+      }
+      if (options_.check_collisions) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j != i && geom::dist(after[i], after[j]) <=
+                            options_.collision_distance) {
+            positions_ = after;
+            throw CollisionError("perturbation collided robots " +
+                                 std::to_string(i) + " and " +
+                                 std::to_string(j) + " at instant " +
+                                 std::to_string(t_));
+          }
         }
       }
     }

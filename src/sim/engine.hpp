@@ -68,6 +68,38 @@ class CollisionError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Hook invoked inside every `Engine::step` — the fault-injection
+/// subsystem's attachment point (src/fault). The engine consults it twice
+/// per instant: once to let it mask the scheduler's activation set
+/// (crash-stop and stuck-robot faults), and once after the moves are
+/// applied to let it displace robots (transient perturbation). It never
+/// participates in fault-free runs; the engine pays one branch when
+/// detached.
+class StepInterceptor {
+ public:
+  StepInterceptor() = default;
+  StepInterceptor(const StepInterceptor&) = delete;
+  StepInterceptor& operator=(const StepInterceptor&) = delete;
+  virtual ~StepInterceptor() = default;
+
+  /// Called with the activation set the scheduler proposed for instant
+  /// `t`; may clear entries. Unlike a scheduler, the masked set MAY be
+  /// empty — an instant where every would-be-active robot is crashed or
+  /// stalled simply passes with no activations.
+  virtual void on_activation(Time t, ActivationSet& active) = 0;
+
+  /// Called after the instant's moves are applied, before the step
+  /// completes; may displace robots in place. The engine emits a Teleport
+  /// event for every modified position (so the watchdog re-anchors) and
+  /// re-runs the collision check.
+  virtual void on_positions(Time t, std::vector<geom::Vec2>& positions) = 0;
+
+  /// True when robot `i` is crash-stopped at instant `t` (it will never be
+  /// activated at or after `t`). Lets ChatNetwork's quiescence ignore
+  /// outboxes that can never drain.
+  [[nodiscard]] virtual bool crashed(RobotIndex i, Time t) const = 0;
+};
+
 /// Owns the robots, the scheduler and the world state; advances time.
 class Engine {
  public:
@@ -116,6 +148,15 @@ class Engine {
   void set_event_sink(obs::EventSink* sink) noexcept { sink_ = sink; }
   [[nodiscard]] obs::EventSink* event_sink() const noexcept { return sink_; }
 
+  /// Attaches a fault-injection interceptor (not owned; must outlive the
+  /// engine; null detaches). See StepInterceptor.
+  void set_step_interceptor(StepInterceptor* interceptor) noexcept {
+    interceptor_ = interceptor;
+  }
+  [[nodiscard]] StepInterceptor* step_interceptor() const noexcept {
+    return interceptor_;
+  }
+
   /// Registers engine-level metrics into `registry` (currently the
   /// `engine.step_wall_ns` histogram: wall time per `step()` in
   /// nanoseconds); null detaches and stops the timing.
@@ -157,6 +198,7 @@ class Engine {
   std::deque<std::vector<geom::Vec2>> recent_;
   Trace trace_;
   obs::EventSink* sink_ = nullptr;
+  StepInterceptor* interceptor_ = nullptr;
   obs::LogHistogram* step_wall_ = nullptr;  ///< Owned by the registry.
   Time t_ = 0;
   bool identified_ = false;

@@ -126,6 +126,34 @@ TEST(Hybrid, EveryMessageArrivesUnderHeavyLoss) {
   EXPECT_GT(hybrid.stats().wireless_delivered, 0u);
 }
 
+TEST(Hybrid, FlushReportsCompletionUnderTotalLoss) {
+  // The E5 bench's scenario: a fully dead radio and a many-message burst.
+  // flush()'s return value is the only signal the fallback path actually
+  // drained — it must be true here, and every message must have crossed
+  // over the motion channel.
+  ChatNetwork net = motion_net();
+  WirelessOptions wopt;
+  wopt.loss_probability = 1.0;
+  WirelessChannel radio(4, wopt);
+  HybridMessenger hybrid(net, radio);
+  const int kMessages = 12;
+  for (int m = 0; m < kMessages; ++m) {
+    hybrid.send(m % 4, (m + 1) % 4,
+                std::vector<std::uint8_t>{static_cast<std::uint8_t>(m)});
+  }
+  ASSERT_TRUE(hybrid.flush(10'000'000));
+  net.run(4);
+  std::size_t got = 0;
+  for (std::size_t i = 0; i < 4; ++i) got += hybrid.received(i).size();
+  EXPECT_EQ(got, static_cast<std::size_t>(kMessages));
+  EXPECT_EQ(hybrid.stats().motion_fallbacks,
+            static_cast<std::uint64_t>(kMessages));
+  // And an impossible budget must report failure, not fake success.
+  HybridMessenger tiny(net, radio);
+  tiny.send(0, 1, encode::bytes_of("no time"));
+  EXPECT_FALSE(tiny.flush(1));
+}
+
 TEST(Hybrid, JammedSwarmStillCommunicates) {
   ChatNetwork net = motion_net();
   WirelessOptions wopt;

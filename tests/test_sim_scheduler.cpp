@@ -1,10 +1,14 @@
 // Scheduler tests: the SSM contract (non-empty activation sets), the
-// fairness bound, determinism under seeds, and the adversarial pattern.
+// fairness bound, determinism under seeds, the adversarial pattern, and
+// schedule replay (including logs that end before quiescence).
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <numeric>
+#include <vector>
 
+#include "core/chat_network.hpp"
+#include "sim/schedule_log.hpp"
 #include "sim/scheduler.hpp"
 
 namespace stig::sim {
@@ -160,6 +164,59 @@ TEST(AdversarialScheduler, SingleRobotAlwaysActive) {
   for (Time t = 0; t < 20; ++t) {
     EXPECT_EQ(count_active(s.activate(t, 1)), 1u);
   }
+}
+
+TEST(ReplayScheduler, TruncatedLogFallsBackToAllActive) {
+  // A log that ends before the run does: every instant past the end must
+  // come back all-active (the fallback the fuzz replay tail relies on),
+  // including when the log held sets for a different swarm size.
+  ScheduleLog log;
+  log.sets = {ActivationSet{true, false, false},
+              ActivationSet{false, true, false}};
+  ReplayScheduler s(&log);
+  EXPECT_EQ(s.activate(0, 3), log.sets[0]);
+  EXPECT_EQ(s.activate(1, 3), log.sets[1]);
+  for (Time t = 2; t < 10; ++t) {
+    EXPECT_EQ(s.activate(t, 3), ActivationSet(3, true));
+  }
+
+  // Size mismatch: the recorded set is unusable, the scheduler must still
+  // return a valid all-active set and keep consuming the log.
+  ReplayScheduler wrong_n(&log);
+  EXPECT_EQ(wrong_n.activate(0, 5), ActivationSet(5, true));
+  EXPECT_EQ(wrong_n.activate(1, 5), ActivationSet(5, true));
+}
+
+TEST(ReplayScheduler, TruncatedScheduleStillReachesQuiescence) {
+  // The fuzz harness's replay claim survives truncation: replaying only a
+  // prefix of a recorded schedule still drives the network to quiescence
+  // and the same delivery, because the tail falls back to all-active.
+  const std::vector<geom::Vec2> pts = {{0.0, 0.0}, {8.0, 0.0}};
+  core::ChatNetworkOptions opt;
+  opt.synchrony = core::Synchrony::asynchronous;
+  opt.scheduler = core::SchedulerKind::bernoulli;
+  opt.seed = 77;
+  const std::vector<std::uint8_t> payload{0x42};
+
+  ScheduleLog full;
+  opt.record_schedule = &full;
+  core::ChatNetwork a(pts, opt);
+  a.send(0, 1, payload);
+  ASSERT_TRUE(a.run_until_quiescent(400'000));
+  a.run(512);
+  ASSERT_EQ(a.received(1).size(), 1u);
+  ASSERT_GT(full.instants(), 4u);
+
+  ScheduleLog truncated = full;
+  truncated.sets.resize(full.instants() / 2);  // Ends before quiescence.
+  opt.record_schedule = nullptr;
+  opt.replay_schedule = &truncated;
+  core::ChatNetwork b(pts, opt);
+  b.send(0, 1, payload);
+  ASSERT_TRUE(b.run_until_quiescent(400'000));
+  b.run(512);
+  ASSERT_EQ(b.received(1).size(), 1u);
+  EXPECT_EQ(b.received(1)[0].payload, payload);
 }
 
 }  // namespace

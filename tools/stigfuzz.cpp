@@ -11,6 +11,7 @@
 //   stigfuzz --cases 2000 --jobs 8
 //   stigfuzz --corpus 1,2,3,4,5 --budget 60
 //   stigfuzz --cases 1 --inject framing --out /tmp/repros
+//   stigfuzz --faults --corpus 1,2,3 --out /tmp/repros
 //
 // --jobs N fans cases across a par::BatchRunner pool. Case seeds derive
 // from the master seed by index (par::derive_seed), so the verdicts AND
@@ -54,6 +55,7 @@ struct Args {
   std::vector<std::uint64_t> corpus;  ///< Fixed case seeds; overrides
                                       ///< random sampling when non-empty.
   std::string inject;                 ///< "" or "framing".
+  bool faults = false;                ///< Force fault-masking dimensions.
   bool no_shrink = false;
   std::size_t max_shrink = 200;
   std::size_t jobs = 1;               ///< Worker threads; 0 = all cores.
@@ -71,6 +73,10 @@ void print_help() {
       "  --inject framing  arm a one-shot decode-bit flip on the receiver\n"
       "                  in every case — proves the find/shrink/replay\n"
       "                  pipeline end to end\n"
+      "  --faults        force the fault-masking dimensions on every case:\n"
+      "                  a seed-derived group size (2-3 lanes) and\n"
+      "                  FaultPlan (crash/stall/jitter/burst, lane 0 kept\n"
+      "                  clean) — the whole batch runs crash-masked\n"
       "  --no-shrink     write failures un-shrunk\n"
       "  --max-shrink N  shrink attempt cap per failure (default 200)\n"
       "  --jobs N        run cases on N worker threads (default 1;\n"
@@ -127,6 +133,8 @@ bool parse(int argc, char** argv, Args& a) {
         std::cerr << "--inject supports: framing\n";
         return false;
       }
+    } else if (flag == "--faults") {
+      a.faults = true;
     } else if (flag == "--no-shrink") {
       a.no_shrink = true;
     } else if (flag == "--max-shrink") {
@@ -196,7 +204,8 @@ int main(int argc, char** argv) {
       }
       const std::size_t end = std::min(seeds.size(), begin + chunk);
       const std::vector<fuzz::BatchCase> batch = fuzz::run_cases(
-          std::span(seeds).subspan(begin, end - begin), fault, args.jobs);
+          std::span(seeds).subspan(begin, end - begin), fault, args.jobs,
+          args.faults);
       ran += batch.size();
       for (const fuzz::BatchCase& bc : batch) {
         if (bc.result.kind == fuzz::FailureKind::none) continue;
