@@ -232,6 +232,12 @@ void ChatNetwork::attach_metrics(obs::MetricsRegistry* registry) {
   engine_->set_metrics(registry);
 }
 
+void ChatNetwork::attach_profiler(obs::prof::Profiler* profiler) {
+  prof_ = profiler;
+  engine_->set_profiler(profiler);
+  if (prof_ != nullptr) ph_collect_ = prof_->phase("net.collect");
+}
+
 obs::RunReport ChatNetwork::report() const {
   obs::RunReport r;
   r.protocol = protocol_kind_name(kind_);
@@ -308,6 +314,7 @@ void ChatNetwork::collect() {
 
 void ChatNetwork::step() {
   engine_->step();
+  obs::prof::Scope s(prof_, ph_collect_);
   collect();
 }
 

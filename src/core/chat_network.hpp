@@ -174,6 +174,12 @@ class ChatNetwork {
   /// obs::MetricsSink via `attach_event_sink`.
   void attach_metrics(obs::MetricsRegistry* registry);
 
+  /// Attaches a cycle/allocation profiler (not owned; null detaches):
+  /// forwards to `sim::Engine::set_profiler` for the engine phases and adds
+  /// the network's own `net.collect` phase around delivery collection. See
+  /// obs/prof.hpp for the cost model.
+  void attach_profiler(obs::prof::Profiler* profiler);
+
   /// Summarizes the run so far: headline shape numbers (instants/bit,
   /// distance/bit, idle moves, min separation) plus per-robot counters.
   /// `wall_seconds` is left 0 — timing belongs to the caller.
@@ -208,6 +214,8 @@ class ChatNetwork {
   ProtocolKind kind_ = ProtocolKind::automatic;
   std::unique_ptr<sim::Engine> engine_;
   sim::StepInterceptor* interceptor_ = nullptr;  ///< Not owned.
+  obs::prof::Profiler* prof_ = nullptr;          ///< Not owned.
+  obs::prof::PhaseId ph_collect_ = 0;
   std::vector<proto::ChatRobot*> chat_;  ///< Non-owning; engine owns.
   /// slot_to_engine_[i][slot] = simulator index of the robot that robot i's
   /// protocol calls `slot`.

@@ -1,0 +1,174 @@
+// Global operator new/delete interposition with thread-local counters.
+// See alloc_track.hpp for the accounting contract.
+//
+// Every block is over-allocated by a header (16 bytes, or the alignment for
+// over-aligned types) holding the requested size, so frees can be debited
+// exactly without malloc_usable_size — the numbers are the *requested*
+// bytes, identical across allocators and platforms, which keeps them
+// gateable. The counters are trivially-destructible PODs in initial-exec
+// TLS: touching them never allocates, so the operators are re-entrancy
+// safe from static initializers onward.
+#include "obs/alloc_track.hpp"
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+// Sanitizer runtimes provide their own operator new/delete (and poison
+// redzones malloc-side); interposing underneath them would double-count and
+// break their bookkeeping. Detection covers GCC (__SANITIZE_*) and Clang
+// (__has_feature).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define STIG_ALLOC_TRACK 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define STIG_ALLOC_TRACK 0
+#endif
+#endif
+#ifndef STIG_ALLOC_TRACK
+#define STIG_ALLOC_TRACK 1
+#endif
+
+namespace stig::obs::alloc {
+namespace {
+
+struct TlsCounters {
+  std::uint64_t allocs;
+  std::uint64_t frees;
+  std::uint64_t bytes;
+  std::int64_t live;
+  std::int64_t peak;
+};
+
+// Zero-initialized, trivially destructible: safe to touch from any
+// allocation path, including before main.
+thread_local TlsCounters g_tls;
+
+}  // namespace
+
+Counters snapshot() noexcept {
+  const TlsCounters& c = g_tls;
+  Counters out;
+  out.allocs = c.allocs;
+  out.frees = c.frees;
+  out.bytes = c.bytes;
+  out.live_bytes = c.live;
+  out.peak_live_bytes = c.peak;
+  return out;
+}
+
+void reset_peak() noexcept { g_tls.peak = g_tls.live; }
+
+bool active() noexcept { return STIG_ALLOC_TRACK != 0; }
+
+}  // namespace stig::obs::alloc
+
+#if STIG_ALLOC_TRACK
+
+namespace {
+
+// Header must preserve malloc's max_align_t guarantee for ordinary types;
+// over-aligned allocations use an alignment-sized header so the returned
+// pointer stays aligned.
+constexpr std::size_t kHeader =
+    alignof(std::max_align_t) > 16 ? alignof(std::max_align_t) : 16;
+
+[[nodiscard]] void* stig_alloc(std::size_t n, std::size_t align) noexcept {
+  const std::size_t header = align > kHeader ? align : kHeader;
+  void* raw = nullptr;
+  if (align > alignof(std::max_align_t)) {
+    if (posix_memalign(&raw, align, header + n) != 0) return nullptr;
+  } else {
+    raw = std::malloc(header + n);
+    if (raw == nullptr) return nullptr;
+  }
+  std::memcpy(raw, &n, sizeof n);
+  auto& c = stig::obs::alloc::g_tls;
+  ++c.allocs;
+  c.bytes += n;
+  c.live += static_cast<std::int64_t>(n);
+  if (c.live > c.peak) c.peak = c.live;
+  return static_cast<char*>(raw) + header;
+}
+
+void stig_free(void* p, std::size_t align) noexcept {
+  if (p == nullptr) return;
+  const std::size_t header = align > kHeader ? align : kHeader;
+  char* raw = static_cast<char*>(p) - header;
+  std::size_t n = 0;
+  std::memcpy(&n, raw, sizeof n);
+  auto& c = stig::obs::alloc::g_tls;
+  ++c.frees;
+  c.live -= static_cast<std::int64_t>(n);
+  std::free(raw);
+}
+
+[[nodiscard]] void* stig_alloc_or_throw(std::size_t n, std::size_t align) {
+  for (;;) {
+    void* p = stig_alloc(n, align);
+    if (p != nullptr) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return stig_alloc_or_throw(n, 0); }
+void* operator new[](std::size_t n) { return stig_alloc_or_throw(n, 0); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return stig_alloc(n, 0);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return stig_alloc(n, 0);
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  return stig_alloc_or_throw(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return stig_alloc_or_throw(n, static_cast<std::size_t>(a));
+}
+void* operator new(std::size_t n, std::align_val_t a,
+                   const std::nothrow_t&) noexcept {
+  return stig_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a,
+                     const std::nothrow_t&) noexcept {
+  return stig_alloc(n, static_cast<std::size_t>(a));
+}
+
+void operator delete(void* p) noexcept { stig_free(p, 0); }
+void operator delete[](void* p) noexcept { stig_free(p, 0); }
+void operator delete(void* p, std::size_t) noexcept { stig_free(p, 0); }
+void operator delete[](void* p, std::size_t) noexcept { stig_free(p, 0); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  stig_free(p, 0);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  stig_free(p, 0);
+}
+void operator delete(void* p, std::align_val_t a) noexcept {
+  stig_free(p, static_cast<std::size_t>(a));
+}
+void operator delete[](void* p, std::align_val_t a) noexcept {
+  stig_free(p, static_cast<std::size_t>(a));
+}
+void operator delete(void* p, std::size_t, std::align_val_t a) noexcept {
+  stig_free(p, static_cast<std::size_t>(a));
+}
+void operator delete[](void* p, std::size_t, std::align_val_t a) noexcept {
+  stig_free(p, static_cast<std::size_t>(a));
+}
+void operator delete(void* p, std::align_val_t a,
+                     const std::nothrow_t&) noexcept {
+  stig_free(p, static_cast<std::size_t>(a));
+}
+void operator delete[](void* p, std::align_val_t a,
+                       const std::nothrow_t&) noexcept {
+  stig_free(p, static_cast<std::size_t>(a));
+}
+
+#endif  // STIG_ALLOC_TRACK

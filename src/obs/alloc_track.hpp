@@ -1,0 +1,71 @@
+// Deterministic allocation accounting.
+//
+// src/obs/alloc_track.cpp replaces the global `operator new` / `operator
+// delete` family with thin wrappers that keep *thread-local* counters:
+// allocation count, cumulative bytes requested, free count, live bytes and
+// peak live bytes. Every heap allocation in the process — engine, protocol
+// drivers, standard-library containers — is counted, at the cost of one
+// 16-byte (or alignment-sized) header per block and a handful of
+// thread-local increments per call.
+//
+// Why thread-local: counts taken as deltas around a region of code are then
+// attributable to exactly that region, with no cross-thread interleaving —
+// a `par::BatchRunner` task measuring its own case sees the same numbers at
+// any job count, which is what makes allocs-per-instant a *hard-gateable*
+// regression metric (unlike cycle counts, which move with the machine).
+// The one asymmetry: a block freed on a different thread than it was
+// allocated on is debited from the freeing thread's live-byte count, so
+// cross-thread hand-offs can drive a thread's `live_bytes` negative. The
+// simulator's single-threaded-per-case discipline (see obs/sink.hpp) keeps
+// measured regions free of that.
+//
+// Interposition is disabled under ASan/TSan/MSan (their runtimes own the
+// allocator); `active()` reports whether counters are live so tests can
+// skip exact-count assertions under sanitizers.
+#pragma once
+
+#include <cstdint>
+
+namespace stig::obs::alloc {
+
+/// Thread-local allocation counters, as of a `snapshot()` call.
+struct Counters {
+  std::uint64_t allocs = 0;       ///< operator-new calls on this thread.
+  std::uint64_t frees = 0;        ///< operator-delete calls on this thread.
+  std::uint64_t bytes = 0;        ///< Cumulative bytes requested.
+  std::int64_t live_bytes = 0;    ///< Bytes allocated minus bytes freed
+                                  ///< *by this thread* (can go negative on
+                                  ///< cross-thread frees).
+  std::int64_t peak_live_bytes = 0;  ///< High-water mark of live_bytes
+                                     ///< since thread start or the last
+                                     ///< `reset_peak()`.
+};
+
+/// Current counters for the calling thread. Cheap (TLS reads); never
+/// allocates.
+[[nodiscard]] Counters snapshot() noexcept;
+
+/// Resets the calling thread's peak-live high-water mark to the current
+/// live-byte level, so a following region's `peak_live_bytes` measures that
+/// region's own high-water mark (relative peaks subtract the live level at
+/// reset time).
+void reset_peak() noexcept;
+
+/// True when the interposed operators are compiled in (i.e. not a
+/// sanitizer build) and counters are live.
+[[nodiscard]] bool active() noexcept;
+
+/// Convenience: the delta of `after - before` for the monotone fields
+/// (allocs, frees, bytes). live/peak fields are copied from `after`.
+[[nodiscard]] inline Counters delta(const Counters& before,
+                                    const Counters& after) noexcept {
+  Counters d;
+  d.allocs = after.allocs - before.allocs;
+  d.frees = after.frees - before.frees;
+  d.bytes = after.bytes - before.bytes;
+  d.live_bytes = after.live_bytes;
+  d.peak_live_bytes = after.peak_live_bytes;
+  return d;
+}
+
+}  // namespace stig::obs::alloc

@@ -1,0 +1,185 @@
+#include "obs/binary_log.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "encode/varint.hpp"
+#include "obs/jsonl_sink.hpp"
+
+namespace stig::obs {
+namespace {
+
+constexpr std::uint8_t kMagic[5] = {'S', 'T', 'G', 'B', 0x01};
+constexpr std::uint8_t kLabelDef = 0xFE;
+
+// Presence-mask bits: a field is written only when it differs from the
+// Event default, so the common records stay a few bytes.
+enum : std::uint8_t {
+  kHasRobot = 1U << 0,
+  kHasPeer = 1U << 1,
+  kHasAux = 1U << 2,
+  kHasX = 1U << 3,
+  kHasY = 1U << 4,
+  kHasValue = 1U << 5,
+  kHasBit = 1U << 6,
+  kHasLabel = 1U << 7,
+};
+
+[[nodiscard]] std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+void append_double(std::vector<std::uint8_t>& out, double v) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+/// True when `v`'s bit pattern differs from +0.0 (preserves -0.0 and NaN
+/// payloads exactly).
+[[nodiscard]] bool nonzero_bits(double v) noexcept {
+  return std::bit_cast<std::uint64_t>(v) != 0;
+}
+
+}  // namespace
+
+BinaryLogSink::BinaryLogSink() {
+  buf_.insert(buf_.end(), std::begin(kMagic), std::end(kMagic));
+}
+
+std::uint32_t BinaryLogSink::intern_label(const char* label) {
+  const auto cached = ptr_cache_.find(label);
+  if (cached != ptr_cache_.end()) return cached->second;
+  const auto [it, inserted] = label_ids_.try_emplace(
+      std::string(label), static_cast<std::uint32_t>(label_ids_.size()));
+  if (inserted) {
+    buf_.push_back(kLabelDef);
+    encode::append_varint(buf_, it->first.size());
+    buf_.insert(buf_.end(), it->first.begin(), it->first.end());
+  }
+  ptr_cache_.emplace(label, it->second);
+  return it->second;
+}
+
+void BinaryLogSink::on_event(const Event& e) {
+  std::uint32_t label_id = 0;
+  if (e.label != nullptr) label_id = intern_label(e.label);
+
+  std::uint8_t mask = 0;
+  if (e.robot != -1) mask |= kHasRobot;
+  if (e.peer != -1) mask |= kHasPeer;
+  if (e.aux != -1) mask |= kHasAux;
+  if (nonzero_bits(e.x)) mask |= kHasX;
+  if (nonzero_bits(e.y)) mask |= kHasY;
+  if (nonzero_bits(e.value)) mask |= kHasValue;
+  if (e.bit != 0) mask |= kHasBit;
+  if (e.label != nullptr) mask |= kHasLabel;
+
+  buf_.push_back(static_cast<std::uint8_t>(e.type));
+  buf_.push_back(mask);
+  encode::append_varint(
+      buf_, zigzag(static_cast<std::int64_t>(e.t - prev_t_)));
+  prev_t_ = e.t;
+  if (mask & kHasRobot) encode::append_varint(buf_, zigzag(e.robot));
+  if (mask & kHasPeer) encode::append_varint(buf_, zigzag(e.peer));
+  if (mask & kHasAux) encode::append_varint(buf_, zigzag(e.aux));
+  if (mask & kHasX) append_double(buf_, e.x);
+  if (mask & kHasY) append_double(buf_, e.y);
+  if (mask & kHasValue) append_double(buf_, e.value);
+  if (mask & kHasBit) encode::append_varint(buf_, e.bit);
+  if (mask & kHasLabel) encode::append_varint(buf_, label_id);
+  ++count_;
+}
+
+void BinaryLogSink::export_jsonl(std::ostream& out) const {
+  BinaryLogReader reader(buf_);
+  Event e;
+  while (reader.next(e)) {
+    out << JsonlEventSink::to_json(e) << '\n';
+  }
+}
+
+void BinaryLogSink::write(std::ostream& out) const {
+  out.write(reinterpret_cast<const char*>(buf_.data()),
+            static_cast<std::streamsize>(buf_.size()));
+}
+
+BinaryLogReader::BinaryLogReader(std::span<const std::uint8_t> data)
+    : data_(data), pos_(sizeof kMagic) {
+  if (data_.size() < sizeof kMagic ||
+      std::memcmp(data_.data(), kMagic, sizeof kMagic) != 0) {
+    throw std::invalid_argument("BinaryLogReader: bad magic");
+  }
+}
+
+bool BinaryLogReader::next(Event& out) {
+  const auto read_varint = [&]() -> std::uint64_t {
+    const auto d = encode::decode_varint(data_.subspan(pos_));
+    if (!d) throw std::runtime_error("BinaryLogReader: truncated varint");
+    pos_ += d->consumed;
+    return d->value;
+  };
+  const auto read_double = [&]() -> double {
+    if (pos_ + 8 > data_.size()) {
+      throw std::runtime_error("BinaryLogReader: truncated double");
+    }
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return std::bit_cast<double>(bits);
+  };
+
+  for (;;) {
+    if (pos_ >= data_.size()) return false;
+    const std::uint8_t tag = data_[pos_++];
+    if (tag == kLabelDef) {
+      const std::uint64_t len = read_varint();
+      if (pos_ + len > data_.size()) {
+        throw std::runtime_error("BinaryLogReader: truncated label");
+      }
+      labels_.emplace_back(reinterpret_cast<const char*>(&data_[pos_]),
+                           static_cast<std::size_t>(len));
+      pos_ += len;
+      continue;
+    }
+    if (tag >= kEventTypeCount) {
+      throw std::runtime_error("BinaryLogReader: unknown record tag");
+    }
+    if (pos_ >= data_.size()) {
+      throw std::runtime_error("BinaryLogReader: truncated record");
+    }
+    const std::uint8_t mask = data_[pos_++];
+    out = Event{};
+    out.type = static_cast<EventType>(tag);
+    prev_t_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(prev_t_) + unzigzag(read_varint()));
+    out.t = prev_t_;
+    if (mask & kHasRobot) out.robot = unzigzag(read_varint());
+    if (mask & kHasPeer) out.peer = unzigzag(read_varint());
+    if (mask & kHasAux) out.aux = unzigzag(read_varint());
+    if (mask & kHasX) out.x = read_double();
+    if (mask & kHasY) out.y = read_double();
+    if (mask & kHasValue) out.value = read_double();
+    if (mask & kHasBit) out.bit = static_cast<std::uint32_t>(read_varint());
+    if (mask & kHasLabel) {
+      const std::uint64_t id = read_varint();
+      if (id >= labels_.size()) {
+        throw std::runtime_error("BinaryLogReader: label id out of range");
+      }
+      out.label = labels_[static_cast<std::size_t>(id)].c_str();
+    }
+    return true;
+  }
+}
+
+}  // namespace stig::obs

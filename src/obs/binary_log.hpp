@@ -1,0 +1,95 @@
+// Flat binary event log — the hot-path replacement for JSONL serialization.
+//
+// `JsonlEventSink` renders ~100 bytes of JSON text per event with a handful
+// of temporary strings; at millions of events per run that IS the telemetry
+// cost. `BinaryLogSink` instead appends a compact binary record (typically
+// 4–30 bytes) to an in-memory buffer: a type byte, a presence mask of
+// non-default fields, a zigzag-varint time delta, then only the fields the
+// event actually carries (LEB128 varints for integers, raw IEEE bit
+// patterns for doubles — exact round-trip by construction). Labels are
+// interned once into a string table embedded in the stream.
+//
+// JSONL happens only at export: `export_jsonl` decodes every record and
+// renders it through `JsonlEventSink::to_json`, so the output is
+// byte-identical to what the JSONL sink would have written live — replay,
+// span and watchdog tooling is untouched (verified across the six-protocol
+// matrix in tests/test_obs_binary_log.cpp).
+//
+// Stream layout:  "STGB" magic + version byte 0x01, then records:
+//   0xFE                    label definition: varint length + UTF-8 bytes;
+//                           ids are assigned in stream order from 0.
+//   type < kEventTypeCount  event record (see on_event).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/sink.hpp"
+
+namespace stig::obs {
+
+/// Buffers the event stream as compact binary records in memory.
+class BinaryLogSink final : public EventSink {
+ public:
+  BinaryLogSink();
+
+  void on_event(const Event& e) override;
+
+  /// The encoded stream (header + records) so far.
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::size_t event_count() const noexcept { return count_; }
+
+  /// Renders every buffered event as JSONL, byte-identical to a live
+  /// `JsonlEventSink` fed the same stream.
+  void export_jsonl(std::ostream& out) const;
+
+  /// Writes the raw binary stream.
+  void write(std::ostream& out) const;
+
+ private:
+  std::uint32_t intern_label(const char* label);
+
+  std::vector<std::uint8_t> buf_;
+  /// Fast path: literal pointers repeat, so a pointer→id cache skips the
+  /// content lookup; the content map keeps ids correct when the same text
+  /// arrives via different pointers.
+  std::unordered_map<const void*, std::uint32_t> ptr_cache_;
+  std::map<std::string, std::uint32_t> label_ids_;
+  std::uint64_t prev_t_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Decodes a binary event stream back into `Event`s.
+///
+/// `Event::label` pointers returned by `next` point into the reader's own
+/// string table and stay valid for the reader's lifetime.
+class BinaryLogReader {
+ public:
+  /// Throws std::invalid_argument on a bad magic/version header.
+  explicit BinaryLogReader(std::span<const std::uint8_t> data);
+
+  /// Decodes the next event into `out`; returns false at end of stream.
+  /// Throws std::runtime_error on a truncated or corrupt record.
+  bool next(Event& out);
+
+  /// Labels seen so far, in id order.
+  [[nodiscard]] const std::deque<std::string>& labels() const noexcept {
+    return labels_;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::deque<std::string> labels_;  // Stable addresses for Event::label.
+  std::uint64_t prev_t_ = 0;
+};
+
+}  // namespace stig::obs

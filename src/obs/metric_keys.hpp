@@ -1,0 +1,58 @@
+// Metric-key gating convention.
+//
+// Every machine-readable artifact in the repo (BENCH_*.json, PERF_*.json,
+// MetricsRegistry exports) mixes two kinds of values:
+//
+//  * deterministic keys — counts, ratios and sizes that are a pure function
+//    of (code, seed): instants, allocs_per_instant, events_per_instant,
+//    peak_bytes, instants_per_bit. These are regression-GATED: stigreport
+//    compares them against committed baselines and fails the build on
+//    drift.
+//
+//  * informational keys — machine-speed numbers that move with the
+//    hardware, the load and the clock: wall times, nanoseconds, cycle
+//    counts, throughputs and percentages derived from them. These are
+//    recorded (they are the cost model the repo is growing toward) but
+//    never gated.
+//
+// The convention is purely name-based so that every producer and consumer
+// agrees without a schema: a key is informational iff it contains one of
+// the markers below — "wall", "cycles", "_per_sec", "_pct" or "_ns".
+// Anything else is gated. New speed-dependent keys MUST pick a name with
+// one of these markers (prefer the "_ns" / "_cycles" suffixes); new
+// deterministic keys must avoid them.
+//
+// Shared by `stigreport diff`, `stigreport perf` and the stigperf driver;
+// unit-tested in tests/test_obs_metrics.cpp.
+#pragma once
+
+#include <string_view>
+
+namespace stig::obs {
+
+/// How a metric key participates in regression gating.
+enum class MetricKeyClass : unsigned char {
+  gated,          ///< Deterministic; compared against baselines.
+  informational,  ///< Machine-speed; recorded but never compared.
+};
+
+/// Classifies `key` per the documented marker convention.
+[[nodiscard]] inline MetricKeyClass metric_key_class(
+    std::string_view key) noexcept {
+  for (const std::string_view marker :
+       {std::string_view("wall"), std::string_view("cycles"),
+        std::string_view("_per_sec"), std::string_view("_pct"),
+        std::string_view("_ns")}) {
+    if (key.find(marker) != std::string_view::npos) {
+      return MetricKeyClass::informational;
+    }
+  }
+  return MetricKeyClass::gated;
+}
+
+/// True when `key` is machine-speed dependent and must never gate.
+[[nodiscard]] inline bool is_informational_key(std::string_view key) noexcept {
+  return metric_key_class(key) == MetricKeyClass::informational;
+}
+
+}  // namespace stig::obs

@@ -1,0 +1,149 @@
+#include "obs/prof.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace stig::obs::prof {
+
+std::uint64_t Profiler::now_cycles() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_ia32_rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t v = 0;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+double Profiler::cycles_per_ns() {
+#if defined(__x86_64__) || defined(__i386__) || defined(__aarch64__)
+  // One ~2ms spin per process; every publish reuses the result.
+  static const double rate = [] {
+    using Clock = std::chrono::steady_clock;
+    const std::uint64_t c0 = now_cycles();
+    const Clock::time_point t0 = Clock::now();
+    Clock::time_point t1 = t0;
+    while (std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+               .count() < 2000) {
+      t1 = Clock::now();
+    }
+    const std::uint64_t c1 = now_cycles();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    return ns > 0.0 ? static_cast<double>(c1 - c0) / ns : 1.0;
+  }();
+  return rate;
+#else
+  return 1.0;  // now_cycles already returns nanoseconds.
+#endif
+}
+
+PhaseId Profiler::phase(const char* name) {
+  for (std::size_t i = 0; i < phases_; ++i) {
+    if (std::strcmp(names_[i], name) == 0) return static_cast<PhaseId>(i);
+  }
+  if (phases_ >= kMaxPhases) {
+    throw std::length_error("Profiler: phase table full");
+  }
+  names_[phases_] = name;
+  return static_cast<PhaseId>(phases_++);
+}
+
+void Profiler::enter(PhaseId id) noexcept {
+  if (depth_ >= kMaxDepth || id >= phases_) {
+    ++dropped_;
+    return;
+  }
+  Frame& f = stack_[depth_++];
+  f.id = id;
+  f.child_cycles = f.child_allocs = f.child_bytes = 0;
+  const alloc::Counters a = alloc::snapshot();
+  f.start_allocs = a.allocs;
+  f.start_bytes = a.bytes;
+  f.start_cycles = now_cycles();  // Last: exclude our own bookkeeping.
+}
+
+void Profiler::exit() noexcept {
+  if (dropped_ > 0) {
+    --dropped_;
+    return;
+  }
+  if (depth_ == 0) return;  // Unbalanced exit; ignore.
+  const std::uint64_t end_cycles = now_cycles();
+  const alloc::Counters a = alloc::snapshot();
+  const Frame& f = stack_[--depth_];
+  const std::uint64_t incl_cycles = end_cycles - f.start_cycles;
+  const std::uint64_t incl_allocs = a.allocs - f.start_allocs;
+  const std::uint64_t incl_bytes = a.bytes - f.start_bytes;
+  Agg& g = agg_[f.id];
+  ++g.calls;
+  g.total_cycles += incl_cycles;
+  g.self_cycles += incl_cycles - f.child_cycles;
+  g.total_allocs += incl_allocs;
+  g.self_allocs += incl_allocs - f.child_allocs;
+  g.total_bytes += incl_bytes;
+  g.self_bytes += incl_bytes - f.child_bytes;
+  if (depth_ > 0) {
+    Frame& parent = stack_[depth_ - 1];
+    parent.child_cycles += incl_cycles;
+    parent.child_allocs += incl_allocs;
+    parent.child_bytes += incl_bytes;
+  }
+}
+
+std::vector<PhaseStats> Profiler::stats() const {
+  std::vector<PhaseStats> out;
+  out.reserve(phases_);
+  for (std::size_t i = 0; i < phases_; ++i) {
+    PhaseStats s;
+    s.name = names_[i];
+    s.calls = agg_[i].calls;
+    s.total_cycles = agg_[i].total_cycles;
+    s.self_cycles = agg_[i].self_cycles;
+    s.total_allocs = agg_[i].total_allocs;
+    s.self_allocs = agg_[i].self_allocs;
+    s.total_bytes = agg_[i].total_bytes;
+    s.self_bytes = agg_[i].self_bytes;
+    out.push_back(s);
+  }
+  return out;
+}
+
+void Profiler::reset() noexcept {
+  for (std::size_t i = 0; i < phases_; ++i) agg_[i] = Agg{};
+  depth_ = 0;
+  dropped_ = 0;
+}
+
+void Profiler::publish(MetricsRegistry& registry) const {
+  const double rate = cycles_per_ns();
+  for (std::size_t i = 0; i < phases_; ++i) {
+    const Agg& g = agg_[i];
+    const std::string base = std::string("prof.") + names_[i] + ".";
+    registry.counter(base + "calls").add(g.calls);
+    registry.counter(base + "self_allocs").add(g.self_allocs);
+    registry.counter(base + "total_allocs").add(g.total_allocs);
+    registry.counter(base + "self_bytes").add(g.self_bytes);
+    registry.counter(base + "total_bytes").add(g.total_bytes);
+    registry.counter(base + "self_cycles").add(g.self_cycles);
+    registry.counter(base + "total_cycles").add(g.total_cycles);
+    registry.counter(base + "self_ns")
+        .add(static_cast<std::uint64_t>(
+            static_cast<double>(g.self_cycles) / rate));
+    registry.counter(base + "total_ns")
+        .add(static_cast<std::uint64_t>(
+            static_cast<double>(g.total_cycles) / rate));
+  }
+}
+
+}  // namespace stig::obs::prof

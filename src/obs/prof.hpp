@@ -1,0 +1,135 @@
+// obs::prof — scoped cycle/allocation profiler for the engine hot path.
+//
+// A `Profiler` owns a small fixed table of named phases ("engine.sched",
+// "engine.compute", "net.collect", ...) and a stack of active frames. Code
+// brackets a region with a `Scope`; on exit the frame's deltas — TSC
+// cycles, thread-local allocation count and bytes (obs/alloc_track.hpp) —
+// are folded into the phase's aggregate, split into *total* (inclusive of
+// nested scopes) and *self* (exclusive). The stack is what makes the
+// profiler hierarchical: a parent phase's self cost is its total minus
+// whatever its children accounted for, with no double counting.
+//
+// Two cost domains, two gating policies (see obs/metric_keys.hpp):
+//
+//  * cycles / nanoseconds — machine-speed, *informational*. Cycle counts
+//    come from one rdtsc pair per scope (~20 cycles of overhead);
+//    `publish` converts them to approximate wall nanoseconds with a
+//    once-per-process calibration against steady_clock.
+//  * allocation count / bytes — a pure function of (code, seed), *hard
+//    gateable*. This is the number the stigperf regression gate pins.
+//
+// Concurrency model: like an EventSink, a Profiler belongs to one
+// simulation on one thread (src/par tasks each wire their own). Everything
+// here is allocation-free after construction — profiling the allocator
+// must not perturb it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/alloc_track.hpp"
+
+namespace stig::obs {
+class MetricsRegistry;
+}
+
+namespace stig::obs::prof {
+
+using PhaseId = std::uint32_t;
+
+/// Aggregate costs of one phase, as returned by `Profiler::stats`.
+struct PhaseStats {
+  const char* name = nullptr;
+  std::uint64_t calls = 0;
+  std::uint64_t total_cycles = 0;  ///< Inclusive of nested scopes.
+  std::uint64_t self_cycles = 0;   ///< Exclusive of nested scopes.
+  std::uint64_t total_allocs = 0;
+  std::uint64_t self_allocs = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t self_bytes = 0;
+};
+
+class Profiler {
+ public:
+  /// Phase table capacity; registration past this throws.
+  static constexpr std::size_t kMaxPhases = 32;
+  /// Deepest scope nesting tracked exactly; deeper frames are dropped
+  /// (enter/exit stay balanced, costs attribute to the innermost tracked
+  /// frame).
+  static constexpr std::size_t kMaxDepth = 16;
+
+  /// Returns the id for `name`, registering it on first use (by content,
+  /// so the same phase name from different call sites shares one row).
+  /// Registration is not hot-path; throws std::length_error when the table
+  /// is full.
+  PhaseId phase(const char* name);
+
+  /// Opens a frame for `id`. Prefer `Scope`.
+  void enter(PhaseId id) noexcept;
+  /// Closes the innermost frame and folds its deltas into the aggregates.
+  void exit() noexcept;
+
+  /// Aggregates per phase, in registration order.
+  [[nodiscard]] std::vector<PhaseStats> stats() const;
+
+  /// Number of registered phases.
+  [[nodiscard]] std::size_t phase_count() const noexcept { return phases_; }
+
+  /// Clears every aggregate (phase registrations survive). The frame stack
+  /// must be empty.
+  void reset() noexcept;
+
+  /// Publishes every phase as counters named `prof.<phase>.<field>`:
+  /// calls, self_allocs / total_allocs, self_bytes / total_bytes (gated
+  /// keys) and self_cycles / total_cycles / self_ns / total_ns
+  /// (informational by the metric-key convention). Nanoseconds use
+  /// `cycles_per_ns()` calibration.
+  void publish(MetricsRegistry& registry) const;
+
+  /// Reads the processor timestamp counter (falls back to steady_clock
+  /// nanoseconds on targets without one).
+  [[nodiscard]] static std::uint64_t now_cycles() noexcept;
+
+  /// Measured TSC rate, calibrated once per process against steady_clock
+  /// (1.0 on the steady_clock fallback, where "cycles" are nanoseconds).
+  [[nodiscard]] static double cycles_per_ns();
+
+ private:
+  struct Agg {
+    std::uint64_t calls = 0;
+    std::uint64_t total_cycles = 0, self_cycles = 0;
+    std::uint64_t total_allocs = 0, self_allocs = 0;
+    std::uint64_t total_bytes = 0, self_bytes = 0;
+  };
+  struct Frame {
+    PhaseId id = 0;
+    std::uint64_t start_cycles = 0, start_allocs = 0, start_bytes = 0;
+    std::uint64_t child_cycles = 0, child_allocs = 0, child_bytes = 0;
+  };
+
+  const char* names_[kMaxPhases] = {};
+  Agg agg_[kMaxPhases] = {};
+  std::size_t phases_ = 0;
+  Frame stack_[kMaxDepth] = {};
+  std::size_t depth_ = 0;
+  std::size_t dropped_ = 0;  ///< Frames past kMaxDepth (balance bookkeeping).
+};
+
+/// RAII frame. A null profiler makes the scope a no-op — the hot path pays
+/// one branch when profiling is off, mirroring the null-sink pattern.
+class Scope {
+ public:
+  Scope(Profiler* p, PhaseId id) noexcept : p_(p) {
+    if (p_ != nullptr) p_->enter(id);
+  }
+  ~Scope() {
+    if (p_ != nullptr) p_->exit();
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Profiler* p_;
+};
+
+}  // namespace stig::obs::prof

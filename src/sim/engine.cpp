@@ -51,7 +51,10 @@ Engine::Engine(std::vector<RobotSpec> specs,
     }
   }
 
-  if (options_.observation_delay > 0) recent_.push_back(positions_);
+  if (options_.observation_delay > 0) {
+    recent_.resize(options_.observation_delay + 1);
+    push_recent(positions_);
+  }
 
   // Paper Section 4.2: every robot knows P(t0) — wake all at t0 once.
   for (std::size_t i = 0; i < programs_.size(); ++i) {
@@ -61,8 +64,23 @@ Engine::Engine(std::vector<RobotSpec> specs,
 
 Snapshot Engine::make_snapshot(RobotIndex i) const {
   const std::vector<geom::Vec2>& stale =
-      options_.observation_delay > 0 ? recent_.front() : positions_;
+      options_.observation_delay > 0 ? recent_[recent_head_] : positions_;
   return make_snapshot_at(i, positions_, stale, t_);
+}
+
+void Engine::push_recent(const std::vector<geom::Vec2>& config) {
+  const std::size_t cap = options_.observation_delay + 1;
+  std::size_t slot;
+  if (recent_count_ < cap) {
+    slot = (recent_head_ + recent_count_) % cap;
+    ++recent_count_;
+  } else {
+    // Full: the stalest buffer is evicted and its capacity reused for the
+    // newest configuration.
+    slot = recent_head_;
+    recent_head_ = (recent_head_ + 1) % cap;
+  }
+  recent_[slot].assign(config.begin(), config.end());
 }
 
 void Engine::teleport(RobotIndex i, const geom::Vec2& global_position) {
@@ -95,6 +113,17 @@ void Engine::set_metrics(obs::MetricsRegistry* registry) {
                    : &registry->histogram("engine.step_wall_ns", 16.0);
 }
 
+void Engine::set_profiler(obs::prof::Profiler* profiler) {
+  prof_ = profiler;
+  if (prof_ == nullptr) return;
+  ph_step_ = prof_->phase("engine.step");
+  ph_sched_ = prof_->phase("engine.sched");
+  ph_observe_ = prof_->phase("engine.observe");
+  ph_compute_ = prof_->phase("engine.compute");
+  ph_commit_ = prof_->phase("engine.commit");
+  ph_emit_ = prof_->phase("engine.emit");
+}
+
 std::vector<RobotIndex> Engine::initial_observation_order(
     RobotIndex i) const {
   const Frame& f = frames_.at(i);
@@ -119,17 +148,24 @@ Snapshot Engine::make_snapshot_at(RobotIndex i,
                                   const std::vector<geom::Vec2>& config,
                                   const std::vector<geom::Vec2>& stale_config,
                                   Time t) const {
+  std::vector<SnapshotEntry> entries;
+  Snapshot snap;
+  build_snapshot(i, config, stale_config, t, entries, snap);
+  return snap;
+}
+
+void Engine::build_snapshot(RobotIndex i,
+                            const std::vector<geom::Vec2>& config,
+                            const std::vector<geom::Vec2>& stale_config,
+                            Time t, std::vector<SnapshotEntry>& entries,
+                            Snapshot& out) const {
   const Frame& f = frames_.at(i);
-  struct Entry {
-    ObservedRobot obs;
-    RobotIndex index;
-  };
   const double q = options_.observation_quantum;
   const auto quantize = [q](const geom::Vec2& p) {
     if (q <= 0.0) return p;
     return geom::Vec2{std::round(p.x / q) * q, std::round(p.y / q) * q};
   };
-  std::vector<Entry> entries;
+  entries.clear();
   entries.reserve(config.size());
   for (std::size_t j = 0; j < config.size(); ++j) {
     // Self: current and exact (odometry). Others: possibly stale (CORDA-ish
@@ -140,7 +176,7 @@ Snapshot Engine::make_snapshot_at(RobotIndex i,
         geom::dist(global, config[i]) > options_.visibility_radius) {
       continue;
     }
-    Entry e;
+    SnapshotEntry e;
     e.obs.position = f.to_local(j == i ? global : quantize(global));
     e.obs.id = identified_ ? specs_[j].id : std::nullopt;
     e.index = j;
@@ -150,23 +186,23 @@ Snapshot Engine::make_snapshot_at(RobotIndex i,
   // lexicographically by local position, which carries no identity.
   if (identified_) {
     std::sort(entries.begin(), entries.end(),
-              [](const Entry& a, const Entry& b) {
+              [](const SnapshotEntry& a, const SnapshotEntry& b) {
                 return a.obs.id.value() < b.obs.id.value();
               });
   } else {
     std::sort(entries.begin(), entries.end(),
-              [](const Entry& a, const Entry& b) {
+              [](const SnapshotEntry& a, const SnapshotEntry& b) {
                 return a.obs.position < b.obs.position;
               });
   }
-  Snapshot snap;
-  snap.t = t;
-  snap.robots.reserve(entries.size());
+  out.t = t;
+  out.self = 0;
+  out.robots.clear();
+  out.robots.reserve(entries.size());
   for (std::size_t k = 0; k < entries.size(); ++k) {
-    if (entries[k].index == i) snap.self = k;
-    snap.robots.push_back(entries[k].obs);
+    if (entries[k].index == i) out.self = k;
+    out.robots.push_back(entries[k].obs);
   }
-  return snap;
 }
 
 void Engine::step() {
@@ -184,32 +220,44 @@ void Engine::step() {
 }
 
 void Engine::step_impl() {
+  obs::prof::Scope step_scope(prof_, ph_step_);
   const std::size_t n = specs_.size();
-  ActivationSet active = scheduler_->activate(t_, n);
-  assert(std::any_of(active.begin(), active.end(),
-                     [](bool b) { return b; }) &&
-         "scheduler must activate at least one robot");
-  // Fault masking happens on the scheduler's *output*, so a recorded
-  // schedule stays the fault-free one and a replay under the same fault
-  // plan re-masks identically.
-  if (interceptor_ != nullptr) interceptor_->on_activation(t_, active);
-
-  const std::vector<geom::Vec2> before = positions_;
-  if (options_.observation_delay > 0) {
-    recent_.push_back(before);
-    while (recent_.size() > options_.observation_delay + 1) {
-      recent_.pop_front();
-    }
+  ActivationSet active;
+  {
+    obs::prof::Scope s(prof_, ph_sched_);
+    active = scheduler_->activate(t_, n);
+    assert(std::any_of(active.begin(), active.end(),
+                       [](bool b) { return b; }) &&
+           "scheduler must activate at least one robot");
+    // Fault masking happens on the scheduler's *output*, so a recorded
+    // schedule stays the fault-free one and a replay under the same fault
+    // plan re-masks identically.
+    if (interceptor_ != nullptr) interceptor_->on_activation(t_, active);
   }
+
+  // Engine-owned scratch: after the first step every per-instant copy
+  // below reuses capacity, so a fault-free instant performs no
+  // engine-attributable heap allocation (gated by the stigperf baselines).
+  before_scratch_.assign(positions_.begin(), positions_.end());
+  const std::vector<geom::Vec2>& before = before_scratch_;
+  if (options_.observation_delay > 0) push_recent(before);
   const std::vector<geom::Vec2>& stale =
-      options_.observation_delay > 0 ? recent_.front() : before;
-  std::vector<geom::Vec2> after = before;
+      options_.observation_delay > 0 ? recent_[recent_head_] : before;
+  after_scratch_.assign(before.begin(), before.end());
+  std::vector<geom::Vec2>& after = after_scratch_;
   // Phase 1: all active robots observe `before` and commit to destinations;
   // phase 2: all moves are applied. No robot sees a same-instant move.
   for (std::size_t i = 0; i < n; ++i) {
     if (!active[i]) continue;
-    const geom::Vec2 local_target =
-        programs_[i]->on_activate(make_snapshot_at(i, before, stale, t_));
+    {
+      obs::prof::Scope s(prof_, ph_observe_);
+      build_snapshot(i, before, stale, t_, entry_scratch_, snap_scratch_);
+    }
+    geom::Vec2 local_target;
+    {
+      obs::prof::Scope s(prof_, ph_compute_);
+      local_target = programs_[i]->on_activate(snap_scratch_);
+    }
     const geom::Vec2 target = frames_[i].to_global(local_target);
     const geom::Vec2 d = target - before[i];
     const double len = d.norm();
@@ -218,6 +266,8 @@ void Engine::step_impl() {
                    : before[i] + d * (specs_[i].sigma / len);
   }
 
+  {
+  obs::prof::Scope commit_scope(prof_, ph_commit_);
   if (options_.check_collisions) {
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
@@ -272,7 +322,11 @@ void Engine::step_impl() {
   }
 
   positions_ = after;
-  trace_.record_step(active, before, positions_, sink_);
+  }  // commit_scope
+  {
+    obs::prof::Scope s(prof_, ph_emit_);
+    trace_.record_step(active, before, positions_, sink_);
+  }
   ++t_;
 }
 

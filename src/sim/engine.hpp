@@ -8,7 +8,6 @@
 // destination in its local frame, and travels toward it by at most sigma_r.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -17,6 +16,7 @@
 
 #include "geom/vec.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/sink.hpp"
 #include "sim/frame.hpp"
 #include "sim/robot.hpp"
@@ -162,6 +162,16 @@ class Engine {
   /// nanoseconds); null detaches and stops the timing.
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Attaches a cycle/allocation profiler (not owned; null detaches).
+  /// Registers the engine phases — engine.step > {engine.sched,
+  /// engine.observe, engine.compute, engine.commit, engine.emit} — and
+  /// brackets each in every subsequent `step()`. Detached, the hot path
+  /// pays one null check per phase; see obs/prof.hpp.
+  void set_profiler(obs::prof::Profiler* profiler);
+  [[nodiscard]] obs::prof::Profiler* profiler() const noexcept {
+    return prof_;
+  }
+
   /// Builds the snapshot robot `i` would observe right now (exposed for
   /// tests; the engine itself uses it during `step`).
   [[nodiscard]] Snapshot make_snapshot(RobotIndex i) const;
@@ -181,9 +191,27 @@ class Engine {
   void teleport(RobotIndex i, const geom::Vec2& global_position);
 
  private:
+  /// One candidate row of a snapshot before sorting (observation order).
+  struct SnapshotEntry {
+    ObservedRobot obs;
+    RobotIndex index = 0;
+  };
+
   [[nodiscard]] Snapshot make_snapshot_at(
       RobotIndex i, const std::vector<geom::Vec2>& config,
       const std::vector<geom::Vec2>& stale_config, Time t) const;
+
+  /// The snapshot builder behind `make_snapshot_at`, writing into
+  /// caller-provided storage so the hot loop can reuse engine-owned
+  /// scratch instead of allocating per activation.
+  void build_snapshot(RobotIndex i, const std::vector<geom::Vec2>& config,
+                      const std::vector<geom::Vec2>& stale_config, Time t,
+                      std::vector<SnapshotEntry>& entries,
+                      Snapshot& out) const;
+
+  /// Pushes `config` into the `recent_` ring, recycling the evicted
+  /// buffer's capacity (no steady-state allocation).
+  void push_recent(const std::vector<geom::Vec2>& config);
 
   void step_impl();
 
@@ -193,13 +221,26 @@ class Engine {
   EngineOptions options_;
   std::vector<Frame> frames_;
   std::vector<geom::Vec2> positions_;
-  /// Configurations of the last `observation_delay + 1` instants (front is
-  /// the stalest); only maintained when observation_delay > 0.
-  std::deque<std::vector<geom::Vec2>> recent_;
+  /// Ring of the configurations of the last `observation_delay + 1`
+  /// instants; only maintained when observation_delay > 0. The stalest
+  /// entry lives at `recent_head_`; buffers are recycled in place.
+  std::vector<std::vector<geom::Vec2>> recent_;
+  std::size_t recent_head_ = 0;
+  std::size_t recent_count_ = 0;
+  /// Step-loop scratch (engine-owned so the per-instant copies of the
+  /// configuration and the per-activation snapshot reuse capacity instead
+  /// of reallocating — see the stigperf baselines for the before/after).
+  std::vector<geom::Vec2> before_scratch_;
+  std::vector<geom::Vec2> after_scratch_;
+  std::vector<SnapshotEntry> entry_scratch_;
+  Snapshot snap_scratch_;
   Trace trace_;
   obs::EventSink* sink_ = nullptr;
   StepInterceptor* interceptor_ = nullptr;
   obs::LogHistogram* step_wall_ = nullptr;  ///< Owned by the registry.
+  obs::prof::Profiler* prof_ = nullptr;     ///< Not owned; null when off.
+  obs::prof::PhaseId ph_step_ = 0, ph_sched_ = 0, ph_observe_ = 0,
+                     ph_compute_ = 0, ph_commit_ = 0, ph_emit_ = 0;
   Time t_ = 0;
   bool identified_ = false;
 };

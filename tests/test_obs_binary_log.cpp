@@ -1,0 +1,299 @@
+// Binary event log tests: field-exact round-trips (including label
+// interning, time deltas that go backward, and doubles that only bit
+// patterns can distinguish), JSONL export byte-identity against the live
+// JSONL sink across the six-protocol matrix, and corruption handling.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/chat_network.hpp"
+#include "obs/binary_log.hpp"
+#include "obs/jsonl_sink.hpp"
+#include "obs/sink.hpp"
+
+namespace stig::obs {
+namespace {
+
+Event make_event(EventType type, std::uint64_t t) {
+  Event e;
+  e.type = type;
+  e.t = t;
+  return e;
+}
+
+TEST(BinaryLog, EmptyStreamIsHeaderOnly) {
+  BinaryLogSink sink;
+  EXPECT_EQ(sink.event_count(), 0u);
+  EXPECT_EQ(sink.data().size(), 5u);  // "STGB" + version byte.
+  BinaryLogReader reader(sink.data());
+  Event e;
+  EXPECT_FALSE(reader.next(e));
+}
+
+TEST(BinaryLog, RoundTripsEveryField) {
+  BinaryLogSink sink;
+  Event in = make_event(EventType::BitDecoded, 17);
+  in.robot = 3;
+  in.peer = 1;
+  in.aux = 42;
+  in.x = 1.25;
+  in.y = -0.5;
+  in.value = 3.14159;
+  in.bit = 1;
+  in.label = "payload";
+  sink.on_event(in);
+
+  BinaryLogReader reader(sink.data());
+  Event out;
+  ASSERT_TRUE(reader.next(out));
+  EXPECT_EQ(out.type, in.type);
+  EXPECT_EQ(out.t, in.t);
+  EXPECT_EQ(out.robot, in.robot);
+  EXPECT_EQ(out.peer, in.peer);
+  EXPECT_EQ(out.aux, in.aux);
+  EXPECT_EQ(out.x, in.x);
+  EXPECT_EQ(out.y, in.y);
+  EXPECT_EQ(out.value, in.value);
+  EXPECT_EQ(out.bit, in.bit);
+  ASSERT_NE(out.label, nullptr);
+  EXPECT_STREQ(out.label, "payload");
+  EXPECT_FALSE(reader.next(out));
+}
+
+TEST(BinaryLog, DefaultFieldsStayDefault) {
+  BinaryLogSink sink;
+  sink.on_event(make_event(EventType::StepComplete, 9));
+  BinaryLogReader reader(sink.data());
+  Event out;
+  ASSERT_TRUE(reader.next(out));
+  EXPECT_EQ(out.robot, -1);
+  EXPECT_EQ(out.peer, -1);
+  EXPECT_EQ(out.aux, -1);
+  EXPECT_EQ(out.x, 0.0);
+  EXPECT_EQ(out.bit, 0u);
+  EXPECT_EQ(out.label, nullptr);
+}
+
+TEST(BinaryLog, TimeDeltasMayGoBackward) {
+  BinaryLogSink sink;
+  sink.on_event(make_event(EventType::Activation, 100));
+  sink.on_event(make_event(EventType::Activation, 50));
+  sink.on_event(make_event(EventType::Activation, 0));
+  sink.on_event(make_event(EventType::Activation, 1'000'000));
+  BinaryLogReader reader(sink.data());
+  Event out;
+  for (const std::uint64_t expect : {100u, 50u, 0u, 1'000'000u}) {
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out.t, expect);
+  }
+}
+
+TEST(BinaryLog, DoublesRoundTripBitExactly) {
+  BinaryLogSink sink;
+  const double values[] = {
+      -0.0,
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      -1.0 / 3.0,
+  };
+  for (const double v : values) {
+    Event e = make_event(EventType::Move, 1);
+    e.x = v;
+    sink.on_event(e);
+  }
+  BinaryLogReader reader(sink.data());
+  Event out;
+  for (const double v : values) {
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out.x),
+              std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(BinaryLog, LabelsInternByContentNotPointer) {
+  BinaryLogSink sink;
+  const std::string a = "phase";
+  const std::string b = "phase";  // Same content, different address.
+  ASSERT_NE(a.c_str(), b.c_str());
+  Event e = make_event(EventType::PhaseEnter, 1);
+  e.label = a.c_str();
+  sink.on_event(e);
+  e.t = 2;
+  e.label = b.c_str();
+  sink.on_event(e);
+  BinaryLogReader reader(sink.data());
+  Event out;
+  ASSERT_TRUE(reader.next(out));
+  ASSERT_TRUE(reader.next(out));
+  EXPECT_STREQ(out.label, "phase");
+  EXPECT_EQ(reader.labels().size(), 1u);  // One definition record.
+}
+
+TEST(BinaryLog, ReaderLabelsOutliveSubsequentReads) {
+  BinaryLogSink sink;
+  for (int i = 0; i < 3; ++i) {
+    Event e = make_event(EventType::PhaseEnter, static_cast<uint64_t>(i));
+    const std::string label = "label_" + std::to_string(i);
+    e.label = label.c_str();
+    sink.on_event(e);
+  }
+  BinaryLogReader reader(sink.data());
+  Event out;
+  ASSERT_TRUE(reader.next(out));
+  const char* first = out.label;
+  ASSERT_TRUE(reader.next(out));
+  ASSERT_TRUE(reader.next(out));
+  // Earlier label pointers stay valid as the table grows.
+  EXPECT_STREQ(first, "label_0");
+}
+
+TEST(BinaryLog, BadMagicThrows) {
+  const std::vector<std::uint8_t> junk = {'N', 'O', 'P', 'E', 0x01};
+  EXPECT_THROW(BinaryLogReader{junk}, std::invalid_argument);
+  const std::vector<std::uint8_t> wrong_version = {'S', 'T', 'G', 'B', 0x02};
+  EXPECT_THROW(BinaryLogReader{wrong_version}, std::invalid_argument);
+  const std::vector<std::uint8_t> short_stream = {'S', 'T'};
+  EXPECT_THROW(BinaryLogReader{short_stream}, std::invalid_argument);
+}
+
+TEST(BinaryLog, TruncatedRecordThrows) {
+  BinaryLogSink sink;
+  Event e = make_event(EventType::Move, 5);
+  e.robot = 2;
+  e.x = 1.5;
+  e.y = 2.5;
+  sink.on_event(e);
+  // Chop bytes off the tail: every prefix that still has the record tag
+  // must throw rather than return garbage.
+  for (std::size_t keep = 6; keep < sink.data().size(); ++keep) {
+    const std::vector<std::uint8_t> cut(sink.data().begin(),
+                                        sink.data().begin() + keep);
+    BinaryLogReader reader(cut);
+    Event out;
+    EXPECT_THROW(reader.next(out), std::runtime_error) << "keep=" << keep;
+  }
+}
+
+TEST(BinaryLog, UnknownTagThrows) {
+  BinaryLogSink sink;
+  std::vector<std::uint8_t> data = sink.data();
+  data.push_back(0xC7);  // Neither an event type nor the label-def tag.
+  BinaryLogReader reader(data);
+  Event out;
+  EXPECT_THROW(reader.next(out), std::runtime_error);
+}
+
+TEST(BinaryLog, LabelIdOutOfRangeThrows) {
+  BinaryLogSink sink;
+  std::vector<std::uint8_t> data = sink.data();
+  data.push_back(static_cast<std::uint8_t>(EventType::PhaseEnter));
+  data.push_back(0x80);  // Mask: label only.
+  data.push_back(0x00);  // t delta 0.
+  data.push_back(0x05);  // Label id 5: never defined.
+  BinaryLogReader reader(data);
+  Event out;
+  EXPECT_THROW(reader.next(out), std::runtime_error);
+}
+
+// ------------------------------------------------------- jsonl equality --
+
+/// Renders events through the live JSONL path, line by line.
+class JsonlCollector final : public EventSink {
+ public:
+  void on_event(const Event& e) override {
+    text += JsonlEventSink::to_json(e);
+    text += '\n';
+  }
+  std::string text;
+};
+
+/// One protocol workload with both sinks attached; returns (live JSONL,
+/// binary export JSONL, binary size, live size).
+struct MatrixCase {
+  std::string name;
+  core::ChatNetworkOptions options;
+  std::size_t n = 2;
+};
+
+std::vector<MatrixCase> six_protocol_matrix() {
+  using core::ProtocolKind;
+  using core::Synchrony;
+  std::vector<MatrixCase> cases;
+  {
+    MatrixCase c{.name = "sync2"};
+    c.options.protocol = ProtocolKind::sync2;
+    cases.push_back(c);
+  }
+  {
+    MatrixCase c{.name = "sliced_relative", .n = 4};
+    c.options.protocol = ProtocolKind::sliced;
+    cases.push_back(c);
+  }
+  {
+    MatrixCase c{.name = "sliced_by_ids", .n = 4};
+    c.options.protocol = ProtocolKind::sliced;
+    c.options.caps.visible_ids = true;
+    c.options.caps.sense_of_direction = true;
+    cases.push_back(c);
+  }
+  {
+    MatrixCase c{.name = "ksegment", .n = 5};
+    c.options.protocol = ProtocolKind::ksegment;
+    c.options.ksegment_k = 2;
+    cases.push_back(c);
+  }
+  {
+    MatrixCase c{.name = "async2"};
+    c.options.protocol = ProtocolKind::async2;
+    c.options.synchrony = Synchrony::asynchronous;
+    cases.push_back(c);
+  }
+  {
+    MatrixCase c{.name = "asyncn", .n = 4};
+    c.options.protocol = ProtocolKind::asyncn;
+    c.options.synchrony = Synchrony::asynchronous;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+std::vector<geom::Vec2> spread(std::size_t n) {
+  std::vector<geom::Vec2> p;
+  for (std::size_t i = 0; i < n; ++i) {
+    p.push_back(geom::Vec2{4.0 * static_cast<double>(i),
+                           1.5 * static_cast<double>(i % 3)});
+  }
+  return p;
+}
+
+TEST(BinaryLog, ExportMatchesLiveJsonlAcrossProtocolMatrix) {
+  for (const MatrixCase& c : six_protocol_matrix()) {
+    core::ChatNetworkOptions opt = c.options;
+    opt.seed = 7;
+    core::ChatNetwork net(spread(c.n), opt);
+    BinaryLogSink binary;
+    JsonlCollector live;
+    MultiSink sinks({&binary, &live});
+    net.attach_event_sink(&sinks);
+    net.send(0, c.n - 1, std::vector<std::uint8_t>{0xA5, 0x3C});
+    ASSERT_TRUE(net.run_until_quiescent(200'000)) << c.name;
+
+    std::ostringstream exported;
+    binary.export_jsonl(exported);
+    EXPECT_EQ(exported.str(), live.text) << c.name;
+    EXPECT_GT(binary.event_count(), 0u) << c.name;
+    // The point of the binary hot path: records are much smaller than the
+    // JSON text they decode to.
+    EXPECT_LT(binary.data().size(), live.text.size() / 2) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace stig::obs

@@ -1,11 +1,14 @@
 // MetricsRegistry tests: histogram bucket boundaries, counter overflow
-// wrap-around, registry name-collision rules, and JSON export shape.
+// wrap-around, histogram merge/percentile edge cases, registry
+// name-collision rules, JSON export shape, and the metric-key gating
+// classifier.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <limits>
 #include <sstream>
 
+#include "obs/metric_keys.hpp"
 #include "obs/metrics.hpp"
 
 namespace stig::obs {
@@ -91,6 +94,110 @@ TEST(LogHistogram, QuantileUpperBoundsTheSample) {
   h.record(100.0);                             // Bucket [64,128).
   EXPECT_LE(h.quantile_upper(0.5), 2.0);
   EXPECT_GE(h.quantile_upper(0.995), 100.0);
+}
+
+TEST(LogHistogram, EmptyHistogramQuantilesAndStats) {
+  LogHistogram h(1.0, 8);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_upper(0.0), 0.0);
+  EXPECT_EQ(h.quantile_upper(0.5), 0.0);
+  EXPECT_EQ(h.quantile_upper(1.0), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogram, SingleBucketOccupiedQuantiles) {
+  LogHistogram h(1.0, 8);
+  for (int i = 0; i < 10; ++i) h.record(2.5);  // All in [2,4).
+  // Every quantile lands in the one occupied bucket; its upper bound is
+  // capped by the observed maximum.
+  EXPECT_DOUBLE_EQ(h.quantile_upper(0.01), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile_upper(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile_upper(1.0), 2.5);
+}
+
+TEST(LogHistogram, OverflowBucketQuantileReportsObservedMax) {
+  LogHistogram h(1.0, 4);  // [0,1) [1,2) [2,4) [4,inf).
+  h.record(1e9);           // Overflow bucket has no finite upper edge.
+  h.record(2e9);
+  EXPECT_DOUBLE_EQ(h.quantile_upper(0.5), 2e9);
+  EXPECT_DOUBLE_EQ(h.quantile_upper(1.0), 2e9);
+}
+
+TEST(LogHistogram, MergeFromEmptyIsIdentity) {
+  LogHistogram a(1.0, 8);
+  const LogHistogram b(1.0, 8);
+  a.record(3.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(LogHistogram, MergeIntoEmptyAdoptsMinMax) {
+  LogHistogram a(1.0, 8);
+  LogHistogram b(1.0, 8);
+  b.record(2.0);
+  b.record(9.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 11.0);
+}
+
+TEST(LogHistogram, MergeAccumulatesBucketsAndExtremes) {
+  LogHistogram a(1.0, 8);
+  LogHistogram b(1.0, 8);
+  a.record(1.5);
+  b.record(1.7);
+  b.record(40.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bucket_count_at(a.bucket_index(1.5)), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.5);
+  EXPECT_DOUBLE_EQ(a.max(), 40.0);
+}
+
+TEST(LogHistogram, MergeSelfIsIdentity) {
+  LogHistogram a(1.0, 8);
+  a.record(5.0);
+  a.merge_from(a);
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(LogHistogram, MergeLayoutMismatchThrows) {
+  LogHistogram a(1.0, 8);
+  const LogHistogram diff_buckets(1.0, 9);
+  const LogHistogram diff_min(2.0, 8);
+  EXPECT_THROW(a.merge_from(diff_buckets), std::invalid_argument);
+  EXPECT_THROW(a.merge_from(diff_min), std::invalid_argument);
+}
+
+TEST(MetricKeys, InformationalMarkersAreRecognized) {
+  // The documented convention: "wall", "cycles", "_per_sec", "_pct",
+  // "_ns" — anywhere in the key — mean machine-speed, never gated.
+  EXPECT_TRUE(is_informational_key("wall_seconds"));
+  EXPECT_TRUE(is_informational_key("engine.step_wall_ns"));
+  EXPECT_TRUE(is_informational_key("prof.engine.step.self_cycles"));
+  EXPECT_TRUE(is_informational_key("cycles_per_instant"));
+  EXPECT_TRUE(is_informational_key("bits_per_sec"));
+  EXPECT_TRUE(is_informational_key("overhead_pct"));
+  EXPECT_TRUE(is_informational_key("run_ns"));
+  EXPECT_EQ(metric_key_class("total_ns"), MetricKeyClass::informational);
+}
+
+TEST(MetricKeys, DeterministicKeysGate) {
+  EXPECT_FALSE(is_informational_key("allocs_per_instant"));
+  EXPECT_FALSE(is_informational_key("bytes_per_instant"));
+  EXPECT_FALSE(is_informational_key("events_per_instant"));
+  EXPECT_FALSE(is_informational_key("peak_bytes"));
+  EXPECT_FALSE(is_informational_key("instants_per_bit"));
+  EXPECT_FALSE(is_informational_key("prof.engine.observe.self_allocs"));
+  EXPECT_FALSE(is_informational_key("quiescent"));
+  EXPECT_EQ(metric_key_class("instants"), MetricKeyClass::gated);
+  // "ns"/"pct" without the underscore prefix are not markers.
+  EXPECT_FALSE(is_informational_key("instants"));
+  EXPECT_FALSE(is_informational_key("naming"));
 }
 
 TEST(MetricsRegistry, CreateOnFirstUseReturnsStableInstrument) {

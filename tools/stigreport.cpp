@@ -1,6 +1,6 @@
 // stigreport — offline analysis and regression gating for stigmergy runs.
 //
-// Two subcommands:
+// Three subcommands:
 //
 //   stigreport spans <events.jsonl>
 //       Replay a `stigsim --events` JSONL log through the span builder and
@@ -16,10 +16,20 @@
 //       must stay within a relative threshold (default 0.05; override
 //       globally with --threshold R or per bench with
 //       --bench-threshold NAME=R); string values must match exactly.
-//       Machine-speed keys — any key containing "wall", "_per_sec",
-//       "_pct" or "_ns" — are skipped. Prints one verdict line per key.
+//       Informational keys per the obs/metric_keys.hpp convention — any
+//       key containing "wall", "cycles", "_per_sec", "_pct" or "_ns" —
+//       are skipped. Prints one verdict line per key.
 //
-// Exit codes: 0 ok; 1 regression or mismatch (diff); 2 usage error;
+//   stigreport perf --baseline PATH <PERF_*.json ...>
+//       The same gate for stigperf artifacts, with a zero default
+//       threshold: the gated keys (allocation counts, bytes, event
+//       counts) are deterministic functions of (code, seed), so any drift
+//       is a real regression. When either side of a comparison was
+//       produced without allocation tracking (sanitizer build,
+//       "alloc_tracking": false), allocation-derived keys are skipped
+//       instead of failing.
+//
+// Exit codes: 0 ok; 1 regression or mismatch (diff/perf); 2 usage error;
 // 3 I/O or parse error.
 #include <algorithm>
 #include <cmath>
@@ -35,6 +45,7 @@
 #include <vector>
 
 #include "obs/jsonl_parse.hpp"
+#include "obs/metric_keys.hpp"
 #include "obs/span.hpp"
 
 namespace {
@@ -45,18 +56,24 @@ constexpr int kExitUsage = 2;
 constexpr int kExitIo = 3;
 
 void usage(std::ostream& out) {
-  out << "stigreport — span analysis and bench regression gating\n\n"
+  out << "stigreport — span analysis and bench/perf regression gating\n\n"
       << "  stigreport spans <events.jsonl> [--json FILE|-] [--trace FILE]\n"
       << "  stigreport diff --baseline PATH [--threshold R]\n"
       << "                  [--bench-threshold NAME=R] <BENCH_*.json ...>\n"
+      << "  stigreport perf --baseline PATH [--threshold R]\n"
+      << "                  [--bench-threshold NAME=R] <PERF_*.json ...>\n"
       << "  stigreport --help\n\n"
       << "spans: rebuild message spans from a stigsim --events log and\n"
       << "print latency attribution (percentiles, phases, critical path).\n\n"
       << "diff: gate BENCH_*.json artifacts against committed baselines.\n"
       << "Numeric values compared with a relative threshold (default\n"
-      << "0.05); keys containing \"wall\", \"_per_sec\", \"_pct\" or\n"
-      << "\"_ns\" are machine-speed dependent and skipped; strings must\n"
-      << "match exactly.\n\n"
+      << "0.05); informational keys — containing \"wall\", \"cycles\",\n"
+      << "\"_per_sec\", \"_pct\" or \"_ns\" — are machine-speed dependent\n"
+      << "and skipped; strings must match exactly.\n\n"
+      << "perf: the same gate for stigperf artifacts with a zero default\n"
+      << "threshold — the gated keys are deterministic, so any drift is a\n"
+      << "regression. Allocation-derived keys are skipped when either\n"
+      << "side reports \"alloc_tracking\": false (sanitizer build).\n\n"
       << "exit codes: 0 ok; 1 regression; 2 usage; 3 I/O error\n";
 }
 
@@ -309,17 +326,35 @@ std::optional<double> as_number(const std::string& raw) {
 }
 
 /// Machine-speed dependent keys never gate: they vary run to run on the
-/// same commit.
+/// same commit. The marker convention lives in obs/metric_keys.hpp so
+/// producers (stigperf, bench::Report users) and this gate agree.
 bool is_speed_key(const std::string& key) {
-  for (const char* marker : {"wall", "_per_sec", "_pct", "_ns"}) {
+  return stig::obs::is_informational_key(key);
+}
+
+/// True for keys derived from operator-new interposition counters, which
+/// read zero in builds where interposition is compiled out (sanitizers).
+bool is_alloc_key(const std::string& key) {
+  for (const char* marker : {"alloc", "bytes", "frees"}) {
     if (key.find(marker) != std::string::npos) return true;
   }
   return false;
 }
 
-int run_diff(const std::vector<std::string>& args) {
+/// True when the artifact recorded that allocation tracking was off.
+bool alloc_tracking_off(const BenchValues& v) {
+  for (const auto& [key, raw] : v.values) {
+    if (key == "alloc_tracking") return raw == "false";
+  }
+  return false;
+}
+
+/// Shared gate for `diff` (bench artifacts, relative threshold) and
+/// `perf` (stigperf artifacts, exact by default + alloc-key skip).
+int run_gate(const std::vector<std::string>& args, bool perf_mode) {
   std::string baseline_path;
-  double threshold = 0.05;
+  double threshold = perf_mode ? 0.0 : 0.05;
+  const char* cmd = perf_mode ? "perf" : "diff";
   std::map<std::string, double> bench_thresholds;
   std::vector<std::string> artifacts;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -358,18 +393,19 @@ int run_diff(const std::vector<std::string>& args) {
       }
       bench_thresholds[v->substr(0, eq)] = *t;
     } else if (!a.empty() && a[0] == '-') {
-      std::cerr << "stigreport: unknown diff flag " << a << "\n";
+      std::cerr << "stigreport: unknown " << cmd << " flag " << a << "\n";
       return kExitUsage;
     } else {
       artifacts.push_back(a);
     }
   }
   if (baseline_path.empty()) {
-    std::cerr << "stigreport: diff needs --baseline\n";
+    std::cerr << "stigreport: " << cmd << " needs --baseline\n";
     return kExitUsage;
   }
   if (artifacts.empty()) {
-    std::cerr << "stigreport: diff needs BENCH_*.json artifacts\n";
+    std::cerr << "stigreport: " << cmd << " needs "
+              << (perf_mode ? "PERF" : "BENCH") << "_*.json artifacts\n";
     return kExitUsage;
   }
 
@@ -402,11 +438,20 @@ int run_diff(const std::vector<std::string>& args) {
     std::cout << current->bench << " vs " << base_file
               << " (threshold " << th << "):\n";
 
+    const bool skip_alloc_keys =
+        perf_mode &&
+        (alloc_tracking_off(*current) || alloc_tracking_off(*baseline));
+
     std::map<std::string, std::string> base_map(
         baseline->values.begin(), baseline->values.end());
     for (const auto& [key, raw] : current->values) {
       if (is_speed_key(key)) {
         std::cout << "  skip  " << key << " (machine-speed)\n";
+        continue;
+      }
+      if (skip_alloc_keys && (is_alloc_key(key) || key == "alloc_tracking")) {
+        std::cout << "  skip  " << key << " (alloc tracking off)\n";
+        base_map.erase(key);
         continue;
       }
       const auto base_it = base_map.find(key);
@@ -439,6 +484,9 @@ int run_diff(const std::vector<std::string>& args) {
     }
     for (const auto& [key, raw] : base_map) {
       if (is_speed_key(key)) continue;
+      if (skip_alloc_keys && (is_alloc_key(key) || key == "alloc_tracking")) {
+        continue;
+      }
       std::cout << "  FAIL  " << key << " missing (baseline has " << raw
                 << ")\n";
       ++regressions;
@@ -463,7 +511,8 @@ int main(int argc, char** argv) {
   }
   const std::vector<std::string> rest(args.begin() + 1, args.end());
   if (args[0] == "spans") return run_spans(rest);
-  if (args[0] == "diff") return run_diff(rest);
+  if (args[0] == "diff") return run_gate(rest, /*perf_mode=*/false);
+  if (args[0] == "perf") return run_gate(rest, /*perf_mode=*/true);
   std::cerr << "stigreport: unknown subcommand " << args[0] << "\n";
   usage(std::cerr);
   return kExitUsage;

@@ -34,9 +34,9 @@
 #include "encode/bits.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "fuzz/repro.hpp"
+#include "obs/binary_log.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/flight_recorder.hpp"
-#include "obs/jsonl_sink.hpp"
 #include "obs/metrics.hpp"
 #include "obs/metrics_sink.hpp"
 #include "obs/sink.hpp"
@@ -322,14 +322,20 @@ int main(int argc, char** argv) {
 
   // Telemetry sinks: all attached through one fan-out point.
   obs::MultiSink sinks;
-  std::unique_ptr<obs::JsonlEventSink> event_log;
+  // The event log buffers compact binary records on the hot path
+  // (obs/binary_log.hpp) and renders the byte-identical JSONL only at
+  // export time; the file stream is opened up front so a bad path still
+  // fails before the run starts.
+  std::unique_ptr<obs::BinaryLogSink> event_log;
+  std::unique_ptr<std::ofstream> event_file;
   std::unique_ptr<obs::ChromeTraceSink> chrome;
   if (!args.events.empty()) {
-    event_log = obs::JsonlEventSink::open(args.events);
-    if (!event_log) {
+    event_file = std::make_unique<std::ofstream>(args.events);
+    if (!*event_file) {
       std::cerr << "error: could not open " << args.events << "\n";
       return kExitRuntime;
     }
+    event_log = std::make_unique<obs::BinaryLogSink>();
     sinks.add(event_log.get());
   }
   if (!args.chrome_trace.empty()) {
@@ -429,6 +435,14 @@ int main(int argc, char** argv) {
     const double wall_seconds =
         std::chrono::duration<double>(Clock::now() - wall_start).count();
     sinks.flush();
+    if (event_log != nullptr) {
+      event_log->export_jsonl(*event_file);
+      event_file->flush();
+      if (!*event_file) {
+        std::cerr << "error: could not write " << args.events << "\n";
+        return kExitRuntime;
+      }
+    }
 
     // "--report -" / "--spans -" / "--metrics -" reserve stdout for the
     // JSON so it pipes cleanly into jq; the human summary moves to stderr.
@@ -542,7 +556,12 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     // The black box: whatever unwound (collision, watchdog abort, I/O),
-    // leave the last events on disk for stigreport to inspect.
+    // leave the last events on disk for stigreport to inspect. The binary
+    // event log buffers in memory, so export whatever was captured.
+    if (event_log != nullptr && event_file != nullptr) {
+      event_log->export_jsonl(*event_file);
+      event_file->flush();
+    }
     if (recorder != nullptr && !recorder->dump_to_file(args.flight_dump)) {
       std::cerr << "error: could not write " << args.flight_dump << "\n";
     } else if (recorder != nullptr) {
