@@ -232,6 +232,27 @@ void ChatNetwork::attach_metrics(obs::MetricsRegistry* registry) {
   engine_->set_metrics(registry);
 }
 
+void ChatNetwork::attach_coverage(obs::cov::CovMap* map) {
+  cov_ = map;
+  engine_->set_coverage(map);
+  const char* proto_name = protocol_kind_name(kind_);
+  for (proto::ChatRobot* robot : chat_) {
+    robot->set_coverage(map, proto_name);
+  }
+  if (cov_ == nullptr) return;
+  // One configuration edge per run: which naming construction this
+  // capability set resolved to. Baselines lose it when a protocol/naming
+  // combination drops out of the corpus.
+  const char* naming = "none";
+  switch (naming_for(options_.caps)) {
+    case proto::NamingMode::by_ids: naming = "by_ids"; break;
+    case proto::NamingMode::lexicographic: naming = "lexicographic"; break;
+    case proto::NamingMode::relative: naming = "relative"; break;
+  }
+  cov_->hit(obs::cov::Domain::proto, cov_->state(proto_name, "enter"),
+            cov_->state("naming", naming));
+}
+
 void ChatNetwork::attach_profiler(obs::prof::Profiler* profiler) {
   prof_ = profiler;
   engine_->set_profiler(profiler);
@@ -251,6 +272,10 @@ obs::RunReport ChatNetwork::report() const {
   r.min_separation = engine_->trace().min_separation();
   for (const proto::ChatRobot* robot : chat_) {
     if (robot->decode_fault_pending()) ++r.unfired_decode_faults;
+  }
+  if (cov_ != nullptr) {
+    r.cov_edges = cov_->distinct_edges();
+    r.cov_hits = cov_->total_hits();
   }
   r.per_robot.resize(chat_.size());
   for (std::size_t i = 0; i < chat_.size(); ++i) {

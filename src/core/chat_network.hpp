@@ -174,6 +174,14 @@ class ChatNetwork {
   /// obs::MetricsSink via `attach_event_sink`.
   void attach_metrics(obs::MetricsRegistry* registry);
 
+  /// Attaches a coverage map (not owned; null detaches): the engine records
+  /// sched-domain activation-class 2-grams, every protocol robot records
+  /// proto-domain phase-transition edges (prefixed with the protocol name)
+  /// and frame-domain parser outcomes, and the network itself records one
+  /// proto-domain `<protocol>.enter -> naming.<mode>` edge pinning which
+  /// naming construction this configuration exercised. See obs/cov.hpp.
+  void attach_coverage(obs::cov::CovMap* map);
+
   /// Attaches a cycle/allocation profiler (not owned; null detaches):
   /// forwards to `sim::Engine::set_profiler` for the engine phases and adds
   /// the network's own `net.collect` phase around delivery collection. See
@@ -216,6 +224,7 @@ class ChatNetwork {
   sim::StepInterceptor* interceptor_ = nullptr;  ///< Not owned.
   obs::prof::Profiler* prof_ = nullptr;          ///< Not owned.
   obs::prof::PhaseId ph_collect_ = 0;
+  obs::cov::CovMap* cov_ = nullptr;              ///< Not owned.
   std::vector<proto::ChatRobot*> chat_;  ///< Non-owning; engine owns.
   /// slot_to_engine_[i][slot] = simulator index of the robot that robot i's
   /// protocol calls `slot`.

@@ -44,6 +44,7 @@ void FrameParser::try_parse() {
       if (buffer_.size() >= 10) {
         // Overlong varint can never complete: the stream is corrupted.
         ++corrupt_;
+        cov_note(cov_corrupt_varint_);
         buffer_.erase(buffer_.begin());
         resync_ = true;
         continue;
@@ -52,6 +53,7 @@ void FrameParser::try_parse() {
     }
     if (header->value > kMaxPayload) {
       ++corrupt_;
+      cov_note(cov_corrupt_len_);
       buffer_.erase(buffer_.begin());
       resync_ = true;
       continue;
@@ -64,10 +66,12 @@ void FrameParser::try_parse() {
     const std::uint8_t expected = buffer_[header->consumed + len];
     if (crc8(payload) == expected) {
       messages_.emplace_back(payload.begin(), payload.end());
+      cov_note(cov_accept_);
       buffer_.erase(buffer_.begin(),
                     buffer_.begin() + static_cast<std::ptrdiff_t>(total));
     } else {
       ++corrupt_;
+      cov_note(cov_corrupt_crc_);
       // The mismatch may be the length field's fault: if the length byte
       // itself was corrupted, `total` lies about the frame's extent, and
       // dropping that many bytes could eat the valid frame that follows.
@@ -107,6 +111,7 @@ bool FrameParser::try_resync() {
         tail.data() + header->consumed, len);
     if (crc8(payload) != tail[header->consumed + len]) continue;
     messages_.emplace_back(payload.begin(), payload.end());
+    cov_note(cov_recovered_);
     buffer_.erase(buffer_.begin(),
                   buffer_.begin() + static_cast<std::ptrdiff_t>(at + total));
     resync_ = false;
@@ -116,11 +121,27 @@ bool FrameParser::try_resync() {
 }
 
 void FrameParser::reset() {
-  if (mid_frame()) ++corrupt_;
+  if (mid_frame()) {
+    ++corrupt_;
+    cov_note(cov_reset_);
+  }
   buffer_.clear();
   partial_ = 0;
   partial_count_ = 0;
   resync_ = false;
+}
+
+void FrameParser::set_coverage(obs::cov::CovMap* map) noexcept {
+  cov_ = map;
+  if (cov_ == nullptr) return;
+  cov_accept_ = cov_->state("frame.accept");
+  cov_corrupt_varint_ = cov_->state("frame.corrupt_varint");
+  cov_corrupt_len_ = cov_->state("frame.corrupt_len");
+  cov_corrupt_crc_ = cov_->state("frame.corrupt_crc");
+  cov_recovered_ = cov_->state("frame.recovered");
+  cov_reset_ = cov_->state("frame.reset");
+  // The first outcome's edge starts from an explicit start state.
+  cov_prev_ = cov_->state("frame.start");
 }
 
 std::vector<std::vector<std::uint8_t>> FrameParser::take_messages() {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "encode/bits.hpp"
+#include "obs/cov.hpp"
 
 namespace stig::encode {
 
@@ -50,7 +51,21 @@ class FrameParser {
   /// by transient faults — the stabilization mechanism of Section 5.
   void reset();
 
+  /// Attaches a coverage map (not owned; null detaches): records
+  /// frame-domain edges between parse outcomes (accept, the three
+  /// corruption kinds, resync recovery, mid-frame reset), so a corpus
+  /// proves which parser transitions it exercised.
+  void set_coverage(obs::cov::CovMap* map) noexcept;
+
  private:
+  /// Records outcome `s` as a frame-domain edge from the previous outcome.
+  void cov_note(obs::cov::StateId s) noexcept {
+    if (cov_ != nullptr) {
+      cov_->hit(obs::cov::Domain::frame, cov_prev_, s);
+      cov_prev_ = s;
+    }
+  }
+
   void try_parse();
   /// Post-corruption recovery: accepts the first complete, CRC-valid frame
   /// at *any* buffer offset (garbage before it is discarded). Returns true
@@ -64,6 +79,12 @@ class FrameParser {
   std::uint64_t corrupt_ = 0;
   std::uint64_t bits_ = 0;
   bool resync_ = false;  ///< Hunting for a frame after a corrupt prefix.
+  obs::cov::CovMap* cov_ = nullptr;  ///< Not owned; null when off.
+  /// Interned outcome states (valid while cov_ != nullptr).
+  obs::cov::StateId cov_accept_ = 0, cov_corrupt_varint_ = 0,
+                    cov_corrupt_len_ = 0, cov_corrupt_crc_ = 0,
+                    cov_recovered_ = 0, cov_reset_ = 0;
+  obs::cov::StateId cov_prev_ = obs::cov::kInvalidState;
 };
 
 }  // namespace stig::encode

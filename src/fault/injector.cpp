@@ -17,6 +17,11 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
 
 void FaultInjector::emit(sim::Time t, sim::RobotIndex robot,
                          const char* kind, double value) {
+  if (cov_ != nullptr) {
+    // emit() fires exactly when a scheduled fault takes effect — the
+    // coverage edge marks the fault class as genuinely exercised.
+    cov_->hit(obs::cov::Domain::fault, cov_plan_, cov_->state("fault", kind));
+  }
   if (sink_ == nullptr) return;
   obs::Event e;
   e.type = obs::EventType::FaultInjected;
@@ -80,7 +85,7 @@ std::optional<sim::Time> FaultInjector::crash_time(sim::RobotIndex i) const {
 }
 
 std::size_t arm_bursts(core::ChatNetwork& net, const FaultPlan& plan,
-                       obs::EventSink* sink) {
+                       obs::EventSink* sink, obs::cov::CovMap* cov) {
   std::size_t armed = 0;
   std::vector<sim::RobotIndex> taken;
   for (const BurstFault& f : plan.bursts) {
@@ -92,6 +97,10 @@ std::size_t arm_bursts(core::ChatNetwork& net, const FaultPlan& plan,
     net.inject_decode_fault(f.robot, f.nth_bit, f.width);
     taken.push_back(f.robot);
     ++armed;
+    if (cov != nullptr) {
+      cov->hit(obs::cov::Domain::fault, cov->state("fault.plan"),
+               cov->state("fault.burst"));
+    }
     if (sink != nullptr) {
       obs::Event e;
       e.type = obs::EventType::FaultInjected;

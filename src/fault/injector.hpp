@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "fault/fault_plan.hpp"
+#include "obs/cov.hpp"
 #include "obs/sink.hpp"
 #include "sim/engine.hpp"
 
@@ -33,6 +34,15 @@ class FaultInjector final : public sim::StepInterceptor {
 
   /// Routes FaultInjected events into `sink` (not owned; null = silent).
   void set_event_sink(obs::EventSink* sink) noexcept { sink_ = sink; }
+
+  /// Attaches a coverage map (not owned; null detaches): each fault kind
+  /// that actually takes effect records a fault-domain
+  /// fault.plan -> fault.<kind> edge, so a corpus proves which fault
+  /// classes it exercised (not just scheduled).
+  void set_coverage(obs::cov::CovMap* map) noexcept {
+    cov_ = map;
+    if (cov_ != nullptr) cov_plan_ = cov_->state("fault.plan");
+  }
 
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
 
@@ -55,14 +65,18 @@ class FaultInjector final : public sim::StepInterceptor {
   std::vector<bool> stall_fired_;
   std::vector<bool> jitter_fired_;
   obs::EventSink* sink_ = nullptr;
+  obs::cov::CovMap* cov_ = nullptr;  ///< Not owned; null when off.
+  obs::cov::StateId cov_plan_ = obs::cov::kInvalidState;
 };
 
 /// Arms the plan's burst faults on `net` via inject_decode_fault. At most
 /// one burst per robot is armed (a ChatRobot holds one pending fault; the
 /// normalized plan's first burst per robot wins). Emits a FaultInjected
-/// "burst" event at t=0 per armed fault into `sink` (null = silent).
-/// Returns the number armed.
+/// "burst" event at t=0 per armed fault into `sink` (null = silent); each
+/// armed burst also records a fault.plan -> fault.burst coverage edge into
+/// `cov` (null = off).
 std::size_t arm_bursts(core::ChatNetwork& net, const FaultPlan& plan,
-                       obs::EventSink* sink);
+                       obs::EventSink* sink,
+                       obs::cov::CovMap* cov = nullptr);
 
 }  // namespace stig::fault

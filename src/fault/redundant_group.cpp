@@ -70,7 +70,8 @@ RedundantChatNetwork::RedundantChatNetwork(std::vector<geom::Vec2> positions,
     // Decode bursts live in the message layer; armed up front (silently —
     // the per-lane sink is not attached yet; the injector announces
     // crash/stall/jitter as they fire during the run).
-    arm_bursts(*lanes_.back(), injectors_.back()->plan(), nullptr);
+    bursts_armed_.push_back(
+        arm_bursts(*lanes_.back(), injectors_.back()->plan(), nullptr));
   }
   voted_.assign(n_, {});
 }
@@ -89,6 +90,25 @@ void RedundantChatNetwork::attach_lane_sink(std::size_t k,
                                             obs::EventSink* sink) {
   lanes_.at(k)->attach_event_sink(sink);
   injectors_.at(k)->set_event_sink(sink);
+}
+
+void RedundantChatNetwork::attach_coverage(obs::cov::CovMap* map) {
+  cov_ = map;
+  for (std::size_t k = 0; k < lanes_.size(); ++k) {
+    lanes_[k]->attach_coverage(map);
+    injectors_[k]->set_coverage(map);
+  }
+  if (cov_ == nullptr) return;
+  cov_vote_ = cov_->state("vote.begin");
+  // Bursts were armed during construction, before any map could attach;
+  // replay one fault.plan -> fault.burst edge per armed burst so masked
+  // corpora still prove decode-corruption coverage.
+  for (const std::size_t armed : bursts_armed_) {
+    for (std::size_t b = 0; b < armed; ++b) {
+      cov_->hit(obs::cov::Domain::fault, cov_->state("fault.plan"),
+                cov_->state("fault.burst"));
+    }
+  }
 }
 
 RedundantChatNetwork::RunResult RedundantChatNetwork::run_until_settled(
@@ -213,6 +233,21 @@ void RedundantChatNetwork::vote(sim::Time t) {
             best_count = count;
             best_len = seqs[l].size();
           }
+        }
+        if (cov_ != nullptr) {
+          // How much lane agreement backed this delivery: every
+          // participating lane (unanimous), more than half (majority), or
+          // a bare plurality tie-break.
+          std::size_t participants = 0;
+          for (std::size_t m = 0; m < g; ++m) {
+            if (seqs[m].size() > k) ++participants;
+          }
+          const char* outcome = best_count == participants ? "unanimous"
+                                : 2 * best_count > participants
+                                    ? "majority"
+                                    : "plurality";
+          cov_->hit(obs::cov::Domain::fault, cov_vote_,
+                    cov_->state("vote", outcome));
         }
         VotedDelivery v;
         v.from = from;

@@ -125,6 +125,13 @@ class RedundantChatNetwork {
   /// FaultInjector) into `sink` — per-lane watchdogs attach here.
   void attach_lane_sink(std::size_t k, obs::EventSink* sink);
 
+  /// Attaches a coverage map (not owned; null detaches) to every lane
+  /// (protocol/frame/sched domains), every injector (fault domain), and
+  /// the vote itself: each voted delivery records a fault-domain
+  /// vote.begin -> vote.{unanimous,majority,plurality} edge classifying
+  /// how much lane agreement backed it.
+  void attach_coverage(obs::cov::CovMap* map);
+
   [[nodiscard]] core::ChatNetwork& lane(std::size_t k) {
     return *lanes_.at(k);
   }
@@ -148,8 +155,11 @@ class RedundantChatNetwork {
   std::vector<sim::ScheduleLog> logs_;
   std::vector<std::unique_ptr<FaultInjector>> injectors_;
   std::vector<std::unique_ptr<core::ChatNetwork>> lanes_;
+  std::vector<std::size_t> bursts_armed_;  ///< Per lane, for coverage.
   std::vector<std::vector<VotedDelivery>> voted_;  ///< Per logical robot.
   obs::EventSink* sink_ = nullptr;
+  obs::cov::CovMap* cov_ = nullptr;  ///< Not owned; null when off.
+  obs::cov::StateId cov_vote_ = obs::cov::kInvalidState;
 };
 
 }  // namespace stig::fault

@@ -25,6 +25,9 @@ std::optional<std::uint64_t> peel_id(
 
 void ReliableMessenger::emit(sim::Time t, const Tracked& m,
                              const char* label) {
+  if (cov_ != nullptr) {
+    cov_->hit(obs::cov::Domain::fault, cov_send_, cov_->state("retry", label));
+  }
   if (sink_ == nullptr) return;
   obs::Event e;
   e.type = obs::EventType::Retransmit;
@@ -62,6 +65,10 @@ void ReliableMessenger::tick() {
     if (m.ack_at && now >= *m.ack_at) {
       m.st = MessageState::acked;
       ++stats_.acked;
+      if (cov_ != nullptr) {
+        cov_->hit(obs::cov::Domain::fault, cov_send_,
+                  cov_->state("retry.acked"));
+      }
       continue;
     }
     if (now < m.timeout_at) continue;

@@ -26,6 +26,7 @@
 #include "core/backup_channel.hpp"
 #include "core/chat_network.hpp"
 #include "core/wireless.hpp"
+#include "obs/cov.hpp"
 #include "obs/sink.hpp"
 #include "sim/rng.hpp"
 
@@ -69,6 +70,14 @@ class ReliableMessenger {
 
   /// Routes Retransmit events into `sink` (not owned; null = silent).
   void set_event_sink(obs::EventSink* sink) noexcept { sink_ = sink; }
+
+  /// Attaches a coverage map (not owned; null detaches): message outcomes
+  /// record fault-domain retry.send -> retry.{acked,retry,backup} edges,
+  /// so a corpus proves which recovery paths actually ran.
+  void set_coverage(obs::cov::CovMap* map) noexcept {
+    cov_ = map;
+    if (cov_ != nullptr) cov_send_ = cov_->state("retry.send");
+  }
 
   /// Accepts a message for reliable delivery; transmission starts on the
   /// next `tick`. Returns the message id.
@@ -116,6 +125,8 @@ class ReliableMessenger {
   ReliableOptions options_;
   sim::Rng ack_rng_;
   obs::EventSink* sink_ = nullptr;
+  obs::cov::CovMap* cov_ = nullptr;  ///< Not owned; null when off.
+  obs::cov::StateId cov_send_ = obs::cov::kInvalidState;
   std::vector<Tracked> tracked_;
   std::vector<std::unordered_set<std::uint64_t>> seen_;  ///< Per receiver.
   ReliableStats stats_;

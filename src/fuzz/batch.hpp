@@ -9,12 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "fuzz/fuzz_config.hpp"
 #include "fuzz/fuzzer.hpp"
+#include "obs/cov.hpp"
 
 namespace stig::fuzz {
 
@@ -24,6 +26,10 @@ struct BatchCase {
   std::uint64_t case_seed = 0;
   FuzzConfig config;
   CaseResult result;
+  /// Per-case coverage map (collect_coverage only; null otherwise). Owned
+  /// per case — never shared across workers — so collection adds no
+  /// synchronization and merging in seed order stays jobs-invariant.
+  std::unique_ptr<obs::cov::CovMap> cov;
 };
 
 /// Runs every seed's case, `jobs` at a time (0 = hardware concurrency).
@@ -31,11 +37,14 @@ struct BatchCase {
 /// `force_faults` forces the fault-masking dimensions onto every case
 /// (stigfuzz --faults): a seed-derived group size and FaultPlan replace
 /// whatever the sampler drew, so the whole batch runs crash-masked.
+/// `collect_coverage` attaches a fresh CovMap to each case and returns it
+/// in BatchCase::cov (stigfuzz --cov / --cov-guided).
 /// The returned vector is ordered like `seeds` regardless of job count;
 /// the first worker exception (if any) is rethrown after the pool drains.
 [[nodiscard]] std::vector<BatchCase> run_cases(
     std::span<const std::uint64_t> seeds,
     const std::optional<FaultSpec>& fault = std::nullopt,
-    std::size_t jobs = 0, bool force_faults = false);
+    std::size_t jobs = 0, bool force_faults = false,
+    bool collect_coverage = false);
 
 }  // namespace stig::fuzz

@@ -1,0 +1,132 @@
+#include "fuzz/cov_guided.hpp"
+
+#include <sstream>
+
+namespace stig::fuzz {
+namespace {
+
+/// The feature tokens a signature is made of: each '/'-separated chunk,
+/// plus each fault-kind letter of the masked chunk individually ("g3csb"
+/// also yields "c", "s", "b"). Tokens are what the greedy bucket order
+/// maximizes — a protocol, a scheduler class, or a fault kind seen in ANY
+/// earlier bucket is unlikely to contribute new edges again, whichever
+/// bucket it appears in.
+std::vector<std::string> tokens_of(const std::string& sig) {
+  std::vector<std::string> out;
+  std::stringstream ss(sig);
+  std::string chunk;
+  std::string proto;  // First chunk; anchors the composite tokens.
+  while (std::getline(ss, chunk, '/')) {
+    if (chunk.empty()) continue;
+    if (proto.empty()) proto = chunk;
+    out.push_back(chunk);
+    if (chunk == "bcast" || chunk == "uni" ||
+        (chunk.size() == 2 && chunk[0] == 'n')) {
+      // A protocol's phase machine differs in kind with swarm size and
+      // cast (separator/address phases only exist past n = 2, broadcast
+      // only signals on the sender's diameter), so protocol x band and
+      // protocol x cast are coverage features of their own.
+      out.push_back(proto + "." + chunk);
+    }
+    if (chunk[0] == 'g') {
+      for (std::size_t i = 1; i < chunk.size(); ++i) {
+        if (chunk[i] >= 'a' && chunk[i] <= 'z') {
+          out.push_back(std::string(1, chunk[i]));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string config_signature(const FuzzConfig& cfg) {
+  std::ostringstream out;
+  out << core::protocol_kind_name(cfg.protocol);
+  // The scheduler class only matters where a scheduler runs at all.
+  if (!is_synchronous(cfg.protocol)) {
+    out << "/" << core::scheduler_kind_name(cfg.scheduler);
+  }
+  out << "/" << (cfg.broadcast ? "bcast" : "uni");
+  // Swarm-size band: pair protocols are their own class already; for the
+  // n-robot protocols the interesting split is small ring vs large ring
+  // (slice geometry and scheduler interleavings differ in kind, not just
+  // degree).
+  out << "/n" << (cfg.n <= 2 ? "2" : cfg.n <= 8 ? "s" : "l");
+  if (cfg.group_size > 1) {
+    out << "/g" << cfg.group_size;
+    const fault::FaultPlan& p = cfg.fault_plan;
+    // Which fault classes the plan can exercise at all.
+    if (!p.crashes.empty()) out << "c";
+    if (!p.stalls.empty()) out << "s";
+    if (!p.jitters.empty()) out << "j";
+    if (!p.bursts.empty()) out << "b";
+  }
+  return out.str();
+}
+
+std::vector<std::uint64_t> guided_order(
+    std::span<const std::uint64_t> seeds) {
+  // Buckets keyed by signature, ordered by first appearance so the output
+  // is a function of the seed sequence alone.
+  std::vector<std::string> keys;
+  std::vector<std::vector<std::uint64_t>> buckets;
+  for (const std::uint64_t seed : seeds) {
+    const std::string sig = config_signature(sample_config(seed));
+    std::size_t b = 0;
+    while (b < keys.size() && keys[b] != sig) ++b;
+    if (b == keys.size()) {
+      keys.push_back(sig);
+      buckets.emplace_back();
+    }
+    buckets[b].push_back(seed);
+  }
+  // Greedy feature cover: emit first the bucket whose signature carries
+  // the most tokens no earlier bucket has (ties: first appearance). A
+  // bucket whose every feature is already covered goes to the back of the
+  // line — it can still hold edges of its own (feature *combinations*
+  // matter), but rarely the bulk of them.
+  std::vector<std::size_t> bucket_order;
+  std::vector<bool> taken(buckets.size(), false);
+  std::vector<std::string> seen;
+  const auto unseen_count = [&](std::size_t b) {
+    std::size_t count = 0;
+    for (const std::string& tok : tokens_of(keys[b])) {
+      bool found = false;
+      for (const std::string& s : seen) found |= s == tok;
+      if (!found) ++count;
+    }
+    return count;
+  };
+  for (std::size_t round = 0; round < buckets.size(); ++round) {
+    std::size_t best = buckets.size();
+    std::size_t best_count = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (taken[b]) continue;
+      const std::size_t count = unseen_count(b);
+      if (best == buckets.size() || count > best_count) {
+        best = b;
+        best_count = count;
+      }
+    }
+    taken[best] = true;
+    bucket_order.push_back(best);
+    for (const std::string& tok : tokens_of(keys[best])) {
+      bool found = false;
+      for (const std::string& s : seen) found |= s == tok;
+      if (!found) seen.push_back(tok);
+    }
+  }
+
+  std::vector<std::uint64_t> order;
+  order.reserve(seeds.size());
+  for (std::size_t round = 0; order.size() < seeds.size(); ++round) {
+    for (const std::size_t b : bucket_order) {
+      if (round < buckets[b].size()) order.push_back(buckets[b][round]);
+    }
+  }
+  return order;
+}
+
+}  // namespace stig::fuzz

@@ -27,7 +27,7 @@ struct RunOutcome {
 };
 
 RunOutcome run_one(const FuzzConfig& cfg, core::ProtocolKind kind,
-                   bool apply_fault) {
+                   bool apply_fault, obs::cov::CovMap* cov = nullptr) {
   RunOutcome out;
   core::ChatNetworkOptions opt = to_options(cfg, kind);
   opt.record_schedule = &out.log;
@@ -46,6 +46,7 @@ RunOutcome run_one(const FuzzConfig& cfg, core::ProtocolKind kind,
   try {
     core::ChatNetwork net(positions, opt);
     net.attach_event_sink(&watchdog);
+    net.attach_coverage(cov);
     if (apply_fault && cfg.fault) {
       net.inject_decode_fault(cfg.fault->robot % cfg.n, cfg.fault->nth_bit);
     }
@@ -136,7 +137,7 @@ FailureKind classify(const FuzzConfig& cfg, const RunOutcome& run,
 /// delivery compares the VOTED payloads against the fault-free expectation
 /// — the crash-masking claim itself. The differential oracle is skipped:
 /// redundancy, not protocol equivalence, is under test.
-CaseResult run_case_masked(const FuzzConfig& cfg) {
+CaseResult run_case_masked(const FuzzConfig& cfg, obs::cov::CovMap* cov) {
   CaseResult result;
   const std::size_t g = cfg.group_size;
   const char* proto = core::protocol_kind_name(cfg.protocol);
@@ -161,6 +162,7 @@ CaseResult run_case_masked(const FuzzConfig& cfg) {
 
   try {
     fault::RedundantChatNetwork net(positions, ropt);
+    net.attach_coverage(cov);
     for (std::size_t l = 0; l < g; ++l) {
       obs::WatchdogOptions wopt;
       wopt.check_granular = cfg.protocol == core::ProtocolKind::sliced ||
@@ -264,13 +266,14 @@ FailureKind failure_kind_from_name(const std::string& name) {
   return FailureKind::none;
 }
 
-CaseResult run_case(const FuzzConfig& cfg) {
+CaseResult run_case(const FuzzConfig& cfg, obs::cov::CovMap* cov) {
   // A one-shot decode flip (the --inject pipeline self-test) forces the
   // single-lane path: the flip itself is under test, and the masked run
   // has no receiver to arm it on.
-  if (cfg.group_size > 1 && !cfg.fault) return run_case_masked(cfg);
+  if (cfg.group_size > 1 && !cfg.fault) return run_case_masked(cfg, cov);
   CaseResult result;
-  const RunOutcome primary = run_one(cfg, cfg.protocol, /*apply_fault=*/true);
+  const RunOutcome primary =
+      run_one(cfg, cfg.protocol, /*apply_fault=*/true, cov);
   result.schedule_digest = primary.log.digest();
   result.schedule_instants = primary.log.instants();
   result.instants = primary.instants;

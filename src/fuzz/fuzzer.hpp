@@ -30,6 +30,7 @@
 #include <string>
 
 #include "fuzz/fuzz_config.hpp"
+#include "obs/cov.hpp"
 
 namespace stig::fuzz {
 
@@ -56,7 +57,13 @@ struct CaseResult {
 };
 
 /// Runs `cfg` under all oracles. Deterministic: equal configs produce
-/// equal results, digests included.
-[[nodiscard]] CaseResult run_case(const FuzzConfig& cfg);
+/// equal results, digests included. When `cov` is non-null the primary run
+/// (every lane, for masked configs) records proto/frame/sched/fault edges
+/// into it — differential peer runs stay uninstrumented, so a case's
+/// coverage describes exactly its configured protocol. Collection never
+/// perturbs the run: the map is a passive observer, and digests are
+/// byte-identical with or without it.
+[[nodiscard]] CaseResult run_case(const FuzzConfig& cfg,
+                                  obs::cov::CovMap* cov = nullptr);
 
 }  // namespace stig::fuzz

@@ -1,0 +1,165 @@
+#include "obs/cov.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace stig::obs::cov {
+
+namespace {
+
+/// Packs (domain, from, to) into an open-addressing key. State ids are
+/// < kMaxStates = 256, so 8 bits each; the domain rides above them. The
+/// all-ones value is reserved for empty slots and unreachable here.
+[[nodiscard]] std::uint32_t pack_key(Domain d, StateId from,
+                                     StateId to) noexcept {
+  return (static_cast<std::uint32_t>(d) << 16) |
+         (static_cast<std::uint32_t>(from) << 8) |
+         static_cast<std::uint32_t>(to);
+}
+
+}  // namespace
+
+CovMap::CovMap() noexcept {
+  std::memset(names_, 0, sizeof(names_));
+  for (Slot& s : slots_) {
+    s.key = kEmptyKey;
+    s.count = 0;
+  }
+}
+
+StateId CovMap::state(const char* name) noexcept {
+  if (name == nullptr) {
+    ++dropped_;
+    return kInvalidState;
+  }
+  for (std::uint16_t i = 0; i < state_count_; ++i) {
+    if (std::strcmp(names_[i], name) == 0) return i;
+  }
+  if (state_count_ == kMaxStates ||
+      std::strlen(name) >= kNameCap) {
+    ++dropped_;
+    return kInvalidState;
+  }
+  std::strcpy(names_[state_count_], name);
+  return state_count_++;
+}
+
+StateId CovMap::state(const char* prefix, const char* name) noexcept {
+  if (prefix == nullptr || name == nullptr) {
+    ++dropped_;
+    return kInvalidState;
+  }
+  char buf[kNameCap];
+  const std::size_t np = std::strlen(prefix);
+  const std::size_t nn = std::strlen(name);
+  if (np + 1 + nn >= kNameCap) {
+    ++dropped_;
+    return kInvalidState;
+  }
+  std::memcpy(buf, prefix, np);
+  buf[np] = '.';
+  std::memcpy(buf + np + 1, name, nn + 1);
+  return state(buf);
+}
+
+CovMap::Slot* CovMap::slot_for(std::uint32_t key) noexcept {
+  // Fibonacci-hash the packed key; linear probe. The table never fills
+  // past kMaxEdges (hit() refuses inserts at capacity), so the probe
+  // always terminates.
+  std::size_t idx = (key * 2654435761u) & (kMaxEdges - 1);
+  for (std::size_t probes = 0; probes < kMaxEdges; ++probes) {
+    Slot& s = slots_[idx];
+    if (s.key == key) return &s;
+    if (s.key == kEmptyKey) {
+      if (used_ == kMaxEdges - 1) return nullptr;  // Keep one empty slot.
+      s.key = key;
+      ++used_;
+      return &s;
+    }
+    idx = (idx + 1) & (kMaxEdges - 1);
+  }
+  return nullptr;
+}
+
+void CovMap::hit(Domain d, StateId from, StateId to) noexcept {
+  if (from == kInvalidState || to == kInvalidState) {
+    ++dropped_;
+    return;
+  }
+  Slot* s = slot_for(pack_key(d, from, to));
+  if (s == nullptr) {
+    ++dropped_;
+    return;
+  }
+  ++s->count;
+  ++hits_;
+}
+
+void CovMap::merge_from(const CovMap& other) noexcept {
+  for (const Slot& s : other.slots_) {
+    if (s.key == kEmptyKey) continue;
+    const Domain d = static_cast<Domain>((s.key >> 16) & 0xff);
+    const StateId of = static_cast<StateId>((s.key >> 8) & 0xff);
+    const StateId ot = static_cast<StateId>(s.key & 0xff);
+    const StateId mf = state(other.names_[of]);
+    const StateId mt = state(other.names_[ot]);
+    if (mf == kInvalidState || mt == kInvalidState) {
+      dropped_ += s.count;
+      continue;
+    }
+    Slot* mine = slot_for(pack_key(d, mf, mt));
+    if (mine == nullptr) {
+      dropped_ += s.count;
+      continue;
+    }
+    mine->count += s.count;
+    hits_ += s.count;
+  }
+  dropped_ += other.dropped_;
+}
+
+std::vector<CovMap::Row> CovMap::rows() const {
+  std::vector<Row> out;
+  out.reserve(used_);
+  for (const Slot& s : slots_) {
+    if (s.key == kEmptyKey) continue;
+    Row r;
+    r.domain = static_cast<Domain>((s.key >> 16) & 0xff);
+    r.from = names_[(s.key >> 8) & 0xff];
+    r.to = names_[s.key & 0xff];
+    r.count = s.count;
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
+    if (a.domain != b.domain) return a.domain < b.domain;
+    const int f = std::strcmp(a.from, b.from);
+    if (f != 0) return f < 0;
+    return std::strcmp(a.to, b.to) < 0;
+  });
+  return out;
+}
+
+std::string CovMap::render_json(const std::string& name) const {
+  // Counts are exact integers; rendered via to_string (not the double
+  // formatter) so the artifact is bit-for-bit a function of the counts.
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"" + name + "\",\n";
+  out += "  \"values\": {\n";
+  out += "    \"edges\": " + std::to_string(used_) + ",\n";
+  out += "    \"hits\": " + std::to_string(hits_) + ",\n";
+  out += "    \"dropped\": " + std::to_string(dropped_);
+  for (const Row& r : rows()) {
+    out += ",\n    \"edge.";
+    out += domain_name(r.domain);
+    out += '.';
+    out += r.from;
+    out += '>';
+    out += r.to;
+    out += "\": " + std::to_string(r.count);
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace stig::obs::cov

@@ -1,0 +1,137 @@
+// Coverage observability — deterministic state-machine edge coverage.
+//
+// A CovMap records which transitions a run actually exercised, across four
+// domains: protocol phase machines (proto), the frame-parser state machine
+// (frame), scheduler interleaving classes (sched), and fault-handling
+// outcomes (fault). The design follows obs::prof: everything lives in
+// fixed-size tables sized at compile time, attachment is a raw pointer, a
+// detached hook costs one null check, and an attached hit is allocation-free
+// (an open-addressed probe into a fixed slot array). Overflow — too many
+// states or edges — never throws on the hot path; it increments `dropped()`.
+//
+// Determinism contract (mirrors MetricsRegistry::merge_from): per-thread
+// maps merged with `merge_from` in a fixed order, then serialized via
+// `render_json`, are byte-identical at any job count. `rows()` sorts by
+// (domain, from-name, to-name), so neither registration order nor merge
+// order leaks into the artifact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stig::obs::cov {
+
+/// The instrumented subsystems. Values are stable: they are packed into
+/// edge keys and named in artifacts.
+enum class Domain : unsigned char {
+  proto = 0,  ///< Protocol driver phase transitions (sync2.idle>sync2.signal).
+  frame = 1,  ///< FrameParser accept/corrupt/resync transitions.
+  sched = 2,  ///< Activation-pattern 2-grams over interleaving classes.
+  fault = 3,  ///< Mask/vote/retransmit outcomes.
+};
+
+[[nodiscard]] inline constexpr const char* domain_name(Domain d) noexcept {
+  switch (d) {
+    case Domain::proto: return "proto";
+    case Domain::frame: return "frame";
+    case Domain::sched: return "sched";
+    case Domain::fault: return "fault";
+  }
+  return "unknown";
+}
+
+/// Index into a CovMap's intern table. Ids are map-local: never move them
+/// between maps (merge_from re-interns by name).
+using StateId = std::uint16_t;
+
+/// Returned when the intern table is full or the name is too long; `hit`
+/// with an invalid endpoint counts toward `dropped()` instead of crashing.
+inline constexpr StateId kInvalidState = 0xffff;
+
+class CovMap {
+ public:
+  /// Intern-table capacity. Generous: the six protocols contribute ~20
+  /// phase states, frame/sched/fault a dozen more.
+  static constexpr std::size_t kMaxStates = 256;
+  /// Longest state name, including the protocol prefix and NUL.
+  static constexpr std::size_t kNameCap = 48;
+  /// Edge-table capacity (power of two; open addressing, linear probe).
+  static constexpr std::size_t kMaxEdges = 4096;
+
+  CovMap() noexcept;
+
+  CovMap(const CovMap&) = delete;
+  CovMap& operator=(const CovMap&) = delete;
+
+  /// Interns `name` by content; repeated calls return the same id.
+  /// Allocation-free. Returns kInvalidState on overflow (dropped_++).
+  StateId state(const char* name) noexcept;
+
+  /// Interns "<prefix>.<name>" — protocol-qualified phase states.
+  StateId state(const char* prefix, const char* name) noexcept;
+
+  /// Records one traversal of the (d, from, to) edge. Allocation-free,
+  /// never throws; invalid endpoints or a full edge table increment
+  /// `dropped()` instead.
+  void hit(Domain d, StateId from, StateId to) noexcept;
+
+  /// Hits that could not be recorded (state/edge table overflow).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Number of distinct edges recorded.
+  [[nodiscard]] std::uint64_t distinct_edges() const noexcept {
+    return used_;
+  }
+  /// Total traversals across all edges.
+  [[nodiscard]] std::uint64_t total_hits() const noexcept { return hits_; }
+
+  /// Folds `other` into this map, re-interning states by name so the two
+  /// maps' registration orders need not match. Commutative up to counts;
+  /// the rendered artifact is identical for any merge order.
+  void merge_from(const CovMap& other) noexcept;
+
+  struct Row {
+    Domain domain;
+    const char* from;  ///< Points into this map's intern table.
+    const char* to;
+    std::uint64_t count;
+  };
+  /// All recorded edges, sorted by (domain, from-name, to-name).
+  [[nodiscard]] std::vector<Row> rows() const;
+
+  /// Compact sorted COV_*.json artifact in the flat "bench"/"values"
+  /// schema stigreport already parses. Edge keys look like
+  /// "edge.proto.sync2.idle>sync2.signal"; totals ride along as "edges",
+  /// "hits" and "dropped". All keys avoid the informational markers of
+  /// obs/metric_keys.hpp, so every value is gateable.
+  [[nodiscard]] std::string render_json(const std::string& name) const;
+
+ private:
+  struct Slot {
+    std::uint32_t key;
+    std::uint64_t count;
+  };
+  static constexpr std::uint32_t kEmptyKey = 0xffffffffu;
+
+  /// Finds or inserts the slot for `key`; nullptr when the table is full.
+  Slot* slot_for(std::uint32_t key) noexcept;
+
+  char names_[kMaxStates][kNameCap];
+  std::uint16_t state_count_ = 0;
+  Slot slots_[kMaxEdges];
+  std::size_t used_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// The instrumentation hook: null-check-only when detached.
+inline void cov_hit(CovMap* map, Domain d, StateId from, StateId to) noexcept {
+  if (map != nullptr) map->hit(d, from, to);
+}
+
+/// Spelled like the issue tracker's sketch; expands to the inline above.
+#define COV_HIT(map, domain, from, to) \
+  ::stig::obs::cov::cov_hit((map), (domain), (from), (to))
+
+}  // namespace stig::obs::cov

@@ -22,6 +22,8 @@ void RunReport::write_json(std::ostream& out) const {
   out << "  \"idle_moves\": " << idle_moves << ",\n";
   out << "  \"min_separation\": " << json_number(min_separation) << ",\n";
   out << "  \"total_distance\": " << json_number(total_distance) << ",\n";
+  out << "  \"cov_edges\": " << cov_edges << ",\n";
+  out << "  \"cov_hits\": " << cov_hits << ",\n";
   out << "  \"wall_seconds\": " << json_number(wall_seconds) << ",\n";
   out << "  \"per_robot\": [\n";
   for (std::size_t i = 0; i < per_robot.size(); ++i) {

@@ -53,6 +53,10 @@ struct RunReport {
   double min_separation = 0.0;         ///< Collision-avoidance invariant.
   double total_distance = 0.0;
 
+  // Coverage (filled when a cov::CovMap was attached; 0 when off).
+  std::uint64_t cov_edges = 0;  ///< Distinct (domain, from, to) edges hit.
+  std::uint64_t cov_hits = 0;   ///< Total edge hits across all domains.
+
   // Timing (filled by the caller; 0 when unmeasured).
   double wall_seconds = 0.0;
 

@@ -98,7 +98,9 @@ void AsyncNRobot::decode(const std::vector<geom::Vec2>& pos) {
 geom::Vec2 AsyncNRobot::on_activate(const sim::Snapshot& snap) {
   note_activation(snap);
   const std::size_t self = core_.self_index();
-  const std::vector<geom::Vec2> pos = core_.associate(snap);
+  // Driver-owned scratch: slice assembly reuses capacity per activation.
+  core_.associate_into(snap, pos_scratch_);
+  const std::vector<geom::Vec2>& pos = pos_scratch_;
   for (std::size_t j = 0; j < core_.robot_count(); ++j) {
     if (j != self) tracker_.observe(j, pos[j]);
   }

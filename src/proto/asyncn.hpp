@@ -107,6 +107,8 @@ class AsyncNRobot final : public ChatRobot {
   std::vector<std::int64_t> peer_state_;
   std::vector<std::uint32_t> peer_idle_;  ///< Consecutive neutral
                                           ///< observations (resync).
+  /// Per-activation scratch for the associated positions (capacity reused).
+  std::vector<geom::Vec2> pos_scratch_;
 };
 
 }  // namespace stig::proto

@@ -31,12 +31,41 @@ void ChatRobot::note_phase(const char* phase) {
        std::strcmp(phase, phase_name_) == 0)) {
     return;
   }
+  if (cov_ != nullptr) {
+    // The dedupe above means this is a genuine transition: record the
+    // (previous phase -> new phase) edge in the protocol's state machine.
+    cov_->hit(obs::cov::Domain::proto, cov_phase_id(phase_name_),
+              cov_phase_id(phase));
+  }
   phase_name_ = phase;
   if (sink_ == nullptr) return;
   obs::Event e;
   e.type = obs::EventType::PhaseEnter;
   e.label = phase;
   emit(e);
+}
+
+obs::cov::StateId ChatRobot::cov_phase_id(const char* phase) {
+  if (phase == nullptr) return cov_enter_;
+  for (std::size_t i = 0; i < cov_phase_cached_; ++i) {
+    const auto& [p, id] = cov_phase_cache_[i];
+    if (p == phase || std::strcmp(p, phase) == 0) return id;
+  }
+  const obs::cov::StateId id = cov_->state(cov_prefix_, phase);
+  if (cov_phase_cached_ < cov_phase_cache_.size()) {
+    cov_phase_cache_[cov_phase_cached_++] = {phase, id};
+  }
+  return id;
+}
+
+void ChatRobot::set_coverage(obs::cov::CovMap* map,
+                             const char* protocol_name) {
+  cov_ = map;
+  cov_prefix_ = protocol_name;
+  cov_phase_cached_ = 0;
+  for (auto& [key, parser] : parsers_) parser.set_coverage(map);
+  if (cov_ == nullptr) return;
+  cov_enter_ = cov_->state(cov_prefix_, "enter");
 }
 
 void ChatRobot::note_ack(std::ptrdiff_t peer_slot) {
@@ -145,7 +174,10 @@ void ChatRobot::on_bit_decoded(std::size_t sender_slot,
     e.bit = bit;
     emit(e);
   }
-  encode::FrameParser& parser = parsers_[{sender_slot, addressee_slot}];
+  const auto [parser_it, parser_created] =
+      parsers_.try_emplace({sender_slot, addressee_slot});
+  encode::FrameParser& parser = parser_it->second;
+  if (parser_created && cov_ != nullptr) parser.set_coverage(cov_);
   parser.push_bit(bit);
   for (auto& payload : parser.take_messages()) {
     ReceivedMessage msg;

@@ -20,8 +20,11 @@
 #include <stdexcept>
 #include <vector>
 
+#include <array>
+
 #include "encode/bits.hpp"
 #include "encode/framing.hpp"
+#include "obs/cov.hpp"
 #include "obs/sink.hpp"
 #include "sim/robot.hpp"
 
@@ -92,6 +95,14 @@ class ChatRobot : public sim::Robot {
   [[nodiscard]] bool send_queue_empty() const noexcept {
     return outbox_.empty();
   }
+
+  /// Attaches a coverage map (not owned; null detaches). Phase transitions
+  /// declared via `note_phase` are recorded as proto-domain edges between
+  /// protocol-qualified states ("<protocol>.<phase>"), starting from a
+  /// "<protocol>.enter" pseudo-state; the per-stream frame parsers (current
+  /// and lazily created) are wired for frame-domain coverage. Detached, the
+  /// hot path pays one null check per transition.
+  void set_coverage(obs::cov::CovMap* map, const char* protocol_name);
 
   /// Fault-injection hook for the fuzz/fault harnesses: flips `burst`
   /// consecutive decoded bits starting at this robot's `nth_bit`-th decoded
@@ -202,6 +213,10 @@ class ChatRobot : public sim::Robot {
   }
   void emit(obs::Event& e) const;
 
+  /// Interned coverage state for `phase` (null = the enter pseudo-state),
+  /// memoized in a small literal-pointer cache. Requires cov_ != nullptr.
+  [[nodiscard]] obs::cov::StateId cov_phase_id(const char* phase);
+
   std::map<std::pair<std::size_t, std::size_t>, encode::FrameParser>
       parsers_;
   std::vector<ReceivedMessage> inbox_;
@@ -218,6 +233,13 @@ class ChatRobot : public sim::Robot {
   const char* phase_name_ = nullptr;
   std::optional<geom::Vec2> last_pos_;  ///< Self position, last activation.
   bool last_was_idle_ = false;
+
+  // Coverage plumbing (inactive until set_coverage).
+  obs::cov::CovMap* cov_ = nullptr;      ///< Not owned; null when off.
+  const char* cov_prefix_ = nullptr;     ///< Protocol name for state names.
+  obs::cov::StateId cov_enter_ = obs::cov::kInvalidState;
+  std::array<std::pair<const char*, obs::cov::StateId>, 8> cov_phase_cache_{};
+  std::size_t cov_phase_cached_ = 0;
 };
 
 }  // namespace stig::proto

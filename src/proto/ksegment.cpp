@@ -22,7 +22,9 @@ void KSegmentRobot::initialize(const sim::Snapshot& snap) {
 geom::Vec2 KSegmentRobot::on_activate(const sim::Snapshot& snap) {
   note_activation(snap);
   const std::size_t self = core_.self_index();
-  const std::vector<geom::Vec2> pos = core_.associate(snap);
+  // Driver-owned scratch: slice assembly reuses capacity per activation.
+  core_.associate_into(snap, pos_scratch_);
+  const std::vector<geom::Vec2>& pos = pos_scratch_;
 
   // --- Decode all other robots' symbols.
   for (std::size_t j = 0; j < core_.robot_count(); ++j) {

@@ -88,9 +88,17 @@ SlicedCore::SlicedCore(const sim::Snapshot& t0, NamingMode naming,
 
 std::vector<geom::Vec2> SlicedCore::associate(
     const sim::Snapshot& snap) const {
+  std::vector<geom::Vec2> positions;
+  associate_into(snap, positions);
+  return positions;
+}
+
+void SlicedCore::associate_into(const sim::Snapshot& snap,
+                                std::vector<geom::Vec2>& out) const {
   assert(snap.robots.size() == n_);
-  std::vector<geom::Vec2> positions(n_);
-  std::vector<bool> filled(n_, false);
+  out.assign(n_, geom::Vec2{});
+  std::vector<bool>& filled = assoc_filled_;
+  filled.assign(n_, false);
   for (const sim::ObservedRobot& obs : snap.robots) {
     // Nearest granular center; robots never leave their granulars, and
     // granular interiors are pairwise disjoint, so this is unambiguous.
@@ -106,10 +114,9 @@ std::vector<geom::Vec2> SlicedCore::associate(
     assert(!filled[best] && "two robots associated to one granular");
     assert(best_d2 <= granulars_[best].radius() * granulars_[best].radius() &&
            "observed robot outside every granular");
-    positions[best] = obs.position;
+    out[best] = obs.position;
     filled[best] = true;
   }
-  return positions;
 }
 
 std::optional<Signal> SlicedCore::classify(std::size_t i,

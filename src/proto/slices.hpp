@@ -90,6 +90,13 @@ class SlicedCore {
   [[nodiscard]] std::vector<geom::Vec2> associate(
       const sim::Snapshot& snap) const;
 
+  /// `associate` into caller-owned storage (resized to robot_count();
+  /// capacity reused). The per-activation hot path of the sliced drivers
+  /// calls this with a driver-owned scratch vector so slice assembly
+  /// allocates nothing in steady state.
+  void associate_into(const sim::Snapshot& snap,
+                      std::vector<geom::Vec2>& out) const;
+
   /// Classifies robot `i`'s current position against its granular slicing.
   /// Returns nullopt when the robot is at (indistinguishable from) its
   /// center. A genuine signal has negligible angular error; fixes whose
@@ -116,6 +123,10 @@ class SlicedCore {
   std::vector<geom::Granular> granulars_;
   std::vector<std::vector<std::size_t>> ranks_;
   std::vector<std::vector<std::size_t>> inverse_ranks_;
+  /// Scratch for `associate_into`'s taken-granular bookkeeping; mutable
+  /// because association is logically const (cores are per-robot and
+  /// engines are single-threaded, so no synchronization is needed).
+  mutable std::vector<bool> assoc_filled_;
 };
 
 }  // namespace stig::proto

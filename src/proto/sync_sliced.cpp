@@ -26,14 +26,16 @@ geom::Vec2 SyncSlicedRobot::on_activate(const sim::Snapshot& snap) {
   ++step_;
 
   // Undo the common flocking drift to recover protocol-space positions.
-  std::vector<geom::Vec2> pos = [&] {
-    if (options_.flock_velocity == geom::Vec2{0.0, 0.0}) {
-      return core_.associate(snap);
-    }
-    sim::Snapshot shifted = snap;
-    for (sim::ObservedRobot& r : shifted.robots) r.position -= drift;
-    return core_.associate(shifted);
-  }();
+  // Both paths write into driver-owned scratch: the snapshot copy and the
+  // associated positions reuse capacity across activations.
+  std::vector<geom::Vec2>& pos = pos_scratch_;
+  if (options_.flock_velocity == geom::Vec2{0.0, 0.0}) {
+    core_.associate_into(snap, pos);
+  } else {
+    snap_scratch_ = snap;
+    for (sim::ObservedRobot& r : snap_scratch_.robots) r.position -= drift;
+    core_.associate_into(snap_scratch_, pos);
+  }
 
   // Decode every other robot's movement signal. A bit is emitted on the
   // center -> off-center transition; the sender names the addressee by the

@@ -124,6 +124,19 @@ void Engine::set_profiler(obs::prof::Profiler* profiler) {
   ph_emit_ = prof_->phase("engine.emit");
 }
 
+void Engine::set_coverage(obs::cov::CovMap* map) {
+  cov_ = map;
+  if (cov_ == nullptr) return;
+  cov_class_[0] = cov_->state("none");
+  cov_class_[1] = cov_->state("one");
+  cov_class_[2] = cov_->state("few");
+  cov_class_[3] = cov_->state("most");
+  cov_class_[4] = cov_->state("all");
+  // The first instant's 2-gram starts from an explicit start state, so a
+  // run's very first interleaving class is itself an edge.
+  cov_prev_ = cov_->state("start");
+}
+
 std::vector<RobotIndex> Engine::initial_observation_order(
     RobotIndex i) const {
   const Frame& f = frames_.at(i);
@@ -222,10 +235,12 @@ void Engine::step() {
 void Engine::step_impl() {
   obs::prof::Scope step_scope(prof_, ph_step_);
   const std::size_t n = specs_.size();
-  ActivationSet active;
+  // Engine-owned scratch: the activation set reuses its capacity across
+  // instants, so steady-state scheduling allocates nothing.
+  ActivationSet& active = active_scratch_;
   {
     obs::prof::Scope s(prof_, ph_sched_);
-    active = scheduler_->activate(t_, n);
+    scheduler_->activate_into(t_, n, active);
     assert(std::any_of(active.begin(), active.end(),
                        [](bool b) { return b; }) &&
            "scheduler must activate at least one robot");
@@ -233,6 +248,22 @@ void Engine::step_impl() {
     // schedule stays the fault-free one and a replay under the same fault
     // plan re-masks identically.
     if (interceptor_ != nullptr) interceptor_->on_activation(t_, active);
+  }
+
+  if (cov_ != nullptr) {
+    // Interleaving-class 2-gram over the post-mask activation set: which
+    // concurrency shapes (and which shape-to-shape transitions) the
+    // schedule actually produced.
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < n; ++i) c += active[i] ? 1u : 0u;
+    const obs::cov::StateId cur =
+        c == 0   ? cov_class_[0]
+        : c == n ? cov_class_[4]
+        : c == 1 ? cov_class_[1]
+        : 2 * c >= n ? cov_class_[3]
+                     : cov_class_[2];
+    cov_->hit(obs::cov::Domain::sched, cov_prev_, cur);
+    cov_prev_ = cur;
   }
 
   // Engine-owned scratch: after the first step every per-instant copy

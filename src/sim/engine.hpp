@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "geom/vec.hpp"
+#include "obs/cov.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof.hpp"
 #include "obs/sink.hpp"
@@ -172,6 +173,14 @@ class Engine {
     return prof_;
   }
 
+  /// Attaches a coverage map (not owned; null detaches). Records
+  /// sched-domain 2-grams over interleaving classes: each instant's
+  /// post-mask activation set is bucketed (none/one/few/most/all) and the
+  /// (previous class -> current class) edge is hit. Detached, the hot path
+  /// pays one null check per step.
+  void set_coverage(obs::cov::CovMap* map);
+  [[nodiscard]] obs::cov::CovMap* coverage() const noexcept { return cov_; }
+
   /// Builds the snapshot robot `i` would observe right now (exposed for
   /// tests; the engine itself uses it during `step`).
   [[nodiscard]] Snapshot make_snapshot(RobotIndex i) const;
@@ -234,6 +243,7 @@ class Engine {
   std::vector<geom::Vec2> after_scratch_;
   std::vector<SnapshotEntry> entry_scratch_;
   Snapshot snap_scratch_;
+  ActivationSet active_scratch_;
   Trace trace_;
   obs::EventSink* sink_ = nullptr;
   StepInterceptor* interceptor_ = nullptr;
@@ -241,6 +251,10 @@ class Engine {
   obs::prof::Profiler* prof_ = nullptr;     ///< Not owned; null when off.
   obs::prof::PhaseId ph_step_ = 0, ph_sched_ = 0, ph_observe_ = 0,
                      ph_compute_ = 0, ph_commit_ = 0, ph_emit_ = 0;
+  obs::cov::CovMap* cov_ = nullptr;  ///< Not owned; null when off.
+  /// Interleaving-class state ids, interned once at set_coverage.
+  obs::cov::StateId cov_class_[5] = {};  ///< none, one, few, most, all.
+  obs::cov::StateId cov_prev_ = obs::cov::kInvalidState;
   Time t_ = 0;
   bool identified_ = false;
 };

@@ -37,10 +37,9 @@ class RecordingScheduler final : public Scheduler {
   RecordingScheduler(std::unique_ptr<Scheduler> inner, ScheduleLog* log)
       : inner_(std::move(inner)), log_(log) {}
 
-  [[nodiscard]] ActivationSet activate(Time t, std::size_t n) override {
-    ActivationSet a = inner_->activate(t, n);
-    log_->sets.push_back(a);
-    return a;
+  void activate_into(Time t, std::size_t n, ActivationSet& out) override {
+    inner_->activate_into(t, n, out);
+    log_->sets.push_back(out);
   }
 
  private:
@@ -56,12 +55,13 @@ class ReplayScheduler final : public Scheduler {
   /// `log` is not owned and must outlive the scheduler.
   explicit ReplayScheduler(const ScheduleLog* log) : log_(log) {}
 
-  [[nodiscard]] ActivationSet activate(Time /*t*/, std::size_t n) override {
+  void activate_into(Time /*t*/, std::size_t n, ActivationSet& out) override {
     if (next_ < log_->sets.size() && log_->sets[next_].size() == n) {
-      return log_->sets[next_++];
+      out = log_->sets[next_++];
+      return;
     }
     ++next_;
-    return ActivationSet(n, true);
+    out.assign(n, true);
   }
 
  private:

@@ -46,11 +46,11 @@ BernoulliScheduler::BernoulliScheduler(double p, std::uint64_t seed,
   assert(fairness_bound >= 1);
 }
 
-ActivationSet BernoulliScheduler::activate(Time /*t*/, std::size_t n) {
-  ActivationSet a(n, false);
-  for (std::size_t i = 0; i < n; ++i) a[i] = rng_.flip(p_);
-  enforce_fairness(a, idle_streak_, fairness_bound_, rng_);
-  return a;
+void BernoulliScheduler::activate_into(Time /*t*/, std::size_t n,
+                                       ActivationSet& out) {
+  out.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) out[i] = rng_.flip(p_);
+  enforce_fairness(out, idle_streak_, fairness_bound_, rng_);
 }
 
 KSubsetScheduler::KSubsetScheduler(std::size_t k, std::uint64_t seed,
@@ -59,33 +59,34 @@ KSubsetScheduler::KSubsetScheduler(std::size_t k, std::uint64_t seed,
   assert(k >= 1);
 }
 
-ActivationSet KSubsetScheduler::activate(Time /*t*/, std::size_t n) {
-  std::vector<std::size_t> idx(n);
+void KSubsetScheduler::activate_into(Time /*t*/, std::size_t n,
+                                     ActivationSet& out) {
+  std::vector<std::size_t>& idx = shuffle_scratch_;
+  idx.resize(n);
   std::iota(idx.begin(), idx.end(), std::size_t{0});
   std::shuffle(idx.begin(), idx.end(), rng_.engine());
-  ActivationSet a(n, false);
-  for (std::size_t i = 0; i < std::min(k_, n); ++i) a[idx[i]] = true;
-  enforce_fairness(a, idle_streak_, fairness_bound_, rng_);
-  return a;
+  out.assign(n, false);
+  for (std::size_t i = 0; i < std::min(k_, n); ++i) out[idx[i]] = true;
+  enforce_fairness(out, idle_streak_, fairness_bound_, rng_);
 }
 
-ActivationSet AdversarialScheduler::activate(Time /*t*/, std::size_t n) {
-  ActivationSet a(n, true);
+void AdversarialScheduler::activate_into(Time /*t*/, std::size_t n,
+                                         ActivationSet& out) {
+  out.assign(n, true);
   // Bound 1 means "no robot may ever be inactive": there is nothing left
   // to starve. The old rotate-then-starve path ignored this and put the
   // fresh victim at streak 1 >= bound — the exact starvation the bound
   // forbids.
-  if (n <= 1 || fairness_bound_ <= 1) return a;
+  if (n <= 1 || fairness_bound_ <= 1) return;
   victim_ %= n;
   if (starved_for_ + 1 >= fairness_bound_) {
     // The victim would hit the bound this instant: activate it (it stays
-    // true in `a`) and begin starving the next robot instead.
+    // true in `out`) and begin starving the next robot instead.
     victim_ = (victim_ + 1) % n;
     starved_for_ = 0;
   }
-  a[victim_] = false;
+  out[victim_] = false;
   ++starved_for_;
-  return a;
 }
 
 }  // namespace stig::sim

@@ -10,6 +10,11 @@
 // `fairness_bound` B and force-activates any robot that has been inactive
 // for B consecutive instants, so no execution starves a robot — the premise
 // the paper's Lemma 4.4 (liveness of Async2) rests on.
+//
+// The virtual entry point is `activate_into`, which writes into a
+// caller-owned set: the engine keeps one scratch ActivationSet across
+// instants, so the steady-state scheduling path allocates nothing. The
+// allocating `activate` wrapper stays for tests and one-shot callers.
 #pragma once
 
 #include <memory>
@@ -32,16 +37,24 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
   virtual ~Scheduler() = default;
 
-  /// Returns the activation set for instant `t` over `n` robots.
+  /// Writes the activation set for instant `t` over `n` robots into `out`
+  /// (resized to `n`; prior contents discarded, capacity reused).
   /// Postcondition: at least one robot is active.
-  [[nodiscard]] virtual ActivationSet activate(Time t, std::size_t n) = 0;
+  virtual void activate_into(Time t, std::size_t n, ActivationSet& out) = 0;
+
+  /// Allocating convenience wrapper around `activate_into`.
+  [[nodiscard]] ActivationSet activate(Time t, std::size_t n) {
+    ActivationSet a;
+    activate_into(t, n, a);
+    return a;
+  }
 };
 
 /// Synchronous scheduler: all robots active at every instant.
 class SynchronousScheduler final : public Scheduler {
  public:
-  [[nodiscard]] ActivationSet activate(Time /*t*/, std::size_t n) override {
-    return ActivationSet(n, true);
+  void activate_into(Time /*t*/, std::size_t n, ActivationSet& out) override {
+    out.assign(n, true);
   }
 };
 
@@ -51,7 +64,7 @@ class BernoulliScheduler final : public Scheduler {
  public:
   BernoulliScheduler(double p, std::uint64_t seed,
                      std::size_t fairness_bound = 64);
-  [[nodiscard]] ActivationSet activate(Time t, std::size_t n) override;
+  void activate_into(Time t, std::size_t n, ActivationSet& out) override;
 
  private:
   double p_;
@@ -65,10 +78,9 @@ class BernoulliScheduler final : public Scheduler {
 /// that maximizes the asynchronous acknowledgment overhead).
 class CentralizedScheduler final : public Scheduler {
  public:
-  [[nodiscard]] ActivationSet activate(Time t, std::size_t n) override {
-    ActivationSet a(n, false);
-    a[static_cast<std::size_t>(t) % n] = true;
-    return a;
+  void activate_into(Time t, std::size_t n, ActivationSet& out) override {
+    out.assign(n, false);
+    out[static_cast<std::size_t>(t) % n] = true;
   }
 };
 
@@ -78,13 +90,14 @@ class KSubsetScheduler final : public Scheduler {
  public:
   KSubsetScheduler(std::size_t k, std::uint64_t seed,
                    std::size_t fairness_bound = 64);
-  [[nodiscard]] ActivationSet activate(Time t, std::size_t n) override;
+  void activate_into(Time t, std::size_t n, ActivationSet& out) override;
 
  private:
   std::size_t k_;
   Rng rng_;
   std::size_t fairness_bound_;
   std::vector<std::size_t> idle_streak_;
+  std::vector<std::size_t> shuffle_scratch_;
 };
 
 /// Adversarial-but-fair scheduler: starves one victim robot for as long as
@@ -95,7 +108,7 @@ class AdversarialScheduler final : public Scheduler {
  public:
   explicit AdversarialScheduler(std::size_t fairness_bound = 64)
       : fairness_bound_(fairness_bound) {}
-  [[nodiscard]] ActivationSet activate(Time t, std::size_t n) override;
+  void activate_into(Time t, std::size_t n, ActivationSet& out) override;
 
  private:
   std::size_t fairness_bound_;

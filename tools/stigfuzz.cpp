@@ -23,6 +23,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <span>
@@ -32,10 +34,12 @@
 #include <vector>
 
 #include "fuzz/batch.hpp"
+#include "fuzz/cov_guided.hpp"
 #include "fuzz/fuzz_config.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "fuzz/repro.hpp"
 #include "fuzz/shrink.hpp"
+#include "obs/cov.hpp"
 #include "par/seed.hpp"
 
 namespace {
@@ -59,6 +63,8 @@ struct Args {
   bool no_shrink = false;
   std::size_t max_shrink = 200;
   std::size_t jobs = 1;               ///< Worker threads; 0 = all cores.
+  std::string cov_dir;                ///< "" = no COV artifact.
+  bool cov_guided = false;            ///< Reorder seeds for early coverage.
   bool help = false;
 };
 
@@ -81,7 +87,15 @@ void print_help() {
       "  --max-shrink N  shrink attempt cap per failure (default 200)\n"
       "  --jobs N        run cases on N worker threads (default 1;\n"
       "                  0 = all cores). Verdicts and schedule digests\n"
-      "                  are identical for every N\n\n"
+      "                  are identical for every N\n"
+      "  --cov DIR       collect protocol/frame/sched/fault coverage and\n"
+      "                  write DIR/COV_corpus.json (merged in scheduled\n"
+      "                  seed order — byte-identical at any --jobs); per-\n"
+      "                  seed novelty is printed as cases merge\n"
+      "  --cov-guided    reorder the seed schedule round-robin across\n"
+      "                  configuration classes so new coverage edges are\n"
+      "                  reached early. Pure reorder: every case still\n"
+      "                  runs bit-for-bit as it would blind\n\n"
       "oracles: delivery (bytes arrive intact), termination (quiescent\n"
       "within budget, no invariant violation), differential (equivalent\n"
       "protocols deliver identical payloads under the same schedule)\n\n"
@@ -145,6 +159,12 @@ bool parse(int argc, char** argv, Args& a) {
       const char* v = need(i);
       if (!v) return false;
       a.jobs = static_cast<std::size_t>(std::stoull(v));
+    } else if (flag == "--cov") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.cov_dir = v;
+    } else if (flag == "--cov-guided") {
+      a.cov_guided = true;
     } else {
       std::cerr << "unknown flag: " << flag << " (see --help)\n";
       return false;
@@ -172,6 +192,10 @@ int main(int argc, char** argv) {
       seeds.push_back(par::derive_seed(args.seed, i));
     }
   }
+  // Static reorder, computed before anything runs: deterministic in the
+  // seed set, so replay, repro files and jobs-invariance are untouched.
+  if (args.cov_guided) seeds = fuzz::guided_order(seeds);
+  const bool collect_cov = args.cov_guided || !args.cov_dir.empty();
 
   using Clock = std::chrono::steady_clock;
   const Clock::time_point start = Clock::now();
@@ -196,6 +220,7 @@ int main(int argc, char** argv) {
 
   std::size_t ran = 0;
   std::size_t failures = 0;
+  obs::cov::CovMap corpus_cov;  // Merged in scheduled seed order.
   try {
     for (std::size_t begin = 0; begin < seeds.size(); begin += chunk) {
       if (args.budget_seconds > 0.0 && elapsed() > args.budget_seconds) {
@@ -205,9 +230,19 @@ int main(int argc, char** argv) {
       const std::size_t end = std::min(seeds.size(), begin + chunk);
       const std::vector<fuzz::BatchCase> batch = fuzz::run_cases(
           std::span(seeds).subspan(begin, end - begin), fault, args.jobs,
-          args.faults);
+          args.faults, collect_cov);
       ran += batch.size();
       for (const fuzz::BatchCase& bc : batch) {
+        if (bc.cov != nullptr) {
+          // Merge in scheduled order so the corpus map (and the novelty
+          // narrative) never depends on which worker finished first.
+          const std::uint64_t before = corpus_cov.distinct_edges();
+          corpus_cov.merge_from(*bc.cov);
+          std::cout << "cov: case " << bc.case_seed << " +"
+                    << (corpus_cov.distinct_edges() - before)
+                    << " edge(s) (total " << corpus_cov.distinct_edges()
+                    << ")\n";
+        }
         if (bc.result.kind == fuzz::FailureKind::none) continue;
 
         ++failures;
@@ -245,6 +280,22 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return kExitRuntime;
+  }
+
+  if (!args.cov_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(args.cov_dir, ec);
+    const std::string path =
+        (std::filesystem::path(args.cov_dir) / "COV_corpus.json").string();
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "stigfuzz: could not write " << path << "\n";
+      return kExitRuntime;
+    }
+    out << corpus_cov.render_json("corpus");
+    std::cout << "cov: " << corpus_cov.distinct_edges() << " edge(s), "
+              << corpus_cov.total_hits() << " hit(s), "
+              << corpus_cov.dropped() << " dropped -> " << path << "\n";
   }
 
   std::cout << "stigfuzz: " << ran << " case(s), " << failures

@@ -29,8 +29,17 @@
 //       "alloc_tracking": false), allocation-derived keys are skipped
 //       instead of failing.
 //
-// Exit codes: 0 ok; 1 regression or mismatch (diff/perf); 2 usage error;
-// 3 I/O or parse error.
+//   stigreport cov --baseline PATH <COV_*.json ...>
+//       Coverage gate for stigfuzz --cov artifacts. Presence-based, not
+//       value-based: every "edge."-prefixed key in the baseline must
+//       still exist in the current artifact — a missing edge means the
+//       corpus stopped exercising a protocol transition, parser outcome,
+//       interleaving class, or fault path it used to reach. Hit counts
+//       are informational (they scale with corpus size); new edges are
+//       reported but never fail.
+//
+// Exit codes: 0 ok; 1 regression or mismatch (diff/perf/cov); 2 usage
+// error; 3 I/O or parse error.
 #include <algorithm>
 #include <cmath>
 #include <charconv>
@@ -62,6 +71,7 @@ void usage(std::ostream& out) {
       << "                  [--bench-threshold NAME=R] <BENCH_*.json ...>\n"
       << "  stigreport perf --baseline PATH [--threshold R]\n"
       << "                  [--bench-threshold NAME=R] <PERF_*.json ...>\n"
+      << "  stigreport cov --baseline PATH <COV_*.json ...>\n"
       << "  stigreport --help\n\n"
       << "spans: rebuild message spans from a stigsim --events log and\n"
       << "print latency attribution (percentiles, phases, critical path).\n\n"
@@ -74,6 +84,9 @@ void usage(std::ostream& out) {
       << "threshold — the gated keys are deterministic, so any drift is a\n"
       << "regression. Allocation-derived keys are skipped when either\n"
       << "side reports \"alloc_tracking\": false (sanitizer build).\n\n"
+      << "cov: presence gate for stigfuzz --cov artifacts. Every \"edge.\"\n"
+      << "key in the baseline must still exist; a lost edge fails. Hit\n"
+      << "counts are informational; new edges are reported, not failed.\n\n"
       << "exit codes: 0 ok; 1 regression; 2 usage; 3 I/O error\n";
 }
 
@@ -497,6 +510,96 @@ int run_gate(const std::vector<std::string>& args, bool perf_mode) {
   return regressions == 0 ? kExitOk : kExitRegression;
 }
 
+// ------------------------------------------------------------------ cov --
+
+/// The coverage gate: baseline edges must survive; counts never gate.
+/// A corpus's edge *set* is a deterministic function of (code, seeds), so
+/// presence is exactly as strict as the perf gate's zero threshold —
+/// while hit counts would make every corpus-size change a false alarm.
+int run_cov(const std::vector<std::string>& args) {
+  std::string baseline_path;
+  std::vector<std::string> artifacts;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--baseline") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "stigreport: --baseline needs a value\n";
+        return kExitUsage;
+      }
+      baseline_path = args[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "stigreport: unknown cov flag " << a << "\n";
+      return kExitUsage;
+    } else {
+      artifacts.push_back(a);
+    }
+  }
+  if (baseline_path.empty()) {
+    std::cerr << "stigreport: cov needs --baseline\n";
+    return kExitUsage;
+  }
+  if (artifacts.empty()) {
+    std::cerr << "stigreport: cov needs COV_*.json artifacts\n";
+    return kExitUsage;
+  }
+
+  namespace fs = std::filesystem;
+  const bool baseline_is_dir = fs::is_directory(baseline_path);
+
+  const auto is_edge_key = [](const std::string& key) {
+    return key.rfind("edge.", 0) == 0;
+  };
+
+  int lost = 0;
+  int checked = 0;
+  int gained = 0;
+  for (const std::string& artifact : artifacts) {
+    const auto current = parse_bench(artifact);
+    if (!current) {
+      std::cerr << "stigreport: cannot parse " << artifact << "\n";
+      return kExitIo;
+    }
+    const std::string base_file =
+        baseline_is_dir
+            ? (fs::path(baseline_path) / fs::path(artifact).filename())
+                  .string()
+            : baseline_path;
+    const auto baseline = parse_bench(base_file);
+    if (!baseline) {
+      std::cerr << "stigreport: cannot parse baseline " << base_file
+                << " for " << artifact << "\n";
+      return kExitIo;
+    }
+    std::cout << current->bench << " vs " << base_file << ":\n";
+
+    std::map<std::string, std::string> cur_map(current->values.begin(),
+                                               current->values.end());
+    for (const auto& [key, raw] : baseline->values) {
+      if (!is_edge_key(key)) continue;
+      ++checked;
+      const auto cur_it = cur_map.find(key);
+      if (cur_it == cur_map.end()) {
+        std::cout << "  FAIL  " << key << " lost (baseline hit " << raw
+                  << " time(s))\n";
+        ++lost;
+      } else {
+        std::cout << "  ok    " << key << " = " << cur_it->second << "\n";
+        cur_map.erase(cur_it);
+      }
+    }
+    for (const auto& [key, raw] : cur_map) {
+      if (!is_edge_key(key)) continue;
+      std::cout << "  new   " << key << " = " << raw
+                << " (not in baseline — consider refreshing it)\n";
+      ++gained;
+    }
+  }
+  std::cout << (lost == 0 ? "PASS" : "FAIL") << ": " << checked
+            << " edge(s) checked, " << lost << " lost, " << gained
+            << " new\n";
+  return lost == 0 ? kExitOk : kExitRegression;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -513,6 +616,7 @@ int main(int argc, char** argv) {
   if (args[0] == "spans") return run_spans(rest);
   if (args[0] == "diff") return run_gate(rest, /*perf_mode=*/false);
   if (args[0] == "perf") return run_gate(rest, /*perf_mode=*/true);
+  if (args[0] == "cov") return run_cov(rest);
   std::cerr << "stigreport: unknown subcommand " << args[0] << "\n";
   usage(std::cerr);
   return kExitUsage;

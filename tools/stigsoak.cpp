@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -28,6 +29,7 @@
 #include "fuzz/fuzzer.hpp"
 #include "fuzz/repro.hpp"
 #include "fuzz/shrink.hpp"
+#include "obs/cov.hpp"
 #include "obs/json.hpp"
 #include "par/seed.hpp"
 
@@ -49,6 +51,7 @@ struct Args {
   std::size_t max_shrink = 200;
   std::string out_dir = ".";
   std::string report_path;      ///< "" = no report; "-" = stdout.
+  std::string cov_dir;          ///< "" = no coverage collection.
   bool help = false;
 };
 
@@ -64,7 +67,10 @@ void print_help() {
       "  --max-rounds N   stop after N rounds even inside the box (0 = off)\n"
       "  --max-shrink N   shrink attempt cap per failure (default 200)\n"
       "  --out DIR        directory for repro_*.json (default .)\n"
-      "  --report PATH    write a JSON run report (\"-\" = stdout)\n\n"
+      "  --report PATH    write a JSON run report (\"-\" = stdout)\n"
+      "  --cov DIR        collect coverage across every round and write\n"
+      "                   DIR/COV_soak.json on exit (merged in round/seed\n"
+      "                   order — byte-identical at any --jobs)\n\n"
       "exit codes: 0 clean; 1 failures found (repros written);\n"
       "            2 usage error; 3 runtime/I-O error\n";
 }
@@ -121,6 +127,10 @@ bool parse(int argc, char** argv, Args& a) {
       const char* v = need(i);
       if (!v) return false;
       a.report_path = v;
+    } else if (flag == "--cov") {
+      const char* v = need(i);
+      if (!v) return false;
+      a.cov_dir = v;
     } else {
       std::cerr << "unknown flag: " << flag << " (see --help)\n";
       return false;
@@ -179,6 +189,7 @@ int main(int argc, char** argv) {
   };
 
   SoakTally tally;
+  obs::cov::CovMap soak_cov;  // Merged in round-then-seed order.
   try {
     for (std::size_t round = 0;; ++round) {
       if (args.max_rounds > 0 && round >= args.max_rounds) break;
@@ -192,11 +203,14 @@ int main(int argc, char** argv) {
       }
 
       const std::vector<fuzz::BatchCase> batch =
-          fuzz::run_cases(seeds, std::nullopt, args.jobs);
+          fuzz::run_cases(seeds, std::nullopt, args.jobs,
+                          /*force_faults=*/false,
+                          /*collect_coverage=*/!args.cov_dir.empty());
       ++tally.rounds;
       tally.cases += batch.size();
       for (std::size_t i = 0; i < batch.size(); ++i) {
         const fuzz::BatchCase& bc = batch[i];
+        if (bc.cov != nullptr) soak_cov.merge_from(*bc.cov);
         if (bc.result.kind == fuzz::FailureKind::none) continue;
         ++tally.failures;
         ++tally.by_kind[static_cast<std::size_t>(bc.result.kind)];
@@ -231,6 +245,20 @@ int main(int argc, char** argv) {
   }
 
   const double wall = elapsed();
+  if (!args.cov_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(args.cov_dir, ec);
+    const std::string path =
+        (std::filesystem::path(args.cov_dir) / "COV_soak.json").string();
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "error: cannot write " << path << "\n";
+      return kExitRuntime;
+    }
+    out << soak_cov.render_json("soak");
+    std::cout << "cov: " << soak_cov.distinct_edges() << " edge(s), "
+              << soak_cov.total_hits() << " hit(s) -> " << path << "\n";
+  }
   if (!args.report_path.empty()) {
     if (args.report_path == "-") {
       write_report(std::cout, args, tally, wall);
