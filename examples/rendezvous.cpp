@@ -99,7 +99,8 @@ int main() {
 
   // ---- Phase 2: act. Everyone walks to a parking ring around the leader.
   std::cout << "phase 2: navigate to a ring around the leader\n";
-  const auto positions = net.engine().positions();
+  const auto pos_view = net.engine().positions();
+  const std::vector<geom::Vec2> positions(pos_view.begin(), pos_view.end());
   const double ring = 2.5;
   std::vector<sim::RobotSpec> specs;
   std::vector<std::unique_ptr<sim::Robot>> programs;

@@ -56,7 +56,7 @@ void FaultInjector::on_activation(sim::Time t, sim::ActivationSet& active) {
 }
 
 void FaultInjector::on_positions(sim::Time t,
-                                 std::vector<geom::Vec2>& positions) {
+                                 std::span<geom::Vec2> positions) {
   for (std::size_t k = 0; k < plan_.jitters.size(); ++k) {
     const JitterFault& f = plan_.jitters[k];
     if (t != f.at || jitter_fired_[k] || f.robot >= positions.size()) {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "fault/fault_plan.hpp"
@@ -49,7 +50,7 @@ class FaultInjector final : public sim::StepInterceptor {
   // sim::StepInterceptor
   void on_activation(sim::Time t, sim::ActivationSet& active) override;
   void on_positions(sim::Time t,
-                    std::vector<geom::Vec2>& positions) override;
+                    std::span<geom::Vec2> positions) override;
   [[nodiscard]] bool crashed(sim::RobotIndex i, sim::Time t) const override;
 
   /// The instant robot `i` crash-stops, if the plan crashes it at all.

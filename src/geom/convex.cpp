@@ -108,6 +108,33 @@ ConvexPolygon ConvexPolygon::clipped(const HalfPlane& hp) const {
   return result;
 }
 
+bool ConvexPolygon::clip(const HalfPlane& hp, std::vector<Vec2>& scratch) {
+  const std::size_t n = verts_.size();
+  if (n == 0) return false;
+  scratch.clear();
+  scratch.reserve(n + 1);
+  bool changed = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2& cur = verts_[i];
+    const Vec2& nxt = verts_[(i + 1) % n];
+    const bool cur_in = hp.contains(cur);
+    const bool nxt_in = hp.contains(nxt);
+    if (cur_in) {
+      scratch.push_back(cur);
+    } else {
+      changed = true;
+    }
+    if (cur_in != nxt_in) {
+      if (auto x = intersect(Line::through(cur, nxt), hp.boundary)) {
+        scratch.push_back(*x);
+      }
+    }
+  }
+  if (!changed) return false;  // Every vertex inside: polygon unchanged.
+  verts_.swap(scratch);
+  return true;
+}
+
 ConvexPolygon intersect_halfplanes(const ConvexPolygon& bounds,
                                    std::span<const HalfPlane> halfplanes) {
   ConvexPolygon poly = bounds;

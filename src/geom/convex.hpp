@@ -74,6 +74,12 @@ class ConvexPolygon {
   /// Intersection with a half-plane (Sutherland–Hodgman step).
   [[nodiscard]] ConvexPolygon clipped(const HalfPlane& hp) const;
 
+  /// In-place `clipped`: writes the clipped vertex loop into `scratch` and
+  /// swaps it in. The Voronoi hot loop clips thousands of cells; reusing
+  /// the two buffers keeps the construction allocation-free in steady
+  /// state. Returns true when the clip removed or moved any vertex.
+  bool clip(const HalfPlane& hp, std::vector<Vec2>& scratch);
+
  private:
   std::vector<Vec2> verts_;
 };

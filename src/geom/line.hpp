@@ -87,9 +87,14 @@ struct Segment {
 [[nodiscard]] inline std::optional<Vec2> intersect(const Line& l1,
                                                    const Line& l2) noexcept {
   const double den = cross(l1.dir, l2.dir);
-  const double scale =
-      std::max({1.0, l1.dir.norm(), l2.dir.norm()});
-  if (std::fabs(den) <= kEps * scale * scale) return std::nullopt;
+  // Parallel test on the *sine* of the angle between the lines: |den| is
+  // |d1||d2|sin(theta), so the threshold must carry both norms. Flooring
+  // the scale at 1 (as an earlier version did) silently declared every
+  // pair of short-direction lines parallel — perpendicular bisectors of
+  // micro-spaced sites (|dir| ~ 1e-6, |den| ~ 1e-12) lost their clip
+  // vertices and produced corrupted Voronoi cells.
+  const double scale = l1.dir.norm() * l2.dir.norm();
+  if (std::fabs(den) <= kEps * scale) return std::nullopt;
   const double t = cross(l2.point - l1.point, l2.dir) / den;
   return l1.point + l1.dir * t;
 }

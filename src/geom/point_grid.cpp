@@ -1,0 +1,90 @@
+#include "geom/point_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stig::geom {
+
+void PointGrid::build(std::span<const Vec2> points) {
+  pts_.assign(points.begin(), points.end());
+  const std::size_t n = pts_.size();
+  if (n == 0) {
+    starts_.assign(2, 0);
+    items_.clear();
+    xmin_ = ymin_ = 0.0;
+    cell_ = 1.0;
+    nx_ = ny_ = 1;
+    return;
+  }
+
+  double xmax = pts_[0].x, ymax = pts_[0].y;
+  xmin_ = pts_[0].x;
+  ymin_ = pts_[0].y;
+  for (const Vec2& p : pts_) {
+    xmin_ = std::min(xmin_, p.x);
+    ymin_ = std::min(ymin_, p.y);
+    xmax = std::max(xmax, p.x);
+    ymax = std::max(ymax, p.y);
+  }
+  // Cell side: the longer extent divided by ~sqrt(n), so the grid holds
+  // O(n) cells at O(1) expected occupancy for roughly uniform sets. A
+  // degenerate extent (all points coincident or collinear) collapses the
+  // corresponding axis to one row; queries then degrade gracefully toward
+  // the brute scan they replace.
+  const double w = xmax - xmin_;
+  const double h = ymax - ymin_;
+  const double ext = std::max(w, h);
+  const auto m = static_cast<double>(
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(
+                                   std::sqrt(static_cast<double>(n))))));
+  cell_ = ext > 0.0 ? ext / m : 1.0;
+  nx_ = static_cast<std::int64_t>(w / cell_) + 1;
+  ny_ = static_cast<std::int64_t>(h / cell_) + 1;
+
+  const auto ncells = static_cast<std::size_t>(nx_ * ny_);
+  starts_.assign(ncells + 1, 0);
+  items_.resize(n);
+  for (const Vec2& p : pts_) {
+    ++starts_[static_cast<std::size_t>(cell_y(p) * nx_ + cell_x(p)) + 1];
+  }
+  for (std::size_t c = 0; c < ncells; ++c) starts_[c + 1] += starts_[c];
+  // Stable placement: ascending index within each bucket, so tie-breaking
+  // by lowest index matches a brute-force ascending scan.
+  std::vector<std::size_t> cursor(starts_.begin(), starts_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2& p = pts_[i];
+    const auto c = static_cast<std::size_t>(cell_y(p) * nx_ + cell_x(p));
+    items_[cursor[c]++] = i;
+  }
+}
+
+std::pair<std::size_t, double> PointGrid::nearest_impl(
+    const Vec2& q, std::size_t skip) const noexcept {
+  std::size_t best = pts_.size();
+  double best_d2 = std::numeric_limits<double>::infinity();
+  const Cell c = cell_of(q);
+  for (std::int64_t r = 0;; ++r) {
+    const double lb = ring_lower_bound(r);
+    if (best < pts_.size() && lb > 0.0 && lb * lb > best_d2) break;
+    const bool any = for_each_in_ring(c, r, [&](std::size_t j) {
+      if (j == skip) return;
+      const double d2 = dist2(pts_[j], q);
+      if (d2 < best_d2 || (d2 == best_d2 && j < best)) {
+        best_d2 = d2;
+        best = j;
+      }
+    });
+    if (!any && r > 0) break;  // Ring left the grid: every point visited.
+  }
+  return {best, best_d2};
+}
+
+std::size_t PointGrid::nearest(const Vec2& q) const noexcept {
+  return nearest_impl(q, pts_.size()).first;
+}
+
+double PointGrid::nearest_other_dist2(std::size_t i) const noexcept {
+  return nearest_impl(pts_[i], i).second;
+}
+
+}  // namespace stig::geom

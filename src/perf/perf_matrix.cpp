@@ -1,6 +1,7 @@
 #include "perf/perf_matrix.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <sstream>
 
 #include "obs/alloc_track.hpp"
@@ -13,10 +14,23 @@ namespace {
 
 /// Pairwise-separated points in a box, deterministic in `seed` (same
 /// rejection scheme as bench::scatter; duplicated here because src must
-/// not include bench headers).
+/// not include bench headers). The fixed 80x80 rejection box saturates
+/// near 700 points at the 3-unit separation, so large cells switch to a
+/// jittered spacing-3 grid whose extent scales with n instead.
 std::vector<geom::Vec2> scatter(std::size_t n, std::uint64_t seed) {
   sim::Rng rng(seed);
   std::vector<geom::Vec2> pts;
+  if (n > 256) {
+    const auto side = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+    pts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back(geom::Vec2{
+          static_cast<double>(i % side) * 3.0 + rng.uniform(-0.5, 0.5),
+          static_cast<double>(i / side) * 3.0 + rng.uniform(-0.5, 0.5)});
+    }
+    return pts;
+  }
   while (pts.size() < n) {
     const geom::Vec2 p{rng.uniform(-40.0, 40.0), rng.uniform(-40.0, 40.0)};
     bool ok = true;
@@ -102,6 +116,13 @@ std::vector<Scenario> full_matrix() {
                    Synchrony::synchronous, 64, 2, 1, 17));
   m.push_back(cell("asyncn_n16", ProtocolKind::asyncn,
                    Synchrony::asynchronous, 16, 2, 1, 18));
+  // The post-epoch-ring large cell: one 2-byte message across a
+  // 1024-robot sliced swarm. Exists to pin the hot-path allocation
+  // profile at a size where the old per-robot configuration copies and
+  // all-pairs scans dominated; nightly-only because construction alone
+  // holds n granulars per robot core.
+  m.push_back(cell("sliced_n1024", ProtocolKind::sliced,
+                   Synchrony::synchronous, 1024, 2, 1, 19));
   return m;
 }
 

@@ -66,7 +66,7 @@ struct ScenarioResult {
 [[nodiscard]] std::vector<Scenario> fast_matrix();
 
 /// The fast matrix plus the nightly-only large cells (sliced_n64,
-/// asyncn_n16).
+/// asyncn_n16, sliced_n1024).
 [[nodiscard]] std::vector<Scenario> full_matrix();
 
 /// Runs `s` (warmup + measured) on the calling thread.

@@ -15,6 +15,11 @@ namespace {
 /// both sides. Being radius-relative makes the threshold frame-invariant.
 constexpr double kCenterFraction = 1e-7;
 
+/// Swarm size at which `associate_into` switches from the brute
+/// nearest-center scan to the t0-center PointGrid (same nearest index —
+/// see geom/point_grid.hpp's exactness contract).
+constexpr std::size_t kAssociateGridThreshold = 64;
+
 }  // namespace
 
 SlicedCore::SlicedCore(const sim::Snapshot& t0, NamingMode naming,
@@ -26,9 +31,18 @@ SlicedCore::SlicedCore(const sim::Snapshot& t0, NamingMode naming,
     centers_.push_back(r.position);
   }
 
-  // Reference directions and per-robot labelings.
+  // Reference directions and labelings. Shared namings (by_ids,
+  // lexicographic) flatten to a single row; relative naming stores one
+  // row per observer.
   std::vector<geom::Vec2> references(n_);
-  ranks_.assign(n_, {});
+  shared_ranks_ = naming != NamingMode::relative;
+  ranks_.clear();
+  ranks_.reserve(shared_ranks_ ? n_ : n_ * n_);
+  const auto append_row = [this](const std::vector<std::size_t>& row) {
+    for (const std::size_t r : row) {
+      ranks_.push_back(static_cast<std::uint32_t>(r));
+    }
+  };
   switch (naming) {
     case NamingMode::by_ids: {
       std::vector<sim::VisibleId> ids;
@@ -40,17 +54,15 @@ SlicedCore::SlicedCore(const sim::Snapshot& t0, NamingMode naming,
         }
         ids.push_back(*r.id);
       }
-      const std::vector<std::size_t> shared = id_ranks(ids);
+      append_row(id_ranks(ids));
       for (std::size_t i = 0; i < n_; ++i) {
-        ranks_[i] = shared;
         references[i] = geom::Vec2{0.0, 1.0};  // North (sense of direction).
       }
       break;
     }
     case NamingMode::lexicographic: {
-      const std::vector<std::size_t> shared = lex_ranks(centers_);
+      append_row(lex_ranks(centers_));
       for (std::size_t i = 0; i < n_; ++i) {
-        ranks_[i] = shared;
         references[i] = geom::Vec2{0.0, 1.0};
       }
       break;
@@ -58,18 +70,24 @@ SlicedCore::SlicedCore(const sim::Snapshot& t0, NamingMode naming,
     case NamingMode::relative: {
       for (std::size_t i = 0; i < n_; ++i) {
         RelativeNaming rel = relative_naming(centers_, i);
-        ranks_[i] = std::move(rel.ranks);
+        append_row(rel.ranks);
         references[i] = rel.reference;
       }
       break;
     }
   }
 
-  inverse_ranks_.assign(n_, std::vector<std::size_t>(n_));
-  for (std::size_t i = 0; i < n_; ++i) {
+  inverse_ranks_.assign(ranks_.size(), 0);
+  const std::size_t rows = shared_ranks_ ? 1 : n_;
+  for (std::size_t i = 0; i < rows; ++i) {
     for (std::size_t j = 0; j < n_; ++j) {
-      inverse_ranks_[i][ranks_[i][j]] = j;
+      inverse_ranks_[i * n_ + ranks_[i * n_ + j]] =
+          static_cast<std::uint32_t>(j);
     }
+  }
+
+  if (n_ >= kAssociateGridThreshold) {
+    center_grid_.build(centers_);
   }
 
   granulars_.reserve(n_);
@@ -102,17 +120,25 @@ void SlicedCore::associate_into(const sim::Snapshot& snap,
   for (const sim::ObservedRobot& obs : snap.robots) {
     // Nearest granular center; robots never leave their granulars, and
     // granular interiors are pairwise disjoint, so this is unambiguous.
-    std::size_t best = 0;
-    double best_d2 = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < n_; ++i) {
-      const double d2 = geom::dist2(obs.position, centers_[i]);
-      if (d2 < best_d2) {
-        best_d2 = d2;
-        best = i;
+    // Large swarms query the t0-center grid (same nearest index as the
+    // scan — lowest index on exact ties); small ones keep the brute scan.
+    std::size_t best;
+    if (!center_grid_.empty()) {
+      best = center_grid_.nearest(obs.position);
+    } else {
+      best = 0;
+      double best_d2 = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n_; ++i) {
+        const double d2 = geom::dist2(obs.position, centers_[i]);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = i;
+        }
       }
     }
     assert(!filled[best] && "two robots associated to one granular");
-    assert(best_d2 <= granulars_[best].radius() * granulars_[best].radius() &&
+    assert(geom::dist2(obs.position, centers_[best]) <=
+               granulars_[best].radius() * granulars_[best].radius() &&
            "observed robot outside every granular");
     out[best] = obs.position;
     filled[best] = true;

@@ -16,10 +16,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "geom/granular.hpp"
+#include "geom/point_grid.hpp"
 #include "geom/vec.hpp"
 #include "proto/naming.hpp"
 #include "sim/robot.hpp"
@@ -75,13 +78,13 @@ class SlicedCore {
 
   /// Rank of robot `j` in robot `i`'s labeling.
   [[nodiscard]] std::size_t rank(std::size_t i, std::size_t j) const {
-    return ranks_.at(i).at(j);
+    return ranks_.at(row(i) + check_index(j));
   }
 
   /// Robot whose rank in `i`'s labeling is `r`.
   [[nodiscard]] std::size_t robot_with_rank(std::size_t i,
                                             std::size_t r) const {
-    return inverse_ranks_.at(i).at(r);
+    return inverse_ranks_.at(row(i) + check_index(r));
   }
 
   /// Associates the observed configuration to persistent robot indices:
@@ -116,13 +119,36 @@ class SlicedCore {
   }
 
  private:
+  [[nodiscard]] std::size_t row(std::size_t i) const {
+    // Shared labelings (by_ids, lexicographic: every robot ranks every
+    // robot identically) store ONE row for the whole swarm; only the
+    // relative naming, which is genuinely per-observer, stores n rows.
+    // Each robot holds its own core, so without sharing an n-robot swarm
+    // carried n * n^2 rank entries — the memory wall that capped the
+    // sliced protocols near n = 256.
+    if (i >= n_) throw std::out_of_range("SlicedCore: robot index");
+    return shared_ranks_ ? 0 : i * n_;
+  }
+  [[nodiscard]] std::size_t check_index(std::size_t j) const {
+    if (j >= n_) throw std::out_of_range("SlicedCore: rank index");
+    return j;
+  }
+
   std::size_t n_ = 0;
   std::size_t self_ = 0;
   std::size_t diameters_ = 0;
+  bool shared_ranks_ = false;
   std::vector<geom::Vec2> centers_;
   std::vector<geom::Granular> granulars_;
-  std::vector<std::vector<std::size_t>> ranks_;
-  std::vector<std::vector<std::size_t>> inverse_ranks_;
+  /// Flat rank tables: row-major rows of length n_ (one shared row when
+  /// `shared_ranks_`). uint32 halves the footprint of the old size_t
+  /// nested vectors; swarms stay far below 2^32 robots.
+  std::vector<std::uint32_t> ranks_;
+  std::vector<std::uint32_t> inverse_ranks_;
+  /// Nearest-center index for `associate_into`, built once over the t0
+  /// centers for large swarms (empty below the threshold — the brute scan
+  /// wins there).
+  geom::PointGrid center_grid_;
   /// Scratch for `associate_into`'s taken-granular bookkeeping; mutable
   /// because association is logically const (cores are per-robot and
   /// engines are single-threaded, so no synchronization is needed).

@@ -7,6 +7,21 @@
 #include <string>
 
 namespace stig::sim {
+namespace {
+
+/// Below this swarm size the all-pairs scans stay: they are cache-friendly,
+/// exactly reproduce the legacy answers, and the grid's build cost is not
+/// yet paid back. At or above it, collision checks go through a PointGrid
+/// (same doubles, same first pair — see geom/point_grid.hpp).
+constexpr std::size_t kGridThreshold = 128;
+
+/// Candidate radius for grid collision queries: collision_distance^2 with
+/// enough slack to cover the ulp gap between `hypot` (the legacy predicate)
+/// and the grid's squared-distance prefilter; every candidate is re-checked
+/// with the exact legacy predicate.
+double collision_radius2(double cd) { return cd * cd * 1.00001; }
+
+}  // namespace
 
 Engine::Engine(std::vector<RobotSpec> specs,
                std::vector<std::unique_ptr<Robot>> programs,
@@ -28,8 +43,12 @@ Engine::Engine(std::vector<RobotSpec> specs,
   }
   identified_ = with_id == specs_.size();
 
-  frames_.reserve(specs_.size());
-  positions_.reserve(specs_.size());
+  const std::size_t n = specs_.size();
+  ring_.resize(static_cast<std::size_t>(options_.observation_delay) + 2);
+  std::vector<geom::Vec2>& p0 = ring_[0];
+  frames_.reserve(n);
+  sigmas_.reserve(n);
+  p0.reserve(n);
   for (const RobotSpec& s : specs_) {
     if (s.frame_unit <= 0.0) {
       throw std::invalid_argument("Engine: frame_unit must be positive");
@@ -39,52 +58,65 @@ Engine::Engine(std::vector<RobotSpec> specs,
     }
     frames_.emplace_back(s.position, s.frame_rotation, s.frame_unit,
                          s.frame_mirrored);
-    positions_.push_back(s.position);
-  }
-  for (std::size_t i = 0; i < positions_.size(); ++i) {
-    for (std::size_t j = i + 1; j < positions_.size(); ++j) {
-      if (geom::dist(positions_[i], positions_[j]) <=
-          options_.collision_distance) {
-        throw std::invalid_argument(
-            "Engine: initial positions must be pairwise distinct");
-      }
-    }
+    sigmas_.push_back(s.sigma);
+    p0.push_back(s.position);
   }
 
-  if (options_.observation_delay > 0) {
-    recent_.resize(options_.observation_delay + 1);
-    push_recent(positions_);
+  bool coincident = false;
+  if (n < kGridThreshold) {
+    for (std::size_t i = 0; i < n && !coincident; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (geom::dist(p0[i], p0[j]) <= options_.collision_distance) {
+          coincident = true;
+          break;
+        }
+      }
+    }
+  } else {
+    grid_scratch_.build(p0);
+    const double r2 = collision_radius2(options_.collision_distance);
+    for (std::size_t i = 0; i < n && !coincident; ++i) {
+      grid_scratch_.for_each_within(p0[i], r2, [&](std::size_t j) {
+        if (j != i &&
+            geom::dist(p0[i], p0[j]) <= options_.collision_distance) {
+          coincident = true;
+        }
+      });
+    }
+  }
+  if (coincident) {
+    throw std::invalid_argument(
+        "Engine: initial positions must be pairwise distinct");
+  }
+
+  if (identified_) {
+    id_order_.resize(n);
+    for (std::size_t j = 0; j < n; ++j) id_order_[j] = j;
+    std::sort(id_order_.begin(), id_order_.end(),
+              [this](RobotIndex a, RobotIndex b) {
+                return specs_[a].id.value() < specs_[b].id.value();
+              });
   }
 
   // Paper Section 4.2: every robot knows P(t0) — wake all at t0 once.
   for (std::size_t i = 0; i < programs_.size(); ++i) {
-    programs_[i]->initialize(make_snapshot_at(i, positions_, positions_, 0));
+    programs_[i]->initialize(make_snapshot_at(i, p0, p0, 0));
   }
 }
 
 Snapshot Engine::make_snapshot(RobotIndex i) const {
-  const std::vector<geom::Vec2>& stale =
-      options_.observation_delay > 0 ? recent_[recent_head_] : positions_;
-  return make_snapshot_at(i, positions_, stale, t_);
-}
-
-void Engine::push_recent(const std::vector<geom::Vec2>& config) {
-  const std::size_t cap = options_.observation_delay + 1;
-  std::size_t slot;
-  if (recent_count_ < cap) {
-    slot = (recent_head_ + recent_count_) % cap;
-    ++recent_count_;
-  } else {
-    // Full: the stalest buffer is evicted and its capacity reused for the
-    // newest configuration.
-    slot = recent_head_;
-    recent_head_ = (recent_head_ + 1) % cap;
-  }
-  recent_[slot].assign(config.begin(), config.end());
+  // Between steps an observer sees what it would have committed to during
+  // the previous instant: others `observation_delay` instants behind that
+  // instant, i.e. t - 1 - delay (clamped to t0). With no delay, stale and
+  // current coincide.
+  const Time d = options_.observation_delay;
+  const Time stale_e = d == 0 ? t_ : (t_ > d ? t_ - 1 - d : 0);
+  return make_snapshot_at(i, ring_[slot(t_)], ring_[slot(stale_e)], t_);
 }
 
 void Engine::teleport(RobotIndex i, const geom::Vec2& global_position) {
-  positions_.at(i) = global_position;
+  std::vector<geom::Vec2>& cur = ring_[slot(t_)];
+  cur.at(i) = global_position;
   if (sink_ != nullptr) {
     obs::Event e;
     e.type = obs::EventType::Teleport;
@@ -95,8 +127,8 @@ void Engine::teleport(RobotIndex i, const geom::Vec2& global_position) {
     sink_->on_event(e);
   }
   if (options_.check_collisions) {
-    for (std::size_t j = 0; j < positions_.size(); ++j) {
-      if (j != i && geom::dist(positions_[i], positions_[j]) <=
+    for (std::size_t j = 0; j < cur.size(); ++j) {
+      if (j != i && geom::dist(cur[i], cur[j]) <=
                         options_.collision_distance) {
         throw CollisionError("teleport collided robots " + std::to_string(i) +
                              " and " + std::to_string(j));
@@ -158,20 +190,20 @@ std::vector<RobotIndex> Engine::initial_observation_order(
 }
 
 Snapshot Engine::make_snapshot_at(RobotIndex i,
-                                  const std::vector<geom::Vec2>& config,
-                                  const std::vector<geom::Vec2>& stale_config,
+                                  std::span<const geom::Vec2> config,
+                                  std::span<const geom::Vec2> stale_config,
                                   Time t) const {
   std::vector<SnapshotEntry> entries;
   Snapshot snap;
-  build_snapshot(i, config, stale_config, t, entries, snap);
+  build_observation(i, config, stale_config, t, entries, snap);
   return snap;
 }
 
-void Engine::build_snapshot(RobotIndex i,
-                            const std::vector<geom::Vec2>& config,
-                            const std::vector<geom::Vec2>& stale_config,
-                            Time t, std::vector<SnapshotEntry>& entries,
-                            Snapshot& out) const {
+void Engine::build_observation(RobotIndex i,
+                               std::span<const geom::Vec2> config,
+                               std::span<const geom::Vec2> stale_config,
+                               Time t, std::vector<SnapshotEntry>& entries,
+                               Snapshot& out) const {
   const Frame& f = frames_.at(i);
   const double q = options_.observation_quantum;
   const auto quantize = [q](const geom::Vec2& p) {
@@ -180,29 +212,30 @@ void Engine::build_snapshot(RobotIndex i,
   };
   entries.clear();
   entries.reserve(config.size());
-  for (std::size_t j = 0; j < config.size(); ++j) {
+  const auto append = [&](std::size_t j) {
     // Self: current and exact (odometry). Others: possibly stale (CORDA-ish
     // delay), quantized (sensor resolution), and dropped when out of the
     // visibility radius.
     const geom::Vec2 global = j == i ? config[j] : stale_config[j];
     if (j != i && options_.visibility_radius > 0.0 &&
         geom::dist(global, config[i]) > options_.visibility_radius) {
-      continue;
+      return;
     }
     SnapshotEntry e;
     e.obs.position = f.to_local(j == i ? global : quantize(global));
     e.obs.id = identified_ ? specs_[j].id : std::nullopt;
     e.index = j;
     entries.push_back(e);
-  }
-  // Identified systems expose entries sorted by id; anonymous systems sort
-  // lexicographically by local position, which carries no identity.
+  };
+  // Identified systems expose entries sorted by id; appending in the
+  // precomputed id order (ids are unique and never change) yields exactly
+  // the order the per-activation sort used to produce, without the sort.
+  // Anonymous systems sort lexicographically by local position, which
+  // carries no identity and genuinely depends on this instant's geometry.
   if (identified_) {
-    std::sort(entries.begin(), entries.end(),
-              [](const SnapshotEntry& a, const SnapshotEntry& b) {
-                return a.obs.id.value() < b.obs.id.value();
-              });
+    for (const RobotIndex j : id_order_) append(j);
   } else {
+    for (std::size_t j = 0; j < config.size(); ++j) append(j);
     std::sort(entries.begin(), entries.end(),
               [](const SnapshotEntry& a, const SnapshotEntry& b) {
                 return a.obs.position < b.obs.position;
@@ -215,6 +248,45 @@ void Engine::build_snapshot(RobotIndex i,
   for (std::size_t k = 0; k < entries.size(); ++k) {
     if (entries[k].index == i) out.self = k;
     out.robots.push_back(entries[k].obs);
+  }
+}
+
+void Engine::check_collisions(std::span<const geom::Vec2> after) {
+  const std::size_t n = after.size();
+  const double cd = options_.collision_distance;
+  const auto report = [&](std::size_t i, std::size_t j) {
+    if (sink_ != nullptr) {
+      obs::Event e;
+      e.type = obs::EventType::Collision;
+      e.t = t_;
+      e.robot = static_cast<std::int64_t>(i);
+      e.peer = static_cast<std::int64_t>(j);
+      e.x = after[i].x;
+      e.y = after[i].y;
+      sink_->on_event(e);
+    }
+    throw CollisionError("robots " + std::to_string(i) + " and " +
+                         std::to_string(j) + " collided at instant " +
+                         std::to_string(t_));
+  };
+  if (n < kGridThreshold) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (geom::dist(after[i], after[j]) <= cd) report(i, j);
+      }
+    }
+    return;
+  }
+  grid_scratch_.build(after);
+  const double r2 = collision_radius2(cd);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t hit = n;
+    grid_scratch_.for_each_within(after[i], r2, [&](std::size_t j) {
+      if (j > i && j < hit && geom::dist(after[i], after[j]) <= cd) hit = j;
+    });
+    // Lexicographically first pair, as the all-pairs scan reports: lowest
+    // i first (outer loop), lowest j among its collisions (min above).
+    if (hit < n) report(i, hit);
   }
 }
 
@@ -266,23 +338,25 @@ void Engine::step_impl() {
     cov_prev_ = cur;
   }
 
-  // Engine-owned scratch: after the first step every per-instant copy
-  // below reuses capacity, so a fault-free instant performs no
-  // engine-attributable heap allocation (gated by the stigperf baselines).
-  before_scratch_.assign(positions_.begin(), positions_.end());
-  const std::vector<geom::Vec2>& before = before_scratch_;
-  if (options_.observation_delay > 0) push_recent(before);
-  const std::vector<geom::Vec2>& stale =
-      options_.observation_delay > 0 ? recent_[recent_head_] : before;
-  after_scratch_.assign(before.begin(), before.end());
-  std::vector<geom::Vec2>& after = after_scratch_;
+  // Epoch-ring views: `before` is this instant's configuration in place
+  // (no copy), `stale` the delayed-observation epoch, `after` the slot
+  // being recycled for the next instant. The one configuration copy a
+  // fault-free instant performs is seeding `after` from `before`; slot
+  // capacity is reused, so steady state allocates nothing.
+  const Time d = options_.observation_delay;
+  std::vector<geom::Vec2>& before_v = ring_[slot(t_)];
+  const std::span<const geom::Vec2> before{before_v};
+  const std::span<const geom::Vec2> stale{
+      ring_[slot(t_ >= d ? t_ - d : 0)]};
+  std::vector<geom::Vec2>& after = ring_[slot(t_ + 1)];
+  after.assign(before_v.begin(), before_v.end());
   // Phase 1: all active robots observe `before` and commit to destinations;
   // phase 2: all moves are applied. No robot sees a same-instant move.
   for (std::size_t i = 0; i < n; ++i) {
     if (!active[i]) continue;
     {
       obs::prof::Scope s(prof_, ph_observe_);
-      build_snapshot(i, before, stale, t_, entry_scratch_, snap_scratch_);
+      build_observation(i, before, stale, t_, entry_scratch_, snap_scratch_);
     }
     geom::Vec2 local_target;
     {
@@ -290,42 +364,22 @@ void Engine::step_impl() {
       local_target = programs_[i]->on_activate(snap_scratch_);
     }
     const geom::Vec2 target = frames_[i].to_global(local_target);
-    const geom::Vec2 d = target - before[i];
-    const double len = d.norm();
-    after[i] = len <= specs_[i].sigma
+    const geom::Vec2 d_move = target - before[i];
+    const double len = d_move.norm();
+    after[i] = len <= sigmas_[i]
                    ? target
-                   : before[i] + d * (specs_[i].sigma / len);
+                   : before[i] + d_move * (sigmas_[i] / len);
   }
 
   {
   obs::prof::Scope commit_scope(prof_, ph_commit_);
-  if (options_.check_collisions) {
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        if (geom::dist(after[i], after[j]) <= options_.collision_distance) {
-          if (sink_ != nullptr) {
-            obs::Event e;
-            e.type = obs::EventType::Collision;
-            e.t = t_;
-            e.robot = static_cast<std::int64_t>(i);
-            e.peer = static_cast<std::int64_t>(j);
-            e.x = after[i].x;
-            e.y = after[i].y;
-            sink_->on_event(e);
-          }
-          throw CollisionError("robots " + std::to_string(i) + " and " +
-                               std::to_string(j) + " collided at instant " +
-                               std::to_string(t_));
-        }
-      }
-    }
-  }
+  if (options_.check_collisions) check_collisions(after);
 
   if (interceptor_ != nullptr) {
-    const std::vector<geom::Vec2> pre = after;
-    interceptor_->on_positions(t_, after);
+    pre_scratch_.assign(after.begin(), after.end());
+    interceptor_->on_positions(t_, std::span<geom::Vec2>{after});
     for (std::size_t i = 0; i < n; ++i) {
-      if (after[i] == pre[i]) continue;
+      if (after[i] == pre_scratch_[i]) continue;
       // Transient perturbation: surface it like the teleport fault so the
       // watchdog re-anchors granular containment for the shoved robot.
       if (sink_ != nullptr) {
@@ -341,7 +395,9 @@ void Engine::step_impl() {
         for (std::size_t j = 0; j < n; ++j) {
           if (j != i && geom::dist(after[i], after[j]) <=
                             options_.collision_distance) {
-            positions_ = after;
+            // Publish the collided configuration for post-mortems without
+            // advancing time (the legacy `positions_ = after`).
+            before_v = after;
             throw CollisionError("perturbation collided robots " +
                                  std::to_string(i) + " and " +
                                  std::to_string(j) + " at instant " +
@@ -351,13 +407,13 @@ void Engine::step_impl() {
       }
     }
   }
-
-  positions_ = after;
   }  // commit_scope
   {
     obs::prof::Scope s(prof_, ph_emit_);
-    trace_.record_step(active, before, positions_, sink_);
+    trace_.record_step(active, before, after, sink_);
   }
+  // Publishing the step is just the epoch increment: `positions()` now
+  // views the slot the moves were written into.
   ++t_;
 }
 

@@ -6,14 +6,25 @@
 // all observations happen before any move is applied, matching "computes a
 // position depending only on the system configuration at t_j"), computes a
 // destination in its local frame, and travels toward it by at most sigma_r.
+//
+// World state lives in an epoch ring: one immutable position array per
+// instant, kept for the last `observation_delay + 2` instants. Instant e's
+// configuration occupies slot `e % capacity`; `positions()` is a span over
+// the newest slot, observations read the (possibly stale) slots in place,
+// and a step writes the next configuration into the slot it is about to
+// recycle. Robots never receive copies of the configuration — every
+// consumer shares the one array per instant (the PR-8 copy-on-write
+// snapshot refactor; see DESIGN.md "Epoch snapshots").
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "geom/point_grid.hpp"
 #include "geom/vec.hpp"
 #include "obs/cov.hpp"
 #include "obs/metrics.hpp"
@@ -90,10 +101,11 @@ class StepInterceptor {
   virtual void on_activation(Time t, ActivationSet& active) = 0;
 
   /// Called after the instant's moves are applied, before the step
-  /// completes; may displace robots in place. The engine emits a Teleport
-  /// event for every modified position (so the watchdog re-anchors) and
-  /// re-runs the collision check.
-  virtual void on_positions(Time t, std::vector<geom::Vec2>& positions) = 0;
+  /// completes; may displace robots in place (the span aliases the
+  /// engine's next-instant ring slot). The engine emits a Teleport event
+  /// for every modified position (so the watchdog re-anchors) and re-runs
+  /// the collision check.
+  virtual void on_positions(Time t, std::span<geom::Vec2> positions) = 0;
 
   /// True when robot `i` is crash-stopped at instant `t` (it will never be
   /// activated at or after `t`). Lets ChatNetwork's quiescence ignore
@@ -128,8 +140,27 @@ class Engine {
   [[nodiscard]] std::size_t robot_count() const noexcept {
     return specs_.size();
   }
-  [[nodiscard]] const std::vector<geom::Vec2>& positions() const noexcept {
-    return positions_;
+  /// The current configuration — a view of the newest epoch-ring slot.
+  /// Valid until `config_epoch()` leaves the live window (i.e. for the
+  /// next `observation_delay + 1` steps); copy it to keep it longer.
+  [[nodiscard]] std::span<const geom::Vec2> positions() const noexcept {
+    return ring_[slot(t_)];
+  }
+  /// Epoch (== instant) of the configuration `positions()` views.
+  [[nodiscard]] Time config_epoch() const noexcept { return t_; }
+  /// True while the configuration of instant `e` is still held by the
+  /// epoch ring (the last `observation_delay + 2` instants). Spans
+  /// obtained at epoch `e` — `positions()`, `config(e)`, observation
+  /// inputs — dangle once this turns false.
+  [[nodiscard]] bool epoch_live(Time e) const noexcept {
+    return e <= t_ && t_ - e < ring_.size();
+  }
+  /// The configuration at instant `e`. Precondition: `epoch_live(e)`.
+  [[nodiscard]] std::span<const geom::Vec2> config(Time e) const {
+    if (!epoch_live(e)) {
+      throw std::out_of_range("Engine::config: epoch no longer live");
+    }
+    return ring_[slot(e)];
   }
   [[nodiscard]] const RobotSpec& spec(RobotIndex i) const {
     return specs_.at(i);
@@ -182,7 +213,7 @@ class Engine {
   [[nodiscard]] obs::cov::CovMap* coverage() const noexcept { return cov_; }
 
   /// Builds the snapshot robot `i` would observe right now (exposed for
-  /// tests; the engine itself uses it during `step`).
+  /// tests; the engine itself uses `build_observation` during `step`).
   [[nodiscard]] Snapshot make_snapshot(RobotIndex i) const;
 
   /// Engine indices in the order robot `i` observed them at t0 (the order
@@ -197,6 +228,10 @@ class Engine {
   /// a sensor glitch that mislocalized a recovery move, a restart at the
   /// wrong point. Used by the stabilization tests; never called by
   /// protocols. Throws CollisionError if the new position collides.
+  ///
+  /// Mutates the current epoch's slot in place: prior epochs (stale
+  /// observations already in flight) keep their recorded positions, which
+  /// is exactly what a physical shove does.
   void teleport(RobotIndex i, const geom::Vec2& global_position);
 
  private:
@@ -206,21 +241,28 @@ class Engine {
     RobotIndex index = 0;
   };
 
+  [[nodiscard]] std::size_t slot(Time e) const noexcept {
+    return static_cast<std::size_t>(e % ring_.size());
+  }
+
   [[nodiscard]] Snapshot make_snapshot_at(
-      RobotIndex i, const std::vector<geom::Vec2>& config,
-      const std::vector<geom::Vec2>& stale_config, Time t) const;
+      RobotIndex i, std::span<const geom::Vec2> config,
+      std::span<const geom::Vec2> stale_config, Time t) const;
 
   /// The snapshot builder behind `make_snapshot_at`, writing into
   /// caller-provided storage so the hot loop can reuse engine-owned
-  /// scratch instead of allocating per activation.
-  void build_snapshot(RobotIndex i, const std::vector<geom::Vec2>& config,
-                      const std::vector<geom::Vec2>& stale_config, Time t,
-                      std::vector<SnapshotEntry>& entries,
-                      Snapshot& out) const;
+  /// scratch instead of allocating per activation. `config` and
+  /// `stale_config` are epoch-ring views — the builder reads them in
+  /// place and never copies the configuration.
+  void build_observation(RobotIndex i, std::span<const geom::Vec2> config,
+                         std::span<const geom::Vec2> stale_config, Time t,
+                         std::vector<SnapshotEntry>& entries,
+                         Snapshot& out) const;
 
-  /// Pushes `config` into the `recent_` ring, recycling the evicted
-  /// buffer's capacity (no steady-state allocation).
-  void push_recent(const std::vector<geom::Vec2>& config);
+  /// Throws CollisionError for the lexicographically first colliding pair
+  /// in `config` (same pair the all-pairs scan reports); grid-accelerated
+  /// for large n, brute below the threshold.
+  void check_collisions(std::span<const geom::Vec2> config);
 
   void step_impl();
 
@@ -229,21 +271,27 @@ class Engine {
   std::unique_ptr<Scheduler> scheduler_;
   EngineOptions options_;
   std::vector<Frame> frames_;
-  std::vector<geom::Vec2> positions_;
-  /// Ring of the configurations of the last `observation_delay + 1`
-  /// instants; only maintained when observation_delay > 0. The stalest
-  /// entry lives at `recent_head_`; buffers are recycled in place.
-  std::vector<std::vector<geom::Vec2>> recent_;
-  std::size_t recent_head_ = 0;
-  std::size_t recent_count_ = 0;
-  /// Step-loop scratch (engine-owned so the per-instant copies of the
-  /// configuration and the per-activation snapshot reuse capacity instead
-  /// of reallocating — see the stigperf baselines for the before/after).
-  std::vector<geom::Vec2> before_scratch_;
-  std::vector<geom::Vec2> after_scratch_;
+  /// Hot per-robot state, structure-of-arrays: `specs_[i].sigma` pulled
+  /// into a flat array so the commit loop touches 8 contiguous bytes per
+  /// robot instead of striding over 72-byte RobotSpec rows.
+  std::vector<double> sigmas_;
+  /// Identified systems only: robot indices sorted by visible id, computed
+  /// once. Ids never change, so appending snapshot entries in this order
+  /// yields the id-sorted observation without a per-activation sort.
+  std::vector<RobotIndex> id_order_;
+  /// The epoch ring: slot `e % ring_.size()` holds the configuration of
+  /// instant e, for the last `observation_delay + 2` instants — newest
+  /// (t_), every delayed-observation epoch down to t_ - delay, and one
+  /// older epoch so `make_snapshot` between steps sees what an observer
+  /// who committed during the previous instant saw. Slot capacity is
+  /// recycled in place; a fault-free steady-state instant copies the
+  /// configuration exactly once (current slot -> next slot).
+  std::vector<std::vector<geom::Vec2>> ring_;
   std::vector<SnapshotEntry> entry_scratch_;
   Snapshot snap_scratch_;
   ActivationSet active_scratch_;
+  std::vector<geom::Vec2> pre_scratch_;  ///< Interceptor before-image.
+  geom::PointGrid grid_scratch_;         ///< Large-n collision checks.
   Trace trace_;
   obs::EventSink* sink_ = nullptr;
   StepInterceptor* interceptor_ = nullptr;

@@ -1,6 +1,7 @@
 #include "sim/trace.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace stig::sim {
 
@@ -28,11 +29,13 @@ void Trace::apply(const obs::Event& e) {
 }
 
 void Trace::record_step(const std::vector<bool>& active,
-                        const std::vector<geom::Vec2>& before,
-                        const std::vector<geom::Vec2>& after,
+                        std::span<const geom::Vec2> before,
+                        std::span<const geom::Vec2> after,
                         obs::EventSink* forward) {
   const std::size_t n = stats_.size();
-  if (record_positions_ && history_.empty()) history_.push_back(before);
+  if (record_positions_ && history_.empty()) {
+    history_.emplace_back(before.begin(), before.end());
+  }
   const std::uint64_t t = instants_;  // == engine time at this step.
 
   obs::Event e;
@@ -58,10 +61,22 @@ void Trace::record_step(const std::vector<bool>& active,
   }
 
   double step_min = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      step_min = std::min(step_min, geom::dist(after[i], after[j]));
+  if (n < 128) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        step_min = std::min(step_min, geom::dist(after[i], after[j]));
+      }
     }
+  } else {
+    // Large swarms: the min separation is the min over robots of the
+    // nearest-neighbour distance — an O(n) grid pass instead of the
+    // all-pairs scan that used to dominate every instant.
+    grid_.build(after);
+    double min_d2 = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      min_d2 = std::min(min_d2, grid_.nearest_other_dist2(i));
+    }
+    step_min = std::sqrt(min_d2);
   }
   e.type = obs::EventType::StepComplete;
   e.robot = -1;
@@ -70,7 +85,7 @@ void Trace::record_step(const std::vector<bool>& active,
   apply(e);
   if (forward != nullptr) forward->on_event(e);
 
-  if (record_positions_) history_.push_back(after);
+  if (record_positions_) history_.emplace_back(after.begin(), after.end());
 }
 
 }  // namespace stig::sim

@@ -15,8 +15,10 @@
 #pragma once
 
 #include <limits>
+#include <span>
 #include <vector>
 
+#include "geom/point_grid.hpp"
 #include "geom/vec.hpp"
 #include "obs/sink.hpp"
 #include "sim/types.hpp"
@@ -43,10 +45,11 @@ class Trace : public obs::EventSink {
   /// per active robot, one Move event per robot that changed position, and
   /// one StepComplete event carrying the instant's minimum pairwise
   /// separation — applied to this trace and forwarded to `forward` when
-  /// non-null.
+  /// non-null. `before`/`after` are views of the engine's epoch-ring
+  /// slots, read in place (copied only into the optional history).
   void record_step(const std::vector<bool>& active,
-                   const std::vector<geom::Vec2>& before,
-                   const std::vector<geom::Vec2>& after,
+                   std::span<const geom::Vec2> before,
+                   std::span<const geom::Vec2> after,
                    obs::EventSink* forward = nullptr);
 
   /// EventSink: folds Activation/Move/StepComplete events into the
@@ -86,6 +89,7 @@ class Trace : public obs::EventSink {
   Time instants_ = 0;
   double min_separation_ = std::numeric_limits<double>::infinity();
   std::vector<std::vector<geom::Vec2>> history_;
+  geom::PointGrid grid_;  ///< Large-n min-separation scratch.
 };
 
 }  // namespace stig::sim

@@ -6,12 +6,15 @@
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "geom/convex.hpp"
 #include "geom/geom_cache.hpp"
 #include "geom/sec.hpp"
 #include "geom/voronoi.hpp"
+#include "sim/engine.hpp"
 #include "sim/rng.hpp"
 
 namespace {
@@ -192,6 +195,63 @@ TEST(GeomCache, ThreadLocalWrappersServeTheLocalCache) {
     EXPECT_EQ(geom::cached_granular_radius(pts, i),
               geom::granular_radius(pts, i));
   }
+}
+
+TEST(GeomCache, CachedGeometryOutlivesEngineEpochWindow) {
+  // The engine hands out spans into its epoch ring; those spans die when
+  // the epoch leaves the live window (observation_delay + 2 instants). The
+  // cache must never retain such a span — each entry owns a copy of the
+  // points, so cached geometry stays valid after the source epoch is
+  // overwritten.
+  class Drifter final : public sim::Robot {
+   public:
+    void initialize(const sim::Snapshot&) override {}
+    geom::Vec2 on_activate(const sim::Snapshot& snap) override {
+      return snap.self_robot().position + Vec2{0.25, 0.125};
+    }
+  };
+  std::vector<sim::RobotSpec> specs;
+  std::vector<std::unique_ptr<sim::Robot>> programs;
+  for (int i = 0; i < 5; ++i) {
+    specs.push_back({.position = Vec2{3.0 * i, (i % 2) * 2.0}, .sigma = 1.0});
+    programs.push_back(std::make_unique<Drifter>());
+  }
+  sim::Engine eng(specs, std::move(programs),
+                  std::make_unique<sim::SynchronousScheduler>());
+
+  const std::span<const Vec2> t0 = eng.positions();
+  const std::vector<Vec2> t0_copy(t0.begin(), t0.end());
+  geom::GeomCache cache;
+  const geom::VoronoiDiagram& vor = cache.voronoi(t0);
+  const std::vector<double>& radii = cache.granular_radii(t0);
+  const sim::Time e0 = eng.config_epoch();
+
+  // Step past the ring capacity: epoch 0's slot is overwritten with newer
+  // configurations (every robot moves every instant).
+  for (int s = 0; s < 4; ++s) eng.step();
+  ASSERT_FALSE(eng.epoch_live(e0));
+
+  // The cached values must match a fresh computation on an owned copy of
+  // the t0 coordinates — bitwise, since the cache memoized the same
+  // functions on the same inputs.
+  const geom::VoronoiDiagram direct = geom::VoronoiDiagram::compute(t0_copy);
+  ASSERT_EQ(vor.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    const auto& dv = direct.cell(i).polygon.vertices();
+    const auto& cv = vor.cell(i).polygon.vertices();
+    ASSERT_EQ(cv.size(), dv.size()) << "cell " << i;
+    for (std::size_t v = 0; v < dv.size(); ++v) {
+      EXPECT_EQ(cv[v].x, dv[v].x) << "cell " << i;
+      EXPECT_EQ(cv[v].y, dv[v].y) << "cell " << i;
+    }
+  }
+  for (std::size_t i = 0; i < t0_copy.size(); ++i) {
+    EXPECT_EQ(radii[i], geom::granular_radius(t0_copy, i));
+  }
+  // And looking the t0 configuration up again (by value) hits the entry.
+  const std::uint64_t misses = cache.misses();
+  (void)cache.voronoi(t0_copy);
+  EXPECT_EQ(cache.misses(), misses);
 }
 
 TEST(ConvexHull, SpanOverloadBasics) {

@@ -3,6 +3,7 @@
 // closed-form granular radius (half the nearest-neighbor distance).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "geom/angle.hpp"
@@ -144,6 +145,69 @@ TEST_P(GranularRadiusTest, ClosedFormMatchesPolygonDistance) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, GranularRadiusTest,
                          ::testing::Values(2, 3, 5, 10, 30, 100));
+
+TEST(Voronoi, MarginFloorKeepsGranularsInCollinearBoxes) {
+  // Regression: an explicit margin far below the nearest-neighbour scale
+  // used to collapse the clip box of a collinear configuration to a
+  // near-zero-height strip, truncating every cell below its granular disc.
+  // The effective margin is floored at half the largest nearest-neighbour
+  // distance — exactly the inflation that keeps every granular inside the
+  // box — so the polygon distance must still equal the closed form.
+  std::vector<Vec2> line;
+  for (int i = 0; i < 9; ++i) line.push_back(Vec2{2.0 * i, 0.0});
+  for (const double margin : {1e-6, 0.01, 0.5}) {
+    for (const VoronoiDiagram& vd :
+         {VoronoiDiagram::compute(line, margin),
+          VoronoiDiagram::compute_halfplane(line, margin)}) {
+      for (const VoronoiCell& c : vd.cells()) {
+        EXPECT_GT(c.polygon.area(), 0.0);
+        EXPECT_NEAR(c.polygon.distance_to_boundary(c.site),
+                    granular_radius(line, c.site_index), 1e-9)
+            << "margin " << margin << " site " << c.site_index;
+      }
+    }
+  }
+  // Near-collinear: a hair of vertical spread, same guarantee.
+  std::vector<Vec2> bent = line;
+  for (std::size_t i = 0; i < bent.size(); ++i) {
+    bent[i].y = (i % 2 == 0 ? 1.0 : -1.0) * 1e-9;
+  }
+  const VoronoiDiagram vd = VoronoiDiagram::compute(bent, 1e-6);
+  for (const VoronoiCell& c : vd.cells()) {
+    EXPECT_GE(c.polygon.distance_to_boundary(c.site),
+              granular_radius(bent, c.site_index) - 1e-9);
+  }
+}
+
+TEST(Voronoi, GranularClosedFormMatchesPolygonAtTightSpacing) {
+  // Large-n, tight-spacing cross-check of the closed-form granular radius
+  // (half the nearest-neighbour distance — what robots actually use)
+  // against the polygon's distance_to_boundary. Regression for the
+  // line-intersection parallel test: its scale floor used to declare the
+  // bisectors of micro-spaced sites parallel, corrupting cells (poly
+  // radius off by ~1e-7 at 1e-6 spacing, including empty cells). With the
+  // sine-relative test, residual disagreement is vertex-placement noise
+  // from box-scale coordinates (~2e-16 absolute observed); pinned at
+  // 1e-9 relative + 1e-15 absolute.
+  sim::Rng rng(881);
+  for (const double spacing : {1e-6, 1e-3, 1.0}) {
+    std::vector<Vec2> sites;
+    for (int y = 0; y < 24; ++y) {
+      for (int x = 0; x < 24; ++x) {
+        sites.push_back(Vec2{(x + rng.uniform(-0.2, 0.2)) * spacing,
+                             (y + rng.uniform(-0.2, 0.2)) * spacing});
+      }
+    }
+    const VoronoiDiagram vd = VoronoiDiagram::compute(sites);
+    for (const VoronoiCell& c : vd.cells()) {
+      const double closed = granular_radius(sites, c.site_index);
+      const double poly = c.polygon.distance_to_boundary(c.site);
+      EXPECT_LE(std::fabs(poly - closed), 1e-9 * closed + 1e-15)
+          << "spacing " << spacing << " site " << c.site_index
+          << " closed " << closed << " poly " << poly;
+    }
+  }
+}
 
 TEST(Granular, DirectionsAndPoints) {
   // 4 diameters, North reference: diameter 0+ is North, 1+ is NE at 45deg

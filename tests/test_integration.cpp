@@ -142,7 +142,10 @@ TEST(Determinism, IdenticalSeedsIdenticalRuns) {
                     opt);
     net.send(0, 2, encode::bytes_of("det"));
     net.run(5000);
-    return net.engine().positions();
+    // positions() is a view into the engine's epoch ring; copy it out
+    // before the network (and the ring) is destroyed.
+    const auto view = net.engine().positions();
+    return std::vector<geom::Vec2>(view.begin(), view.end());
   };
   const auto a = run_once();
   const auto b = run_once();
@@ -159,7 +162,8 @@ TEST(Determinism, DifferentSeedsDiverge) {
     opt.seed = seed;
     ChatNetwork net({geom::Vec2{0, 0}, geom::Vec2{5, 1}}, opt);
     net.run(100);
-    return net.engine().positions();
+    const auto view = net.engine().positions();
+    return std::vector<geom::Vec2>(view.begin(), view.end());
   };
   EXPECT_NE(run_once(1)[0], run_once(2)[0]);
 }

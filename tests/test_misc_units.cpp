@@ -44,8 +44,11 @@ TEST(Trace, InactiveRobotsNotCharged) {
 TEST(Trace, MinSeparationTracksClosestApproach) {
   sim::Trace t(2, false);
   const std::vector<bool> a{true, true};
-  t.record_step(a, {Vec2{0, 0}, Vec2{10, 0}}, {Vec2{0, 0}, Vec2{3, 0}});
-  t.record_step(a, {Vec2{0, 0}, Vec2{3, 0}}, {Vec2{0, 0}, Vec2{8, 0}});
+  const std::vector<Vec2> p0{Vec2{0, 0}, Vec2{10, 0}};
+  const std::vector<Vec2> p1{Vec2{0, 0}, Vec2{3, 0}};
+  const std::vector<Vec2> p2{Vec2{0, 0}, Vec2{8, 0}};
+  t.record_step(a, p0, p1);
+  t.record_step(a, p1, p2);
   EXPECT_NEAR(t.min_separation(), 3.0, 1e-12);
 }
 

@@ -3,6 +3,9 @@
 // detection, trace counters, and construction validation.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 #include "geom/angle.hpp"
 #include "sim/engine.hpp"
 #include "sim/observation.hpp"
@@ -240,6 +243,70 @@ TEST(Engine, RunUntilPredicate) {
   EXPECT_TRUE(e.run_until([&] { return e.now() >= 7; }, 100));
   EXPECT_EQ(e.now(), 7u);
   EXPECT_FALSE(e.run_until([&] { return false; }, 5));
+}
+
+TEST(Engine, EpochRingServesLiveHistory) {
+  std::vector<RobotSpec> specs{{.position = Vec2{0, 0}, .sigma = 10},
+                               {.position = Vec2{5, 0}, .sigma = 10}};
+  std::vector<std::unique_ptr<Robot>> programs;
+  programs.push_back(std::make_unique<Walker>(Vec2{0, 1}));
+  programs.push_back(std::make_unique<Sitter>());
+  EngineOptions opt;
+  opt.observation_delay = 1;  // Ring capacity delay + 2 = 3.
+  Engine e(specs, std::move(programs),
+           std::make_unique<SynchronousScheduler>(), opt);
+
+  EXPECT_EQ(e.config_epoch(), 0u);
+  EXPECT_TRUE(e.epoch_live(0));
+  EXPECT_FALSE(e.epoch_live(1));  // The future is not live.
+
+  // Record every configuration as the run publishes it, then check the
+  // ring serves exactly the live window, bit-for-bit.
+  std::vector<std::vector<Vec2>> history;
+  history.emplace_back(e.positions().begin(), e.positions().end());
+  for (Time s = 1; s <= 5; ++s) {
+    e.step();
+    history.emplace_back(e.positions().begin(), e.positions().end());
+    EXPECT_EQ(e.config_epoch(), s);
+    for (Time ep = 0; ep <= s; ++ep) {
+      if (s - ep < 3) {
+        ASSERT_TRUE(e.epoch_live(ep)) << "epoch " << ep << " at t=" << s;
+        const auto cfg = e.config(ep);
+        const std::vector<Vec2>& want = history[ep];
+        ASSERT_EQ(cfg.size(), want.size());
+        for (std::size_t i = 0; i < cfg.size(); ++i) {
+          EXPECT_EQ(cfg[i].x, want[i].x) << "epoch " << ep << " robot " << i;
+          EXPECT_EQ(cfg[i].y, want[i].y) << "epoch " << ep << " robot " << i;
+        }
+      } else {
+        EXPECT_FALSE(e.epoch_live(ep)) << "epoch " << ep << " at t=" << s;
+        EXPECT_THROW((void)e.config(ep), std::out_of_range);
+      }
+    }
+  }
+}
+
+TEST(Engine, PositionsSpanAliasesCurrentEpoch) {
+  std::vector<RobotSpec> specs{{.position = Vec2{0, 0}, .sigma = 10},
+                               {.position = Vec2{5, 0}, .sigma = 10}};
+  Engine e(specs, walkers({Vec2{1, 0}, Vec2{1, 0}}),
+           std::make_unique<SynchronousScheduler>());
+  // `positions()` is a view of the current epoch's slot, not a copy.
+  EXPECT_EQ(e.positions().data(), e.config(e.config_epoch()).data());
+  e.step();
+  EXPECT_EQ(e.positions().data(), e.config(e.config_epoch()).data());
+  // Stepping publishes a new epoch; the previous one stays readable and
+  // unchanged while live (delay 0 -> capacity 2).
+  const std::vector<Vec2> before(e.positions().begin(), e.positions().end());
+  const Time prev = e.config_epoch();
+  e.step();
+  ASSERT_TRUE(e.epoch_live(prev));
+  const auto old_cfg = e.config(prev);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(old_cfg[i].x, before[i].x);
+    EXPECT_EQ(old_cfg[i].y, before[i].y);
+  }
+  EXPECT_FALSE(e.epoch_live(prev - 1));
 }
 
 TEST(ChangeTracker, CountsDistinctObservations) {
