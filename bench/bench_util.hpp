@@ -101,6 +101,11 @@ class Report {
   void value(const std::string& key, const std::string& v) {
     values_.emplace_back(key, obs::json_quote(v));
   }
+  /// Bare JSON boolean — `stigreport` expects e.g. `"alloc_tracking":
+  /// false` unquoted (the same shape stigperf emits).
+  void value(const std::string& key, bool v) {
+    values_.emplace_back(key, v ? "true" : "false");
+  }
 
   /// Starts a new table section; returns its index for `add_row`.
   std::size_t table(std::string title, std::vector<std::string> columns) {

@@ -1,0 +1,55 @@
+// CLI exit codes — the single source of truth for stigsim's outcomes.
+//
+// The codes grew across PRs (0–3 in PR 1, 4 in PR 2, 5 in PR 3) and were
+// documented in three places that drifted independently: the stigsim
+// source, its --help text, and the README/docs tables. This header is now
+// the only place the table lives: stigsim takes its constants *and* the
+// rendered --help block from here, the README table is checked against
+// these entries by tests/test_cli_exit_codes.cpp, and a new code cannot be
+// added without the test forcing the docs to follow.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace stig::cli {
+
+// stigsim outcomes (see docs/OBSERVABILITY.md "CLI exit codes").
+inline constexpr int kExitDelivered = 0;
+inline constexpr int kExitNoDelivery = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitRuntime = 3;
+inline constexpr int kExitWatchdog = 4;
+inline constexpr int kExitReproduced = 5;
+
+/// One row of the documented exit-code table.
+struct ExitCodeEntry {
+  int code;
+  const char* summary;
+};
+
+/// The canonical stigsim table, in code order 0..5. README's "Exit codes"
+/// table and `stigsim --help` must both render exactly these summaries.
+inline constexpr std::array<ExitCodeEntry, 6> kStigsimExitCodes{{
+    {kExitDelivered, "message(s) delivered (or --replay came up clean)"},
+    {kExitNoDelivery, "run finished with no delivery (timeout)"},
+    {kExitUsage, "usage error (bad flag or value)"},
+    {kExitRuntime, "runtime or I/O error (or --replay diverged)"},
+    {kExitWatchdog, "watchdog violation in report mode"},
+    {kExitReproduced, "--replay reproduced the recorded failure"},
+}};
+
+/// Renders the table as the block `stigsim --help` prints.
+[[nodiscard]] inline std::string stigsim_exit_code_help() {
+  std::string out = "exit codes:\n";
+  for (const ExitCodeEntry& e : kStigsimExitCodes) {
+    out += "  ";
+    out += std::to_string(e.code);
+    out += "  ";
+    out += e.summary;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace stig::cli

@@ -1,0 +1,79 @@
+#include "serve/shard.hpp"
+
+#include <stdexcept>
+
+namespace stig::serve {
+
+ShardedRegistry::ShardedRegistry(ShardedOptions options)
+    : runner_(par::BatchOptions{.jobs = options.jobs}) {
+  if (options.shards == 0) {
+    throw std::invalid_argument("ShardedRegistry needs at least one shard");
+  }
+  shards_.reserve(options.shards);
+  metrics_.reserve(options.shards);
+  for (std::size_t k = 0; k < options.shards; ++k) {
+    auto registry = std::make_unique<SessionRegistry>(options.limits);
+    auto metrics = std::make_unique<obs::MetricsRegistry>();
+    registry->configure_ids(k + 1, options.shards);
+    registry->attach_metrics(metrics.get());
+    shards_.push_back(std::move(registry));
+    metrics_.push_back(std::move(metrics));
+  }
+}
+
+std::size_t ShardedRegistry::route(const Request& req) {
+  if (req.verb == Verb::open_session) {
+    return static_cast<std::size_t>(open_rr_++ % shards_.size());
+  }
+  // Ids are assigned as shard + 1, shard + 1 + K, ...; id 0 is never
+  // valid, so route it anywhere — the shard answers not_found.
+  if (req.session == 0) return 0;
+  return static_cast<std::size_t>((req.session - 1) % shards_.size());
+}
+
+std::vector<Response> ShardedRegistry::apply_batch(
+    std::span<const Request> requests) {
+  // Route sequentially (the round-robin cursor is ordered state), then fan
+  // the shards out: each task owns disjoint response slots, so the only
+  // cross-thread state is the pool itself.
+  std::vector<std::vector<std::size_t>> groups(shards_.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    groups[route(requests[i])].push_back(i);
+  }
+  std::vector<Response> responses(requests.size());
+  (void)runner_.map(shards_.size(), [&](std::size_t shard) -> int {
+    for (const std::size_t idx : groups[shard]) {
+      responses[idx] = shards_[shard]->apply(requests[idx]);
+    }
+    return 0;
+  });
+  return responses;
+}
+
+Response ShardedRegistry::apply(const Request& req) {
+  return std::move(apply_batch(std::span<const Request>(&req, 1)).front());
+}
+
+std::size_t ShardedRegistry::live_sessions() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->live_sessions();
+  return total;
+}
+
+std::uint64_t ShardedRegistry::sessions_opened() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->sessions_opened();
+  return total;
+}
+
+void ShardedRegistry::merge_metrics(obs::MetricsRegistry& into) const {
+  for (const auto& metrics : metrics_) into.merge_from(*metrics);
+}
+
+void ShardedRegistry::write_metrics_json(std::ostream& out) const {
+  obs::MetricsRegistry merged;
+  merge_metrics(merged);
+  merged.write_json(out);
+}
+
+}  // namespace stig::serve

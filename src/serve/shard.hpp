@@ -1,0 +1,76 @@
+// ShardedRegistry — thousands of sessions across par::BatchRunner workers.
+//
+// Sessions are partitioned over K single-threaded SessionRegistry shards:
+// an open_session is routed round-robin (in request order), every later
+// verb routes by id — shard k hands out ids k+1, k+1+K, ... so the owner
+// is recoverable from any id as (id-1) % K without a lookup table. A batch
+// of requests is applied by fanning the shards across a BatchRunner pool;
+// within a shard requests run in arrival order, so per-session ordering is
+// preserved while independent sessions proceed in parallel.
+//
+// Determinism contract (tests/test_serve_concurrency.cpp): every reply and
+// every deterministic metric is a pure function of the request sequence
+// and the shard count — never of the worker count or the completion
+// schedule. Shard metrics live in per-shard registries merged in shard
+// order, the same per-task-registry discipline as src/par (and the per-
+// verb latency histograms are `_ns`-suffixed, so they never gate).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "par/batch_runner.hpp"
+#include "serve/session.hpp"
+
+namespace stig::serve {
+
+struct ShardedOptions {
+  /// Session shards. Fixed by configuration, independent of `jobs` —
+  /// replies must not change when the worker count does.
+  std::size_t shards = 8;
+  /// BatchRunner workers; 0 = hardware concurrency.
+  std::size_t jobs = 0;
+  SessionLimits limits;
+};
+
+class ShardedRegistry {
+ public:
+  explicit ShardedRegistry(ShardedOptions options = {});
+
+  /// Applies `requests` and returns replies in request order. Requests
+  /// for the same session keep their relative order (same shard, applied
+  /// sequentially); requests for different sessions may run concurrently.
+  [[nodiscard]] std::vector<Response> apply_batch(
+      std::span<const Request> requests);
+
+  /// Convenience: a batch of one.
+  [[nodiscard]] Response apply(const Request& req);
+
+  [[nodiscard]] std::size_t shards() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t jobs() const noexcept { return runner_.jobs(); }
+  [[nodiscard]] std::size_t live_sessions() const;
+  [[nodiscard]] std::uint64_t sessions_opened() const;
+
+  /// Folds every shard's metrics into `into`, in shard order (counters
+  /// add, histograms merge bucketwise — deterministic at any job count).
+  void merge_metrics(obs::MetricsRegistry& into) const;
+  /// Renders the merged snapshot as one JSON object.
+  void write_metrics_json(std::ostream& out) const;
+
+ private:
+  /// The shard owning `req` (advances the open-session round-robin).
+  [[nodiscard]] std::size_t route(const Request& req);
+
+  std::vector<std::unique_ptr<SessionRegistry>> shards_;
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> metrics_;
+  std::uint64_t open_rr_ = 0;  ///< Round-robin cursor for open_session.
+  par::BatchRunner runner_;
+};
+
+}  // namespace stig::serve

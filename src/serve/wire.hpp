@@ -1,0 +1,184 @@
+// stigd wire protocol — compact framed request/response codec.
+//
+// The serving layer talks over a byte stream (a local socket in stigd, a
+// memory buffer in tests) using the same framing conventions as the motion
+// channel (src/encode): a frame is
+//
+//   frame := varint(body_length) | body bytes | crc8(body)
+//
+// where the varint is LEB128 (encode/varint.hpp) and the CRC is the same
+// CRC-8/ATM the motion frames carry (encode/crc.hpp). Requests and
+// responses share the framing; the direction of the stream disambiguates.
+// Body layouts are fixed per verb and documented byte-for-byte in
+// docs/SERVING.md; the conformance suite (tests/test_serve_wire.cpp) pins
+// a golden encoding for every verb so the protocol cannot drift silently.
+//
+// The codec is a plain library — no sockets, no I/O — so every layer of
+// the daemon (parser resync, verb round-trips, session semantics) is unit
+// testable deterministically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stig::serve {
+
+/// Request verbs (response bodies echo the verb in byte 0).
+enum class Verb : std::uint8_t {
+  none = 0,           ///< Decode placeholder for malformed bodies.
+  open_session = 1,   ///< Create a ChatNetwork session; returns its id.
+  send_message = 2,   ///< Queue a payload into the session's injection
+                      ///< queue (bounded; BUSY when full, never dropped).
+  step = 3,           ///< Drain the injection queue, advance N instants.
+  poll_delivery = 4,  ///< Take deliveries for one robot (at-most-once).
+  get_report = 5,     ///< The session's obs::RunReport as JSON bytes.
+  close_session = 6,  ///< Destroy the session; its id is never reused.
+};
+
+/// Response status byte.
+enum class Status : std::uint8_t {
+  ok = 0,
+  busy = 1,       ///< Injection queue full — retry after a step.
+  not_found = 2,  ///< Unknown (or already closed) session id.
+  error = 3,      ///< Invalid request; detail carries the reason.
+};
+
+/// Stable lower-case verb name ("open_session", ...).
+[[nodiscard]] const char* verb_name(Verb verb) noexcept;
+/// Stable lower-case status name ("ok", "busy", ...).
+[[nodiscard]] const char* status_name(Status status) noexcept;
+
+/// Open-session flag bits.
+inline constexpr std::uint8_t kOpenAsync = 1U << 0;
+inline constexpr std::uint8_t kOpenVisibleIds = 1U << 1;
+inline constexpr std::uint8_t kOpenSenseOfDirection = 1U << 2;
+/// Send-message flag bits.
+inline constexpr std::uint8_t kSendBroadcast = 1U << 0;
+/// Step-response flag bits.
+inline constexpr std::uint8_t kStepQuiescent = 1U << 0;
+
+/// One request, flattened across verbs: each verb reads the fields its
+/// body layout names and ignores the rest (encode writes only the named
+/// fields; decode zero-initializes the rest).
+struct Request {
+  Verb verb = Verb::none;
+  std::uint64_t session = 0;  ///< Every verb except open_session.
+
+  // open_session.
+  std::uint64_t seed = 1;
+  std::uint64_t robots = 2;
+  std::uint8_t protocol = 0;   ///< core::ProtocolKind as a byte.
+  std::uint8_t scheduler = 0;  ///< core::SchedulerKind as a byte.
+  std::uint8_t flags = 0;      ///< kOpen* / kSend* bits.
+
+  // send_message.
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  std::vector<std::uint8_t> payload;
+
+  // step.
+  std::uint64_t instants = 1;
+
+  // poll_delivery.
+  std::uint64_t robot = 0;
+  std::uint64_t max_messages = 0;  ///< 0 = everything pending.
+
+  bool operator==(const Request&) const = default;
+};
+
+/// One delivery inside a poll_delivery response.
+struct WireDelivery {
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  std::uint8_t flags = 0;  ///< kSendBroadcast when one-to-all.
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const WireDelivery&) const = default;
+};
+
+/// One response. Body layout: verb byte, status byte, then verb-specific
+/// fields when status == ok, else varint-length detail string.
+struct Response {
+  Verb verb = Verb::none;
+  Status status = Status::ok;
+  std::string detail;  ///< Reason, carried when status != ok.
+
+  std::uint64_t session = 0;   ///< open_session (the new id).
+  std::uint64_t queued = 0;    ///< send_message: injection-queue depth
+                               ///< after the accept.
+  std::uint64_t instants = 0;  ///< step: the session's engine clock.
+  std::uint8_t flags = 0;      ///< step: kStepQuiescent.
+  std::vector<WireDelivery> deliveries;  ///< poll_delivery.
+  std::vector<std::uint8_t> body;        ///< get_report: JSON bytes.
+
+  bool operator==(const Response&) const = default;
+};
+
+/// Frames a request body: varint(len) | body | crc8(body).
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const Request& req);
+/// Frames a response body the same way.
+[[nodiscard]] std::vector<std::uint8_t> encode_response(const Response& res);
+
+/// Decodes a deframed request body (no length prefix, no CRC). Returns
+/// nullopt when the verb is unknown or the body is truncated/overlong.
+[[nodiscard]] std::optional<Request> decode_request(
+    std::span<const std::uint8_t> body);
+/// Decodes a deframed response body.
+[[nodiscard]] std::optional<Response> decode_response(
+    std::span<const std::uint8_t> body);
+
+/// Frames larger than this are treated as corruption: the parser drops a
+/// byte and hunts for the next valid frame rather than buffering without
+/// bound. Sized for get_report responses on the largest session.
+inline constexpr std::size_t kMaxFrameBody = 1 << 20;
+
+/// Incremental byte-stream deframer; one instance per in-order stream.
+///
+/// Mirrors encode::FrameParser's corruption discipline on a byte stream: a
+/// bad varint, an oversized declared length or a CRC mismatch counts one
+/// corrupt frame, drops one byte, and resynchronizes by scanning for the
+/// next complete, CRC-valid frame at any offset (garbage before it is
+/// discarded) — so a client joining mid-stream, or a stream damaged by a
+/// truncated write, heals at the next frame boundary.
+class WireParser {
+ public:
+  explicit WireParser(std::size_t max_body = kMaxFrameBody)
+      : max_body_(max_body) {}
+
+  /// Feeds bytes as they arrive from the stream.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Completed, CRC-valid frame bodies accumulated so far; caller takes
+  /// ownership and the internal list is cleared.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> take_frames();
+
+  /// Frames dropped due to CRC mismatch, malformed or oversized length.
+  [[nodiscard]] std::uint64_t corrupt_frames() const noexcept {
+    return corrupt_;
+  }
+  /// Bytes consumed over the parser's lifetime.
+  [[nodiscard]] std::uint64_t bytes_consumed() const noexcept {
+    return bytes_;
+  }
+  /// True when a frame is partially assembled.
+  [[nodiscard]] bool mid_frame() const noexcept { return !buffer_.empty(); }
+
+ private:
+  void parse();
+  /// Post-corruption recovery: accepts the first complete, CRC-valid frame
+  /// at *any* buffer offset. Returns true when one was recovered and
+  /// normal parsing may resume.
+  bool try_resync();
+
+  std::size_t max_body_;
+  std::vector<std::uint8_t> buffer_;
+  std::vector<std::vector<std::uint8_t>> frames_;
+  std::uint64_t corrupt_ = 0;
+  std::uint64_t bytes_ = 0;
+  bool resync_ = false;
+};
+
+}  // namespace stig::serve

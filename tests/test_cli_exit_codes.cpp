@@ -1,0 +1,133 @@
+// Exit-code documentation drift guard.
+//
+// The stigsim exit codes live in exactly one place —
+// src/core/exit_codes.hpp — and everything else renders or repeats that
+// table: `stigsim --help` prints stigsim_exit_code_help() verbatim, the
+// README carries a markdown copy, and docs/OBSERVABILITY.md describes the
+// codes in prose. This suite parses the README table and the
+// OBSERVABILITY section against the header so the three can never drift
+// apart again (they did once: the help text, README and docs each grew
+// their own wording across PRs 1-3).
+//
+// STIG_SOURCE_DIR is injected by tests/CMakeLists.txt so the suite can
+// read the committed docs no matter where the build tree lives.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/exit_codes.hpp"
+
+namespace stig::cli {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string source_path(const std::string& rel) {
+  return std::string(STIG_SOURCE_DIR) + "/" + rel;
+}
+
+struct ParsedRow {
+  int code;
+  std::string summary;
+};
+
+/// Parses `| 0 | summary |` markdown rows out of a document.
+std::vector<ParsedRow> parse_markdown_table(const std::string& text) {
+  std::vector<ParsedRow> rows;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (line.size() < 5 || line[0] != '|') continue;
+    // Split "| code | summary |" on the pipes.
+    const std::size_t p1 = line.find('|', 1);
+    if (p1 == std::string::npos) continue;
+    const std::size_t p2 = line.find('|', p1 + 1);
+    if (p2 == std::string::npos) continue;
+    const auto trim = [](std::string s) {
+      const std::size_t b = s.find_first_not_of(" \t");
+      const std::size_t e = s.find_last_not_of(" \t");
+      return b == std::string::npos ? std::string()
+                                    : s.substr(b, e - b + 1);
+    };
+    const std::string code_cell = trim(line.substr(1, p1 - 1));
+    if (code_cell.empty() ||
+        code_cell.find_first_not_of("0123456789") != std::string::npos) {
+      continue;  // Header, separator, or some other table.
+    }
+    rows.push_back(ParsedRow{std::stoi(code_cell),
+                             trim(line.substr(p1 + 1, p2 - p1 - 1))});
+  }
+  return rows;
+}
+
+TEST(CliExitCodes, HeaderTableIsDense) {
+  // Codes 0..5, in order, each with a nonempty summary.
+  ASSERT_EQ(kStigsimExitCodes.size(), 6u);
+  for (std::size_t i = 0; i < kStigsimExitCodes.size(); ++i) {
+    EXPECT_EQ(kStigsimExitCodes[i].code, static_cast<int>(i));
+    EXPECT_NE(std::string(kStigsimExitCodes[i].summary), "");
+  }
+  EXPECT_EQ(kStigsimExitCodes[kExitDelivered].code, 0);
+  EXPECT_EQ(kStigsimExitCodes[kExitReproduced].code, 5);
+}
+
+TEST(CliExitCodes, HelpRenderingCarriesEveryRow) {
+  // stigsim's print_help() streams this string verbatim, so agreement
+  // with the header is agreement with --help.
+  const std::string help = stigsim_exit_code_help();
+  EXPECT_EQ(help.rfind("exit codes:\n", 0), 0u);
+  for (const ExitCodeEntry& e : kStigsimExitCodes) {
+    const std::string row =
+        "  " + std::to_string(e.code) + "  " + e.summary + "\n";
+    EXPECT_NE(help.find(row), std::string::npos)
+        << "missing row for code " << e.code << ": " << e.summary;
+  }
+}
+
+TEST(CliExitCodes, ReadmeTableMatchesHeader) {
+  const std::string readme = read_file(source_path("README.md"));
+  const std::vector<ParsedRow> rows = parse_markdown_table(readme);
+  ASSERT_EQ(rows.size(), kStigsimExitCodes.size())
+      << "README.md must carry exactly one exit-code table with one row "
+         "per code";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].code, kStigsimExitCodes[i].code);
+    EXPECT_EQ(rows[i].summary,
+              std::string(kStigsimExitCodes[i].summary))
+        << "README row for code " << kStigsimExitCodes[i].code
+        << " drifted from src/core/exit_codes.hpp";
+  }
+}
+
+TEST(CliExitCodes, ObservabilityDocCoversEveryCode) {
+  const std::string doc =
+      read_file(source_path("docs/OBSERVABILITY.md"));
+  const std::size_t section = doc.find("## CLI exit codes");
+  ASSERT_NE(section, std::string::npos);
+  const std::string tail = doc.substr(section);
+  // The prose form must mention every code number and the load-bearing
+  // words of each outcome.
+  for (const ExitCodeEntry& e : kStigsimExitCodes) {
+    EXPECT_NE(tail.find("`" + std::to_string(e.code) + "`"),
+              std::string::npos)
+        << "docs/OBSERVABILITY.md CLI section lost code " << e.code;
+  }
+  for (const char* word :
+       {"delivered", "timeout", "usage", "watchdog", "reproduced"}) {
+    EXPECT_NE(tail.find(word), std::string::npos)
+        << "docs/OBSERVABILITY.md CLI section lost the \"" << word
+        << "\" outcome";
+  }
+}
+
+}  // namespace
+}  // namespace stig::cli

@@ -1,0 +1,287 @@
+// Job-count invariance for the sharded serving layer.
+//
+// The contract under test: every reply and every *gated* (deterministic)
+// metric out of a ShardedRegistry is a pure function of the request
+// sequence and the shard count — never of the worker count or the thread
+// schedule. The same scripted batch of N sessions is applied at jobs 1, 2
+// and 8 and everything observable must be byte-identical. Runs under the
+// existing TSan lane (the full ctest suite is TSan'd in CI), so the
+// fan-out across par::BatchRunner workers is also raced-checked.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metric_keys.hpp"
+#include "obs/metrics.hpp"
+#include "par/seed.hpp"
+#include "serve/shard.hpp"
+
+namespace stig::serve {
+namespace {
+
+/// A scripted workload touching every verb across `sessions` sessions:
+/// open all, interleave sends/steps/polls round-robin, close a third.
+std::vector<Request> scripted_workload(std::size_t sessions,
+                                       std::uint64_t root_seed) {
+  std::vector<Request> script;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    Request open;
+    open.verb = Verb::open_session;
+    open.seed = par::derive_seed(root_seed, s);
+    open.robots = 2 + (s % 3);
+    if (s % 2 == 1) open.flags |= kOpenAsync;
+    script.push_back(open);
+  }
+  // Session ids are round-robin over shards in request order: the i-th
+  // open gets id (i % K) + 1 + (i / K) * K — i.e. exactly i + 1 when
+  // opens arrive first and i < K * anything. Opens are routed round-robin
+  // so ids 1..sessions are assigned in order.
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t s = 0; s < sessions; ++s) {
+      const std::uint64_t id = s + 1;
+      const std::uint64_t n = 2 + (s % 3);
+      Request send;
+      send.verb = Verb::send_message;
+      send.session = id;
+      send.from = (s + round) % n;
+      send.to = (send.from + 1) % n;
+      send.payload = {static_cast<std::uint8_t>(round),
+                      static_cast<std::uint8_t>(s)};
+      script.push_back(send);
+
+      Request step;
+      step.verb = Verb::step;
+      step.session = id;
+      step.instants = 3000;
+      script.push_back(step);
+
+      Request poll;
+      poll.verb = Verb::poll_delivery;
+      poll.session = id;
+      poll.robot = send.to;
+      script.push_back(poll);
+    }
+  }
+  for (std::size_t s = 0; s < sessions; s += 3) {
+    Request close;
+    close.verb = Verb::close_session;
+    close.session = s + 1;
+    script.push_back(close);
+    // And poke the closed id to exercise the not_found path everywhere.
+    Request stale;
+    stale.verb = Verb::step;
+    stale.session = s + 1;
+    script.push_back(stale);
+  }
+  return script;
+}
+
+/// Renders responses into one comparable string (every field that the
+/// wire would carry).
+std::string render(const std::vector<Response>& responses) {
+  std::ostringstream out;
+  for (const Response& res : responses) {
+    out << verb_name(res.verb) << ' ' << status_name(res.status) << ' '
+        << res.session << ' ' << res.queued << ' ' << res.instants << ' '
+        << static_cast<unsigned>(res.flags) << ' ' << res.detail;
+    for (const WireDelivery& d : res.deliveries) {
+      out << " [" << d.from << ">" << d.to << ' '
+          << static_cast<unsigned>(d.flags);
+      for (const std::uint8_t b : d.payload) {
+        out << ' ' << static_cast<unsigned>(b);
+      }
+      out << ']';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+/// The gated subset of the merged metrics: every key without a
+/// machine-speed marker, with its full rendered value.
+std::string gated_metrics(const ShardedRegistry& registry) {
+  obs::MetricsRegistry merged;
+  registry.merge_metrics(merged);
+  std::ostringstream out;
+  merged.write_json(out);
+  const std::string json = out.str();
+  // write_json emits one flat object with sorted keys; histogram values
+  // are one-level objects. Walk the pairs and keep the gated ones.
+  std::string kept;
+  std::size_t i = 0;
+  while (i < json.size()) {
+    const std::size_t q0 = json.find('"', i);
+    if (q0 == std::string::npos) break;
+    const std::size_t q1 = json.find('"', q0 + 1);
+    if (q1 == std::string::npos) break;
+    const std::string key = json.substr(q0 + 1, q1 - q0 - 1);
+    std::size_t v = json.find(':', q1 + 1);
+    if (v == std::string::npos) break;
+    ++v;
+    std::size_t end = v;
+    if (v < json.size() && json[v] == '{') {
+      end = json.find('}', v) + 1;
+    } else {
+      while (end < json.size() && json[end] != ',' && json[end] != '}') {
+        ++end;
+      }
+    }
+    if (!obs::is_informational_key(key)) {
+      kept += key + "=" + json.substr(v, end - v) + "\n";
+    }
+    i = end;
+  }
+  return kept;
+}
+
+struct RunOutput {
+  std::string responses;
+  std::string metrics;
+  std::size_t live = 0;
+  std::uint64_t opened = 0;
+};
+
+RunOutput run_at(std::size_t jobs, const std::vector<Request>& script) {
+  ShardedOptions options;
+  options.shards = 4;
+  options.jobs = jobs;
+  ShardedRegistry registry(options);
+  // Split the script into a few batches so the fan-out happens repeatedly
+  // against evolving shard state, like the daemon's poll cycles.
+  RunOutput out;
+  const std::size_t batch = 37;
+  std::vector<Response> all;
+  for (std::size_t at = 0; at < script.size(); at += batch) {
+    const std::size_t len = std::min(batch, script.size() - at);
+    auto responses = registry.apply_batch(
+        std::span<const Request>(script.data() + at, len));
+    for (auto& r : responses) all.push_back(std::move(r));
+  }
+  out.responses = render(all);
+  out.metrics = gated_metrics(registry);
+  out.live = registry.live_sessions();
+  out.opened = registry.sessions_opened();
+  return out;
+}
+
+TEST(ServeConcurrency, JobCountInvariance) {
+  const std::vector<Request> script = scripted_workload(12, 2024);
+  const RunOutput at1 = run_at(1, script);
+  const RunOutput at2 = run_at(2, script);
+  const RunOutput at8 = run_at(8, script);
+
+  // Byte-identical responses at every worker count.
+  EXPECT_EQ(at1.responses, at2.responses);
+  EXPECT_EQ(at1.responses, at8.responses);
+  // Identical merged gated metrics (the `_ns` latency histograms are
+  // machine-speed and excluded by the metric-key convention).
+  EXPECT_EQ(at1.metrics, at2.metrics);
+  EXPECT_EQ(at1.metrics, at8.metrics);
+  // And identical registry aggregates.
+  EXPECT_EQ(at1.live, at8.live);
+  EXPECT_EQ(at1.opened, at8.opened);
+
+  // The workload actually exercised the interesting paths.
+  EXPECT_NE(at1.responses.find("not_found"), std::string::npos);
+  EXPECT_NE(at1.metrics.find("serve.req.open_session"), std::string::npos);
+  EXPECT_NE(at1.metrics.find("serve.deliveries_polled"),
+            std::string::npos);
+  // …and the informational keys were really filtered out.
+  EXPECT_EQ(at1.metrics.find("_ns"), std::string::npos);
+}
+
+TEST(ServeConcurrency, SingleBatchManySessions) {
+  // One big batch: all opens at once, then a burst touching every session
+  // — the whole fan-out in two apply_batch calls.
+  const std::size_t sessions = 48;
+  std::vector<Request> opens;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    Request open;
+    open.verb = Verb::open_session;
+    open.seed = par::derive_seed(7, s);
+    open.robots = 2;
+    opens.push_back(open);
+  }
+  std::vector<Request> burst;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    Request send;
+    send.verb = Verb::send_message;
+    send.session = s + 1;
+    send.from = 0;
+    send.to = 1;
+    send.payload = {static_cast<std::uint8_t>(s)};
+    burst.push_back(send);
+    Request step;
+    step.verb = Verb::step;
+    step.session = s + 1;
+    step.instants = 2000;
+    burst.push_back(step);
+  }
+
+  std::string first;
+  for (const std::size_t jobs : {1, 2, 8}) {
+    ShardedOptions options;
+    options.shards = 8;
+    options.jobs = jobs;
+    ShardedRegistry registry(options);
+    const auto open_res = registry.apply_batch(opens);
+    const auto burst_res = registry.apply_batch(burst);
+    for (const Response& r : open_res) {
+      ASSERT_EQ(r.status, Status::ok);
+    }
+    const std::string rendered = render(open_res) + render(burst_res) +
+                                 gated_metrics(registry);
+    if (first.empty()) {
+      first = rendered;
+    } else {
+      EXPECT_EQ(rendered, first) << "jobs=" << jobs;
+    }
+    EXPECT_EQ(registry.live_sessions(), sessions);
+  }
+}
+
+TEST(ServeConcurrency, PerSessionOrderSurvivesTheFanOut) {
+  // Requests for one session in a mixed batch keep their relative order:
+  // the queue-depth echoes must be strictly increasing per session.
+  ShardedOptions options;
+  options.shards = 4;
+  options.jobs = 8;
+  ShardedRegistry registry(options);
+  std::vector<Request> opens(6);
+  for (std::size_t s = 0; s < opens.size(); ++s) {
+    opens[s].verb = Verb::open_session;
+    opens[s].seed = s + 1;
+    opens[s].robots = 2;
+  }
+  ASSERT_EQ(registry.apply_batch(opens).size(), opens.size());
+
+  std::vector<Request> sends;
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint64_t id = 1; id <= 6; ++id) {
+      Request send;
+      send.verb = Verb::send_message;
+      send.session = id;
+      send.from = 0;
+      send.to = 1;
+      send.payload = {static_cast<std::uint8_t>(round)};
+      sends.push_back(send);
+    }
+  }
+  const auto responses = registry.apply_batch(sends);
+  std::vector<std::uint64_t> depth(7, 0);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_EQ(responses[i].status, Status::ok) << i;
+    const std::uint64_t id = sends[i].session;
+    EXPECT_EQ(responses[i].queued, depth[id] + 1)
+        << "session " << id << " reply " << i;
+    depth[id] = responses[i].queued;
+  }
+}
+
+}  // namespace
+}  // namespace stig::serve

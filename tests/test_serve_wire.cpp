@@ -1,0 +1,450 @@
+// Wire-protocol conformance suite for the stigd serving layer.
+//
+// Three layers of pinning keep the protocol from drifting silently:
+//
+//  1. golden bytes — the exact frame every verb encodes to is committed
+//     here; any codec change that alters the bytes fails loudly and forces
+//     a deliberate protocol bump;
+//  2. round-trips — encode → frame-parse → decode must reproduce every
+//     request/response field for every verb and status;
+//  3. damage — truncated and overlong length prefixes, oversized declared
+//     lengths, corrupt CRCs and garbage prefixes must be counted as
+//     corruption and survived by resynchronizing on the next valid frame.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "encode/crc.hpp"
+#include "encode/varint.hpp"
+#include "serve/wire.hpp"
+
+namespace stig::serve {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Feeds a whole frame and expects exactly one clean body back.
+Bytes parse_one(const Bytes& frame) {
+  WireParser parser;
+  parser.feed(frame);
+  auto frames = parser.take_frames();
+  EXPECT_EQ(frames.size(), 1u);
+  EXPECT_EQ(parser.corrupt_frames(), 0u);
+  return frames.empty() ? Bytes{} : frames.front();
+}
+
+// ---------------------------------------------------------------------------
+// Golden bytes: one pinned frame per verb, requests and responses. These
+// are the protocol; a mismatch means the wire format changed.
+
+TEST(ServeWireGolden, OpenSessionRequest) {
+  Request req;
+  req.verb = Verb::open_session;
+  req.seed = 7;
+  req.robots = 3;
+  req.flags = kOpenAsync | kOpenVisibleIds;
+  const Bytes expected{0x06, 0x01, 0x07, 0x03, 0x00, 0x00, 0x03, 0x33};
+  EXPECT_EQ(encode_request(req), expected);
+}
+
+TEST(ServeWireGolden, SendMessageRequest) {
+  Request req;
+  req.verb = Verb::send_message;
+  req.session = 5;
+  req.from = 1;
+  req.to = 2;
+  req.payload = {0xAB, 0xCD};
+  const Bytes expected{0x08, 0x02, 0x05, 0x01, 0x02,
+                       0x00, 0x02, 0xAB, 0xCD, 0x55};
+  EXPECT_EQ(encode_request(req), expected);
+}
+
+TEST(ServeWireGolden, StepRequest) {
+  Request req;
+  req.verb = Verb::step;
+  req.session = 5;
+  req.instants = 300;  // Two-byte LEB128: 0xAC 0x02.
+  const Bytes expected{0x04, 0x03, 0x05, 0xAC, 0x02, 0x10};
+  EXPECT_EQ(encode_request(req), expected);
+}
+
+TEST(ServeWireGolden, PollDeliveryRequest) {
+  Request req;
+  req.verb = Verb::poll_delivery;
+  req.session = 5;
+  req.robot = 2;
+  req.max_messages = 10;
+  const Bytes expected{0x04, 0x04, 0x05, 0x02, 0x0A, 0x84};
+  EXPECT_EQ(encode_request(req), expected);
+}
+
+TEST(ServeWireGolden, GetReportRequest) {
+  Request req;
+  req.verb = Verb::get_report;
+  req.session = 5;
+  const Bytes expected{0x02, 0x05, 0x05, 0x5A};
+  EXPECT_EQ(encode_request(req), expected);
+}
+
+TEST(ServeWireGolden, CloseSessionRequest) {
+  Request req;
+  req.verb = Verb::close_session;
+  req.session = 300;
+  const Bytes expected{0x03, 0x06, 0xAC, 0x02, 0x97};
+  EXPECT_EQ(encode_request(req), expected);
+}
+
+TEST(ServeWireGolden, OpenSessionResponse) {
+  Response res;
+  res.verb = Verb::open_session;
+  res.session = 42;
+  const Bytes expected{0x03, 0x01, 0x00, 0x2A, 0xBD};
+  EXPECT_EQ(encode_response(res), expected);
+}
+
+TEST(ServeWireGolden, BusyResponseCarriesDetail) {
+  Response res;
+  res.verb = Verb::send_message;
+  res.status = Status::busy;
+  res.detail = "injection queue full";
+  const Bytes expected{0x17, 0x02, 0x01, 0x14, 0x69, 0x6E, 0x6A, 0x65, 0x63,
+                       0x74, 0x69, 0x6F, 0x6E, 0x20, 0x71, 0x75, 0x65, 0x75,
+                       0x65, 0x20, 0x66, 0x75, 0x6C, 0x6C, 0xE6};
+  EXPECT_EQ(encode_response(res), expected);
+}
+
+TEST(ServeWireGolden, StepResponse) {
+  Response res;
+  res.verb = Verb::step;
+  res.instants = 300;
+  res.flags = kStepQuiescent;
+  const Bytes expected{0x05, 0x03, 0x00, 0xAC, 0x02, 0x01, 0x39};
+  EXPECT_EQ(encode_response(res), expected);
+}
+
+TEST(ServeWireGolden, PollDeliveryResponse) {
+  Response res;
+  res.verb = Verb::poll_delivery;
+  res.deliveries.push_back(WireDelivery{1, 2, kSendBroadcast, {0xFF}});
+  const Bytes expected{0x08, 0x04, 0x00, 0x01, 0x01,
+                       0x02, 0x01, 0x01, 0xFF, 0xA6};
+  EXPECT_EQ(encode_response(res), expected);
+}
+
+TEST(ServeWireGolden, GetReportResponse) {
+  Response res;
+  res.verb = Verb::get_report;
+  res.body = {'{', '}'};
+  const Bytes expected{0x05, 0x05, 0x00, 0x02, 0x7B, 0x7D, 0x7A};
+  EXPECT_EQ(encode_response(res), expected);
+}
+
+TEST(ServeWireGolden, CloseSessionResponse) {
+  Response res;
+  res.verb = Verb::close_session;
+  const Bytes expected{0x02, 0x06, 0x00, 0x7E};
+  EXPECT_EQ(encode_response(res), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trips: every verb in both directions, through the frame parser.
+
+TEST(ServeWireRoundTrip, EveryRequestVerb) {
+  std::vector<Request> requests;
+  {
+    Request r;
+    r.verb = Verb::open_session;
+    r.seed = 0xDEADBEEFCAFEULL;
+    r.robots = 17;
+    r.protocol = 5;
+    r.scheduler = 3;
+    r.flags = kOpenAsync | kOpenSenseOfDirection;
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.verb = Verb::send_message;
+    r.session = 1ULL << 40;
+    r.from = 3;
+    r.to = 9;
+    r.flags = kSendBroadcast;
+    r.payload.assign(100, 0x5A);
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.verb = Verb::step;
+    r.session = 12;
+    r.instants = 65536;
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.verb = Verb::poll_delivery;
+    r.session = 12;
+    r.robot = 16;
+    r.max_messages = 1000;
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.verb = Verb::get_report;
+    r.session = 7;
+    requests.push_back(r);
+  }
+  {
+    Request r;
+    r.verb = Verb::close_session;
+    r.session = 0xFFFFFFFFULL;
+    requests.push_back(r);
+  }
+  for (const Request& req : requests) {
+    const auto decoded = decode_request(parse_one(encode_request(req)));
+    ASSERT_TRUE(decoded.has_value()) << verb_name(req.verb);
+    // The codec zero-initializes fields the verb's layout does not carry,
+    // so normalize the original the same way before comparing.
+    Request expect;
+    expect.verb = req.verb;
+    expect.seed = 1;
+    expect.robots = 2;
+    expect.instants = 1;
+    switch (req.verb) {
+      case Verb::open_session:
+        expect.seed = req.seed;
+        expect.robots = req.robots;
+        expect.protocol = req.protocol;
+        expect.scheduler = req.scheduler;
+        expect.flags = req.flags;
+        break;
+      case Verb::send_message:
+        expect.session = req.session;
+        expect.from = req.from;
+        expect.to = req.to;
+        expect.flags = req.flags;
+        expect.payload = req.payload;
+        break;
+      case Verb::step:
+        expect.session = req.session;
+        expect.instants = req.instants;
+        break;
+      case Verb::poll_delivery:
+        expect.session = req.session;
+        expect.robot = req.robot;
+        expect.max_messages = req.max_messages;
+        break;
+      default:
+        expect.session = req.session;
+        break;
+    }
+    EXPECT_EQ(*decoded, expect) << verb_name(req.verb);
+  }
+}
+
+TEST(ServeWireRoundTrip, EveryResponseShape) {
+  std::vector<Response> responses;
+  {
+    Response r;
+    r.verb = Verb::open_session;
+    r.session = 4242;
+    responses.push_back(r);
+  }
+  {
+    Response r;
+    r.verb = Verb::send_message;
+    r.queued = 16;
+    responses.push_back(r);
+  }
+  {
+    Response r;
+    r.verb = Verb::step;
+    r.instants = 99999;
+    r.flags = kStepQuiescent;
+    responses.push_back(r);
+  }
+  {
+    Response r;
+    r.verb = Verb::poll_delivery;
+    r.deliveries.push_back(WireDelivery{0, 1, 0, {1, 2, 3}});
+    r.deliveries.push_back(WireDelivery{5, 5, kSendBroadcast, {}});
+    responses.push_back(r);
+  }
+  {
+    Response r;
+    r.verb = Verb::get_report;
+    r.body.assign(500, '!');
+    responses.push_back(r);
+  }
+  {
+    Response r;
+    r.verb = Verb::close_session;
+    responses.push_back(r);
+  }
+  for (Status status :
+       {Status::busy, Status::not_found, Status::error}) {
+    Response r;
+    r.verb = Verb::step;
+    r.status = status;
+    r.detail = std::string("why: ") + status_name(status);
+    responses.push_back(r);
+  }
+  for (const Response& res : responses) {
+    const auto decoded = decode_response(parse_one(encode_response(res)));
+    ASSERT_TRUE(decoded.has_value())
+        << verb_name(res.verb) << "/" << status_name(res.status);
+    EXPECT_EQ(*decoded, res)
+        << verb_name(res.verb) << "/" << status_name(res.status);
+  }
+}
+
+TEST(ServeWireRoundTrip, ByteAtATimeFeeding) {
+  Request req;
+  req.verb = Verb::send_message;
+  req.session = 77;
+  req.from = 0;
+  req.to = 1;
+  req.payload = {9, 8, 7};
+  const Bytes frame = encode_request(req);
+  WireParser parser;
+  for (const std::uint8_t b : frame) {
+    parser.feed(std::span<const std::uint8_t>(&b, 1));
+  }
+  auto frames = parser.take_frames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(decode_request(frames.front()).has_value());
+  EXPECT_FALSE(parser.mid_frame());
+  EXPECT_EQ(parser.bytes_consumed(), frame.size());
+}
+
+// ---------------------------------------------------------------------------
+// Damage: truncation, oversize, CRC corruption, garbage-prefix resync.
+
+TEST(ServeWireDamage, TruncatedFrameStaysPending) {
+  Request req;
+  req.verb = Verb::get_report;
+  req.session = 9;
+  Bytes frame = encode_request(req);
+  frame.pop_back();  // Drop the CRC byte.
+  WireParser parser;
+  parser.feed(frame);
+  EXPECT_TRUE(parser.take_frames().empty());
+  EXPECT_EQ(parser.corrupt_frames(), 0u);
+  EXPECT_TRUE(parser.mid_frame());
+}
+
+TEST(ServeWireDamage, TruncatedLengthVarintWaits) {
+  // 0x80 alone is an unterminated varint — not yet corrupt, just pending.
+  const Bytes partial{0x80};
+  WireParser parser;
+  parser.feed(partial);
+  EXPECT_TRUE(parser.take_frames().empty());
+  EXPECT_EQ(parser.corrupt_frames(), 0u);
+}
+
+TEST(ServeWireDamage, OverlongLengthVarintIsCorrupt) {
+  // Ten continuation bytes can never terminate into a valid length.
+  const Bytes overlong(10, 0x80);
+  WireParser parser;
+  parser.feed(overlong);
+  EXPECT_TRUE(parser.take_frames().empty());
+  EXPECT_GE(parser.corrupt_frames(), 1u);
+}
+
+TEST(ServeWireDamage, OversizedDeclaredLengthIsCorrupt) {
+  // Declares a 2 MiB body (over kMaxFrameBody) — must not buffer it.
+  Bytes huge;
+  encode::append_varint(huge, std::uint64_t{2} << 20);
+  WireParser parser;
+  parser.feed(huge);
+  EXPECT_GE(parser.corrupt_frames(), 1u);
+}
+
+TEST(ServeWireDamage, CorruptCrcThenRecovery) {
+  Request req;
+  req.verb = Verb::step;
+  req.session = 3;
+  req.instants = 50;
+  Bytes bad = encode_request(req);
+  bad.back() ^= 0xFF;  // Break the CRC.
+  const Bytes good = encode_request(req);
+
+  WireParser parser;
+  parser.feed(bad);
+  parser.feed(good);
+  auto frames = parser.take_frames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_GE(parser.corrupt_frames(), 1u);
+  const auto decoded = decode_request(frames.front());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->instants, 50u);
+}
+
+TEST(ServeWireDamage, PayloadBitFlipIsCaughtByCrc) {
+  Request req;
+  req.verb = Verb::send_message;
+  req.session = 4;
+  req.from = 0;
+  req.to = 1;
+  req.payload = {0x11, 0x22, 0x33};
+  Bytes frame = encode_request(req);
+  frame[frame.size() / 2] ^= 0x01;
+  WireParser parser;
+  parser.feed(frame);
+  EXPECT_TRUE(parser.take_frames().empty());
+  EXPECT_GE(parser.corrupt_frames(), 1u);
+}
+
+TEST(ServeWireDamage, GarbagePrefixResync) {
+  // A client joining mid-stream: a garbage prefix that declares an
+  // impossible (oversized) length, then two valid frames. The parser must
+  // count the corruption and recover both frames at their offsets.
+  Bytes stream{0xFF, 0xFF, 0xFF, 0xFF, 0x7F};  // varint ≫ kMaxFrameBody.
+  Request a;
+  a.verb = Verb::get_report;
+  a.session = 1;
+  Request b;
+  b.verb = Verb::close_session;
+  b.session = 2;
+  const Bytes fa = encode_request(a);
+  const Bytes fb = encode_request(b);
+  stream.insert(stream.end(), fa.begin(), fa.end());
+  stream.insert(stream.end(), fb.begin(), fb.end());
+
+  WireParser parser;
+  parser.feed(stream);
+  auto frames = parser.take_frames();
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(decode_request(frames[0])->verb, Verb::get_report);
+  EXPECT_EQ(decode_request(frames[1])->verb, Verb::close_session);
+  EXPECT_GE(parser.corrupt_frames(), 1u);
+}
+
+TEST(ServeWireDamage, MalformedBodyRejectedByDecode) {
+  // A CRC-valid frame whose body is garbage must fail decode, not crash.
+  const Bytes body{0x02, 0x05};  // send_message, then truncated fields.
+  Bytes frame;
+  encode::append_varint(frame, body.size());
+  frame.insert(frame.end(), body.begin(), body.end());
+  frame.push_back(encode::crc8(body));
+  const Bytes parsed = parse_one(frame);
+  EXPECT_FALSE(decode_request(parsed).has_value());
+
+  const Bytes unknown_verb{0x09};
+  EXPECT_FALSE(decode_request(unknown_verb).has_value());
+  EXPECT_FALSE(decode_request(Bytes{}).has_value());
+  EXPECT_FALSE(decode_response(Bytes{0x01}).has_value());
+}
+
+TEST(ServeWireDamage, TrailingBytesRejectedByStrictDecode) {
+  // A close_session body with one stowaway byte appended, CRC-valid.
+  Bytes body{0x06, 0x01, 0x00};
+  Bytes padded;
+  encode::append_varint(padded, body.size());
+  padded.insert(padded.end(), body.begin(), body.end());
+  padded.push_back(encode::crc8(body));
+  const Bytes parsed = parse_one(padded);
+  EXPECT_FALSE(decode_request(parsed).has_value());
+}
+
+}  // namespace
+}  // namespace stig::serve

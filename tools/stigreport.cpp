@@ -451,9 +451,12 @@ int run_gate(const std::vector<std::string>& args, bool perf_mode) {
     std::cout << current->bench << " vs " << base_file
               << " (threshold " << th << "):\n";
 
+    // Allocation-derived keys are only comparable when both sides counted
+    // allocations; a sanitizer build (alloc_tracking:false) on either side
+    // skips them — in `perf` and `diff` mode alike, so BENCH artifacts
+    // that record memory-per-session stay gateable under ASan/TSan lanes.
     const bool skip_alloc_keys =
-        perf_mode &&
-        (alloc_tracking_off(*current) || alloc_tracking_off(*baseline));
+        alloc_tracking_off(*current) || alloc_tracking_off(*baseline);
 
     std::map<std::string, std::string> base_map(
         baseline->values.begin(), baseline->values.end());

@@ -31,6 +31,7 @@
 #include <string>
 
 #include "core/chat_network.hpp"
+#include "core/exit_codes.hpp"
 #include "encode/bits.hpp"
 #include "fuzz/fuzzer.hpp"
 #include "fuzz/repro.hpp"
@@ -50,13 +51,15 @@ namespace {
 
 using namespace stig;
 
-// Exit codes (documented in --help and README).
-constexpr int kExitDelivered = 0;
-constexpr int kExitNoDelivery = 1;
-constexpr int kExitUsage = 2;
-constexpr int kExitRuntime = 3;
-constexpr int kExitWatchdog = 4;
-constexpr int kExitReproduced = 5;
+// Exit codes: the shared table in core/exit_codes.hpp, which --help, the
+// README and docs/OBSERVABILITY.md must all agree with (pinned by
+// tests/test_cli_exit_codes.cpp).
+using cli::kExitDelivered;
+using cli::kExitNoDelivery;
+using cli::kExitUsage;
+using cli::kExitRuntime;
+using cli::kExitWatchdog;
+using cli::kExitReproduced;
 
 struct Args {
   std::size_t n = 6;
@@ -134,9 +137,7 @@ void print_help() {
       "  --flight-dump F   flight-recorder dump path (default\n"
       "                    flight.jsonl; written on watchdog violation,\n"
       "                    engine throw, or fatal signal)\n\n"
-      "exit codes: 0 delivered (or replay clean); 1 no delivery;\n"
-      "            2 usage error; 3 runtime/I-O error (or replay diverged);\n"
-      "            4 watchdog violation (report mode); 5 replay reproduced\n";
+      << cli::stigsim_exit_code_help();
 }
 
 bool parse(int argc, char** argv, Args& a) {
