@@ -242,5 +242,62 @@ int main() {
     report.value("session_live_bytes_per_session", per_session);
   }
 
+  // Part 3: fault isolation. One session's state is transiently damaged
+  // (a planted poll cursor, as docs/STABILIZATION.md's serve section
+  // describes); the registry must quarantine exactly that session, keep
+  // its sibling serving, and clear the tombstone on close. Deterministic
+  // by construction — the damage is planted, not raced.
+  {
+    obs::MetricsRegistry metrics;
+    serve::SessionRegistry registry;
+    registry.attach_metrics(&metrics);
+    serve::Request open;
+    open.verb = serve::Verb::open_session;
+    open.seed = bench::case_seed(kRootSeed, 9001);
+    open.robots = 2;
+    const std::uint64_t victim = registry.apply(open).session;
+    const std::uint64_t witness = registry.apply(open).session;
+
+    registry.session(victim)->corrupt_poll_cursor(0, 1u << 20);
+    serve::Request poll;
+    poll.verb = serve::Verb::poll_delivery;
+    poll.session = victim;
+    poll.robot = 0;
+    const bool quarantined =
+        registry.apply(poll).status == serve::Status::poisoned;
+    // Tombstone: every verb but close keeps answering poisoned.
+    serve::Request step;
+    step.verb = serve::Verb::step;
+    step.session = victim;
+    step.instants = 8;
+    const bool tombstoned =
+        registry.apply(step).status == serve::Status::poisoned;
+    // Isolation: the sibling session never notices.
+    step.session = witness;
+    const bool isolated = registry.apply(step).status == serve::Status::ok;
+    // Acknowledgment: close clears the tombstone; the id then answers
+    // not_found like any other closed session.
+    serve::Request close;
+    close.verb = serve::Verb::close_session;
+    close.session = victim;
+    const bool acked = registry.apply(close).status == serve::Status::ok;
+    poll.session = victim;
+    const bool retired =
+        registry.apply(poll).status == serve::Status::not_found;
+
+    const std::uint64_t poisoned = registry.sessions_poisoned();
+    const std::uint64_t counted =
+        metrics.counter("serve.sessions_poisoned").value();
+    const bool isolation_held = quarantined && tombstoned && isolated &&
+                                acked && retired && poisoned == 1 &&
+                                counted == poisoned;
+    std::cout << "\npoison: " << poisoned << " session(s) quarantined, "
+              << "isolation " << (isolation_held ? "held" : "VIOLATED")
+              << "\n";
+    report.value("sessions_poisoned", poisoned);
+    report.value("poison_isolation_held", isolation_held);
+    if (!isolation_held) return 1;
+  }
+
   return invariant ? 0 : 1;
 }

@@ -1,8 +1,10 @@
 #include "core/chat_network.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
+#include "par/seed.hpp"
 #include "proto/async2.hpp"
 #include "proto/asyncn.hpp"
 #include "proto/ksegment.hpp"
@@ -222,6 +224,7 @@ ChatNetwork::ChatNetwork(std::vector<geom::Vec2> positions,
 }
 
 void ChatNetwork::attach_event_sink(obs::EventSink* sink) {
+  sink_ = sink;
   engine_->set_event_sink(sink);
   for (std::size_t i = 0; i < chat_.size(); ++i) {
     chat_[i]->set_telemetry(sink, i, &slot_to_engine_[i]);
@@ -272,6 +275,18 @@ obs::RunReport ChatNetwork::report() const {
   r.min_separation = engine_->trace().min_separation();
   for (const proto::ChatRobot* robot : chat_) {
     if (robot->decode_fault_pending()) ++r.unfired_decode_faults;
+  }
+  r.corruptions_applied = corrupt_next_;
+  if (first_corrupt_t_ && converged_t_) {
+    r.reconverged = true;
+    r.convergence_instants = *converged_t_ - *first_corrupt_t_;
+  }
+  if (!corrupts_.empty()) {
+    // Silence: trailing movement-signal-free rounds. After quiescence this
+    // is how long the swarm has been silent — the recovery-efficiency
+    // measure of the self-stabilization companions.
+    const sim::Time end = engine_->now();
+    r.silence_rounds = last_signal_t_ ? end - 1 - *last_signal_t_ : end;
   }
   if (cov_ != nullptr) {
     r.cov_edges = cov_->distinct_edges();
@@ -339,8 +354,80 @@ void ChatNetwork::collect() {
 
 void ChatNetwork::step() {
   engine_->step();
-  obs::prof::Scope s(prof_, ph_collect_);
-  collect();
+  {
+    obs::prof::Scope s(prof_, ph_collect_);
+    collect();
+  }
+  if (!corrupts_.empty()) track_stabilization();
+}
+
+void ChatNetwork::schedule_corruption(sim::RobotIndex i, sim::Time at,
+                                      proto::CorruptKind kind) {
+  if (i >= chat_.size()) {
+    throw std::invalid_argument("schedule_corruption: unknown robot");
+  }
+  corrupts_.push_back(ScheduledCorruption{at, i, kind});
+  std::stable_sort(corrupts_.begin(), corrupts_.end(),
+                   [](const ScheduledCorruption& a,
+                      const ScheduledCorruption& b) { return a.at < b.at; });
+  corrupt_next_ = 0;
+  // Every robot runs its recovery audits: the corrupted one to repair
+  // itself, the others because a corrupted *peer* is indistinguishable
+  // from own damage at the stream level.
+  for (proto::ChatRobot* robot : chat_) robot->arm_stabilization();
+}
+
+void ChatNetwork::track_stabilization() {
+  const sim::Time t = engine_->now() - 1;  // The instant just executed.
+  while (corrupt_next_ < corrupts_.size() &&
+         corrupts_[corrupt_next_].at <= t) {
+    const ScheduledCorruption& c = corrupts_[corrupt_next_++];
+    // Garbage is a pure function of (seed, robot, at, kind): replays of
+    // the same configuration scramble the same bytes.
+    sim::Rng grng(par::mix_seed(options_.seed ^ 0x5AB17C0DEULL ^
+                                (static_cast<std::uint64_t>(c.robot) << 40) ^
+                                (static_cast<std::uint64_t>(c.kind) << 56) ^
+                                c.at));
+    const std::uint64_t garbage = grng.uniform_int(
+        0, std::numeric_limits<std::uint64_t>::max());
+    chat_[c.robot]->corrupt_state(c.kind, garbage);
+    if (!first_corrupt_t_) {
+      first_corrupt_t_ = c.at;
+      std::uint64_t delivered = 0;
+      for (const auto& v : received_) delivered += v.size();
+      deliveries_at_corrupt_ = delivered;
+    }
+    static constexpr const char* kLabels[] = {
+        "corrupt_phase", "corrupt_cursor", "corrupt_parser",
+        "corrupt_naming"};
+    const char* label = kLabels[static_cast<std::size_t>(c.kind)];
+    if (cov_ != nullptr) {
+      cov_->hit(obs::cov::Domain::fault, cov_->state("fault", "plan"),
+                cov_->state("fault", label));
+    }
+    if (sink_ != nullptr) {
+      obs::Event e;
+      e.type = obs::EventType::FaultInjected;
+      e.t = t;
+      e.robot = static_cast<std::int64_t>(c.robot);
+      e.value = static_cast<double>(garbage % 1000003ULL);
+      e.label = label;
+      sink_->on_event(e);
+    }
+  }
+
+  // Convergence/silence trackers.
+  std::uint64_t bits = 0;
+  for (const proto::ChatRobot* robot : chat_) bits += robot->stats().bits_sent;
+  if (bits > bits_seen_) {
+    bits_seen_ = bits;
+    last_signal_t_ = t;
+  }
+  if (first_corrupt_t_ && !converged_t_) {
+    std::uint64_t delivered = 0;
+    for (const auto& v : received_) delivered += v.size();
+    if (delivered > deliveries_at_corrupt_) converged_t_ = t;
+  }
 }
 
 void ChatNetwork::run(sim::Time instants) {

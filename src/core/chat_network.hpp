@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -206,6 +207,27 @@ class ChatNetwork {
     chat_.at(i)->inject_decode_fault(nth_bit, burst);
   }
 
+  /// Schedules a transient state corruption: after the moves of instant
+  /// `at`, robot `i`'s state machine `kind` is overwritten with arbitrary
+  /// values drawn purely from (network seed, i, at, kind) — replaying the
+  /// same configuration replays the same damage bit-for-bit. Also arms
+  /// stabilization on every robot so the drivers' recovery audits run.
+  /// Emits a FaultInjected "corrupt_<target>" event and records a
+  /// fault.plan -> fault.corrupt_<target> coverage edge when applied.
+  /// Fuzz/fault-harness hook — see fault::arm_corruptions.
+  void schedule_corruption(sim::RobotIndex i, sim::Time at,
+                           proto::CorruptKind kind);
+
+  /// Corruptions whose instant has passed (drivers were scrambled).
+  [[nodiscard]] std::size_t corruptions_applied() const noexcept {
+    return corrupt_next_;
+  }
+  /// Instant of the first applied corruption, if any was applied yet.
+  [[nodiscard]] std::optional<sim::Time> first_corruption_instant()
+      const noexcept {
+    return first_corrupt_t_;
+  }
+
   /// Attaches a fault-injection interceptor to the engine (not owned; null
   /// detaches). Beyond forwarding to `sim::Engine::set_step_interceptor`,
   /// the network also consults it in `quiescent()` so crash-stopped robots
@@ -217,6 +239,17 @@ class ChatNetwork {
 
  private:
   void collect();
+
+  /// One scheduled (not yet applied) transient corruption.
+  struct ScheduledCorruption {
+    sim::Time at = 0;
+    sim::RobotIndex robot = 0;
+    proto::CorruptKind kind = proto::CorruptKind::phase;
+  };
+  /// Applies due corruptions and updates the convergence/silence trackers
+  /// for the instant just executed. Only called when corruptions are
+  /// scheduled, so fault-free runs pay nothing.
+  void track_stabilization();
 
   ChatNetworkOptions options_;
   ProtocolKind kind_ = ProtocolKind::automatic;
@@ -231,6 +264,19 @@ class ChatNetwork {
   std::vector<std::vector<sim::RobotIndex>> slot_to_engine_;
   std::vector<std::vector<Delivery>> received_;
   std::vector<std::vector<Delivery>> overheard_;
+
+  // Stabilization bookkeeping (inert unless schedule_corruption was
+  // called). Tracks the two recovery metrics: convergence time (instants
+  // from the first corruption to the next correct delivery) and silence
+  // (trailing movement-signal-free rounds).
+  obs::EventSink* sink_ = nullptr;        ///< Not owned; mirror of attach.
+  std::vector<ScheduledCorruption> corrupts_;  ///< Sorted by instant.
+  std::size_t corrupt_next_ = 0;          ///< First not-yet-applied index.
+  std::optional<sim::Time> first_corrupt_t_;
+  std::optional<sim::Time> converged_t_;  ///< First delivery after that.
+  std::optional<sim::Time> last_signal_t_;
+  std::uint64_t bits_seen_ = 0;
+  std::uint64_t deliveries_at_corrupt_ = 0;
 };
 
 }  // namespace stig::core

@@ -51,6 +51,23 @@ class FrameParser {
   /// by transient faults — the stabilization mechanism of Section 5.
   void reset();
 
+  /// Transient-corruption hook (fault::CorruptTarget::parser): overwrites
+  /// the assembly state with arbitrary seed-derived bytes — a fake partial
+  /// buffer and possibly resync mode — as if the parser had been struck
+  /// mid-frame. The mid-byte bit count is deliberately preserved: frames
+  /// are whole bytes, so byte-level try_resync can recover any byte-content
+  /// damage, but a shifted bit phase is invisible to it and only reset()
+  /// (which needs an idle sender) can heal it — and the async 2-robot
+  /// protocol never idles. Recovery is the normal discipline: the CRC
+  /// rejects the inconsistent frame and try_resync / reset() realign the
+  /// stream. Counters (corrupt_frames, bits_consumed) are left alone so
+  /// accounting stays monotone.
+  void scramble(std::uint64_t garbage) {
+    buffer_.assign(1 + (garbage & 7), static_cast<std::uint8_t>(garbage));
+    partial_ = static_cast<std::uint8_t>(garbage >> 8);
+    resync_ = (garbage & 1) != 0;
+  }
+
   /// Attaches a coverage map (not owned; null detaches): records
   /// frame-domain edges between parse outcomes (accept, the three
   /// corruption kinds, resync recovery, mid-frame reset), so a corpus

@@ -80,10 +80,42 @@ bool parse_one(std::string_view item, FaultPlan& plan) {
     plan.bursts.push_back(f);
     return true;
   }
+  if (eat(item, "corrupt:")) {
+    CorruptFault f;
+    if (!eat_u64(item, robot) || !eat(item, "@") ||
+        !eat_u64(item, f.at) || !eat(item, ":")) {
+      return false;
+    }
+    const auto target = corrupt_target_from_name(item);
+    if (!target) return false;
+    f.robot = static_cast<sim::RobotIndex>(robot);
+    f.target = *target;
+    plan.corrupts.push_back(f);
+    return true;
+  }
   return false;
 }
 
 }  // namespace
+
+const char* corrupt_target_name(CorruptTarget target) noexcept {
+  switch (target) {
+    case CorruptTarget::phase: return "phase";
+    case CorruptTarget::cursor: return "cursor";
+    case CorruptTarget::parser: return "parser";
+    case CorruptTarget::naming: return "naming";
+  }
+  return "unknown";
+}
+
+std::optional<CorruptTarget> corrupt_target_from_name(
+    std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kCorruptTargetCount; ++i) {
+    const auto t = static_cast<CorruptTarget>(i);
+    if (name == corrupt_target_name(t)) return t;
+  }
+  return std::nullopt;
+}
 
 void normalize(FaultPlan& plan) {
   const auto sort_unique = [](auto& v, auto key) {
@@ -110,6 +142,9 @@ void normalize(FaultPlan& plan) {
   });
   sort_unique(plan.bursts, [](const BurstFault& f) {
     return std::make_tuple(f.robot, f.nth_bit, f.width);
+  });
+  sort_unique(plan.corrupts, [](const CorruptFault& f) {
+    return std::make_tuple(f.robot, f.at, f.target);
   });
 }
 
@@ -160,6 +195,18 @@ FaultPlan sample_fault_plan(std::uint64_t seed,
                                                          shape.burst_width_max));
     plan.bursts.push_back(f);
   }
+  // Corruptions draw after every pre-stabilization category so plans
+  // sampled under the old shape are bit-identical (max_corrupts == 0 never
+  // perturbs the sequence of draws that produced them).
+  const std::uint64_t n_corrupts = rng.uniform_int(0, shape.max_corrupts);
+  for (std::uint64_t k = 0; k < n_corrupts; ++k) {
+    CorruptFault f;
+    f.robot = robot();
+    f.at = instant();
+    f.target = static_cast<CorruptTarget>(
+        rng.uniform_int(0, kCorruptTargetCount - 1));
+    plan.corrupts.push_back(f);
+  }
   normalize(plan);
   return plan;
 }
@@ -189,6 +236,11 @@ std::string format_fault_plan(const FaultPlan& plan) {
     out += "burst:" + std::to_string(f.robot) + "@" +
            std::to_string(f.nth_bit) + "x" + std::to_string(f.width);
   }
+  for (const CorruptFault& f : plan.corrupts) {
+    sep();
+    out += "corrupt:" + std::to_string(f.robot) + "@" +
+           std::to_string(f.at) + ":" + corrupt_target_name(f.target);
+  }
   return out;
 }
 
@@ -201,6 +253,12 @@ std::optional<FaultPlan> parse_fault_plan(std::string_view text) {
     if (semi == std::string_view::npos) break;
     text.remove_prefix(semi + 1);
   }
+  // Duplicate hardening: anything normalize() would drop — an exact
+  // repeat, or a second crash for an already-crashed robot — is not a
+  // valid schedule. Normalized plans still round-trip unchanged.
+  FaultPlan canon = plan;
+  normalize(canon);
+  if (canon.size() != plan.size()) return std::nullopt;
   return plan;
 }
 

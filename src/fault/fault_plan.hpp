@@ -64,20 +64,51 @@ struct BurstFault {
   friend bool operator==(const BurstFault&, const BurstFault&) = default;
 };
 
+/// Which mutable state machine a transient corruption scrambles. The
+/// targets are the *real* per-robot state machines, not abstractions:
+/// protocol phase bookkeeping, the outbox bit cursor, the frame-parser
+/// assembly state, and the geometry-derived naming tables.
+enum class CorruptTarget : std::uint8_t {
+  phase = 0,   ///< Protocol phase counters / per-peer bookkeeping.
+  cursor = 1,  ///< Outbox bit cursor of the sending side.
+  parser = 2,  ///< FrameParser assembly state of the receiving side.
+  naming = 3,  ///< Rank/naming tables derived from the t0 geometry.
+};
+
+inline constexpr std::size_t kCorruptTargetCount = 4;
+
+[[nodiscard]] const char* corrupt_target_name(CorruptTarget target) noexcept;
+[[nodiscard]] std::optional<CorruptTarget> corrupt_target_from_name(
+    std::string_view name) noexcept;
+
+/// Robot `robot`'s state machine `target` is overwritten with arbitrary
+/// seed-derived values after the moves of instant `at` — the transient
+/// fault class of the self-stabilization companions. The plan only
+/// schedules the damage; recovering is the protocol's job (see
+/// docs/STABILIZATION.md for the per-target resync semantics).
+struct CorruptFault {
+  sim::RobotIndex robot = 0;
+  sim::Time at = 0;
+  CorruptTarget target = CorruptTarget::phase;
+  friend bool operator==(const CorruptFault&, const CorruptFault&) = default;
+};
+
 /// The full schedule. Empty vectors mean a fault-free run.
 struct FaultPlan {
   std::vector<CrashFault> crashes;
   std::vector<StallFault> stalls;
   std::vector<JitterFault> jitters;
   std::vector<BurstFault> bursts;
+  std::vector<CorruptFault> corrupts;
 
   [[nodiscard]] bool empty() const noexcept {
     return crashes.empty() && stalls.empty() && jitters.empty() &&
-           bursts.empty();
+           bursts.empty() && corrupts.empty();
   }
   /// Total number of scheduled faults.
   [[nodiscard]] std::size_t size() const noexcept {
-    return crashes.size() + stalls.size() + jitters.size() + bursts.size();
+    return crashes.size() + stalls.size() + jitters.size() + bursts.size() +
+           corrupts.size();
   }
   friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 };
@@ -101,6 +132,9 @@ struct FaultPlanShape {
   std::int32_t jitter_ticks_max = 256;  ///< Max |dx|, |dy| in ticks.
   std::uint64_t burst_bit_max = 512;    ///< Latest burst start (nth bit).
   std::uint64_t burst_width_max = 6;    ///< Widest burst.
+  /// Default 0 so plans sampled before the stabilization layer existed stay
+  /// bit-identical (the corruption draws append after every older category).
+  std::size_t max_corrupts = 0;
 };
 
 /// Draws a plan from `seed` within `shape` (0..max faults per category,
@@ -110,12 +144,14 @@ struct FaultPlanShape {
                                           const FaultPlanShape& shape);
 
 /// Compact single-line form, e.g.
-/// "crash:1@120;stall:2@40+10;jitter:0@77:307,-215;burst:1@10x4".
+/// "crash:1@120;stall:2@40+10;jitter:0@77:307,-215;burst:1@10x4;corrupt:0@9:phase".
 /// Empty plan renders as "". Normalize first for a canonical string.
 [[nodiscard]] std::string format_fault_plan(const FaultPlan& plan);
 
 /// Parses the format_fault_plan form; nullopt on malformed input.
-/// Round-trip: parse(format(normalized plan)) == that plan.
+/// Round-trip: parse(format(normalized plan)) == that plan. Plans that
+/// normalize() would shrink are rejected too: an exact-duplicate fault spec
+/// or a second crash for the same robot is a contradiction, not a schedule.
 [[nodiscard]] std::optional<FaultPlan> parse_fault_plan(
     std::string_view text);
 

@@ -114,4 +114,15 @@ std::size_t arm_bursts(core::ChatNetwork& net, const FaultPlan& plan,
   return armed;
 }
 
+std::size_t arm_corruptions(core::ChatNetwork& net, const FaultPlan& plan) {
+  std::size_t armed = 0;
+  for (const CorruptFault& f : plan.corrupts) {
+    if (f.robot >= net.robot_count()) continue;
+    net.schedule_corruption(f.robot, f.at,
+                            static_cast<proto::CorruptKind>(f.target));
+    ++armed;
+  }
+  return armed;
+}
+
 }  // namespace stig::fault

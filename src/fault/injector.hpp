@@ -80,4 +80,13 @@ std::size_t arm_bursts(core::ChatNetwork& net, const FaultPlan& plan,
                        obs::EventSink* sink,
                        obs::cov::CovMap* cov = nullptr);
 
+/// Schedules the plan's transient-corruption faults on `net` via
+/// schedule_corruption, which also arms every robot's stabilization
+/// machinery (naming audits run only on armed robots, so fault-free runs
+/// stay allocation-free). Unlike arm_bursts this emits nothing here: the
+/// network itself emits the FaultInjected "corrupt_<target>" event and the
+/// fault.plan -> fault.corrupt_<target> coverage edge at the instant each
+/// corruption is actually applied. Out-of-range robots are skipped.
+std::size_t arm_corruptions(core::ChatNetwork& net, const FaultPlan& plan);
+
 }  // namespace stig::fault

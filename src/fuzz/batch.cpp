@@ -7,7 +7,7 @@ namespace stig::fuzz {
 std::vector<BatchCase> run_cases(std::span<const std::uint64_t> seeds,
                                  const std::optional<FaultSpec>& fault,
                                  std::size_t jobs, bool force_faults,
-                                 bool collect_coverage) {
+                                 bool collect_coverage, bool force_corrupts) {
   par::BatchRunner runner(par::BatchOptions{.jobs = jobs});
   return runner.map(seeds.size(), [&](std::size_t i) {
     BatchCase out;
@@ -15,6 +15,7 @@ std::vector<BatchCase> run_cases(std::span<const std::uint64_t> seeds,
     out.config = sample_config(seeds[i]);
     out.config.fault = fault;
     if (force_faults) force_fault_dimensions(out.config);
+    if (force_corrupts) force_corrupt_dimensions(out.config);
     if (collect_coverage) out.cov = std::make_unique<obs::cov::CovMap>();
     out.result = run_case(out.config, out.cov.get());
     return out;

@@ -37,6 +37,10 @@ struct BatchCase {
 /// `force_faults` forces the fault-masking dimensions onto every case
 /// (stigfuzz --faults): a seed-derived group size and FaultPlan replace
 /// whatever the sampler drew, so the whole batch runs crash-masked.
+/// `force_corrupts` instead forces the arbitrary-state dimension
+/// (stigfuzz --corrupt): a seed-derived transient corruption, single-lane,
+/// so the whole batch runs the stabilization oracle. The two forcings are
+/// mutually exclusive; `force_corrupts` wins if both are set.
 /// `collect_coverage` attaches a fresh CovMap to each case and returns it
 /// in BatchCase::cov (stigfuzz --cov / --cov-guided).
 /// The returned vector is ordered like `seeds` regardless of job count;
@@ -45,6 +49,6 @@ struct BatchCase {
     std::span<const std::uint64_t> seeds,
     const std::optional<FaultSpec>& fault = std::nullopt,
     std::size_t jobs = 0, bool force_faults = false,
-    bool collect_coverage = false);
+    bool collect_coverage = false, bool force_corrupts = false);
 
 }  // namespace stig::fuzz

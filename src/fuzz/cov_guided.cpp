@@ -16,6 +16,7 @@ std::vector<std::string> tokens_of(const std::string& sig) {
   std::stringstream ss(sig);
   std::string chunk;
   std::string proto;  // First chunk; anchors the composite tokens.
+  std::string cast;   // "bcast"/"uni"; anchors the triple below.
   while (std::getline(ss, chunk, '/')) {
     if (chunk.empty()) continue;
     if (proto.empty()) proto = chunk;
@@ -28,12 +29,28 @@ std::vector<std::string> tokens_of(const std::string& sig) {
       // protocol x cast are coverage features of their own.
       out.push_back(proto + "." + chunk);
     }
+    if (chunk == "bcast" || chunk == "uni") cast = chunk;
+    if (chunk.size() == 2 && chunk[0] == 'n' && !cast.empty()) {
+      // And the full protocol x cast x band triple: e.g. the ksegment
+      // address-chaining edges only exist when one sender addresses
+      // several receivers — broadcast at n > 2, neither pair alone.
+      out.push_back(proto + "." + cast + "." + chunk);
+    }
     if (chunk[0] == 'g') {
       for (std::size_t i = 1; i < chunk.size(); ++i) {
         if (chunk[i] >= 'a' && chunk[i] <= 'z') {
           out.push_back(std::string(1, chunk[i]));
         }
       }
+    }
+    if (chunk.rfind("corrupt", 0) == 0) {
+      // A corruption perturbs the *protocol's* state machine, so which
+      // driver absorbs which damage is a coverage feature of its own
+      // (asyncn knocked into go_center covers edges no clean asyncn run
+      // has, and a phase scramble lands differently than a parser one).
+      out.push_back("corrupt");
+      out.push_back(proto + ".corrupt");
+      out.push_back(proto + "." + chunk);
     }
   }
   return out;
@@ -62,6 +79,13 @@ std::string config_signature(const FuzzConfig& cfg) {
     if (!p.stalls.empty()) out << "s";
     if (!p.jitters.empty()) out << "j";
     if (!p.bursts.empty()) out << "b";
+  }
+  // The arbitrary-state dimension is single-lane (group 1), so it needs
+  // its own chunk, and a per-target one: the fault.corrupt_<target>
+  // edges — and the off-path phase transitions a corruption knocks a
+  // protocol into — only exist in corrupted cases of that target.
+  for (const fault::CorruptFault& c : cfg.fault_plan.corrupts) {
+    out << "/corrupt_" << fault::corrupt_target_name(c.target);
   }
   return out.str();
 }

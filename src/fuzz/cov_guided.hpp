@@ -6,8 +6,9 @@
 // schedule reorders the *same* seed set before anything runs: each seed's
 // config is sampled (cheap — no simulation) and bucketed by a coarse
 // configuration signature (protocol x scheduler x broadcast x masked x
-// fault-plan shape x swarm-size band — the dimensions that gate which
-// coverage edges a case can possibly reach), then seeds are dealt
+// fault-plan shape x corruption target x swarm-size band — the
+// dimensions that gate which coverage edges a case can possibly reach),
+// then seeds are dealt
 // round-robin across the buckets, preserving numeric order within each.
 // The first |buckets| cases already span every configuration class in the
 // corpus, which is what makes the guided schedule reach the blind

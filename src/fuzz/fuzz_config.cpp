@@ -37,6 +37,26 @@ fault::FaultPlan sample_case_fault_plan(const FuzzConfig& cfg) {
   return plan;
 }
 
+/// One transient corruption for `cfg`: any robot, any target, scheduled in
+/// the first quarter of the budget. Used by both the sampler (drawing from
+/// the case RNG) and force_corrupt_dimensions (its own derived RNG).
+fault::CorruptFault sample_corruption(sim::Rng& rng, const FuzzConfig& cfg) {
+  fault::CorruptFault c;
+  c.robot = static_cast<sim::RobotIndex>(
+      rng.uniform_int(0, static_cast<std::uint64_t>(cfg.n) - 1));
+  // Early in the first transfer: signaling the first payload bit takes
+  // longer than this in every protocol (async transfers run thousands of
+  // instants), so the corruption lands on a *live* state machine instead
+  // of scrambling an idle swarm after quiescence — which would exercise
+  // nothing. The budget-scaled cap keeps shrunk budgets consistent.
+  const sim::Time horizon = std::min<sim::Time>(
+      32, std::max<sim::Time>(2, instant_budget(cfg) / 4));
+  c.at = 1 + rng.uniform_int(0, horizon - 2);
+  c.target = static_cast<fault::CorruptTarget>(
+      rng.uniform_int(0, fault::kCorruptTargetCount - 1));
+  return c;
+}
+
 }  // namespace
 
 bool is_synchronous(core::ProtocolKind kind) {
@@ -159,6 +179,12 @@ FuzzConfig sample_config(std::uint64_t case_seed) {
   if (rng.flip(0.25)) {
     cfg.group_size = rng.flip(0.3) ? 3 : 2;
     cfg.fault_plan = sample_case_fault_plan(cfg);
+  } else if (rng.flip(0.15)) {
+    // Arbitrary-state dimension (single-lane only, appended after the
+    // masking flip so earlier corpus generations keep their configs): one
+    // transient corruption of a live state machine inside the first
+    // quarter of the budget, where the payload is actually in flight.
+    cfg.fault_plan.corrupts = {sample_corruption(rng, cfg)};
   }
   return cfg;
 }
@@ -168,6 +194,15 @@ void force_fault_dimensions(FuzzConfig& cfg) {
   cfg.max_instants = 0;
   cfg.max_instants = instant_budget(cfg);
   cfg.fault_plan = sample_case_fault_plan(cfg);
+}
+
+void force_corrupt_dimensions(FuzzConfig& cfg) {
+  cfg.group_size = 1;
+  cfg.fault_plan = {};
+  cfg.max_instants = 0;
+  cfg.max_instants = instant_budget(cfg);
+  sim::Rng rng(par::derive_seed(cfg.seed, 0xc024));
+  cfg.fault_plan.corrupts = {sample_corruption(rng, cfg)};
 }
 
 core::ChatNetworkOptions to_options(const FuzzConfig& cfg,

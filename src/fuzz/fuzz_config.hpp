@@ -78,13 +78,22 @@ struct FuzzConfig {
 /// x n x payload x broadcast). Never arms a decode FaultSpec; a fraction of
 /// cases draw the fault-masking dimensions (group_size in {2, 3} plus a
 /// FaultPlan confined to lanes 1..g-1, so lane 0 always witnesses the
-/// fault-free behaviour and the delivery oracle stays exact).
+/// fault-free behaviour and the delivery oracle stays exact). A further
+/// fraction of the *single-lane* remainder draw one transient-corruption
+/// fault (a `corrupt:` plan entry) instead — the arbitrary-state mode whose
+/// oracle is run_case's stabilization path. Both draws come last, so the
+/// base config a given seed produces is unchanged from earlier corpora.
 [[nodiscard]] FuzzConfig sample_config(std::uint64_t case_seed);
 
 /// Forces the fault-masking dimensions onto `cfg` (stigfuzz --faults):
 /// group size and plan derived from cfg.seed, lane 0 kept clean. Replaces
 /// any existing plan; refreshes max_instants.
 void force_fault_dimensions(FuzzConfig& cfg);
+
+/// Forces the arbitrary-state dimension onto `cfg` (stigfuzz --corrupt):
+/// one seed-derived transient corruption, single-lane. Replaces any
+/// existing plan and group size; refreshes max_instants.
+void force_corrupt_dimensions(FuzzConfig& cfg);
 
 /// ChatNetworkOptions for running `cfg` as protocol `kind` (the
 /// differential oracle substitutes class members for cfg.protocol).

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "fault/injector.hpp"
 #include "fault/redundant_group.hpp"
 #include "obs/watchdog.hpp"
 
@@ -242,6 +243,182 @@ CaseResult run_case_masked(const FuzzConfig& cfg, obs::cov::CovMap* cov) {
   return result;
 }
 
+/// One phase-A + phase-B stabilization run (see run_case_corrupted).
+struct StabOutcome {
+  bool constructed = false;
+  std::string error;
+  bool quiescent_a = false;
+  bool quiescent_b = false;
+  sim::Time instants = 0;
+  std::vector<DeliverySig> phase_a;  ///< Deliveries up to the probe send.
+  std::vector<DeliverySig> phase_b;  ///< Deliveries after it.
+  sim::ScheduleLog log;
+  std::uint64_t violations = 0;
+  std::string violation_detail;
+};
+
+/// The stabilization oracle: a single-lane run whose plan schedules
+/// transient corruptions. The corrupted run and a fault-free twin each
+/// send the payload, run to quiescence plus a settle window (phase A),
+/// then send a fresh probe and run again (phase B). While converging the
+/// corrupted run may misroute or lose data — but may not deliver garbage
+/// (the CRC owns that), may not trip any movement invariant, and must be
+/// delivering again within the reconvergence budget. From the recovery
+/// point on it must be indistinguishable: its phase-B transcript has to
+/// equal the twin's.
+CaseResult run_case_corrupted(const FuzzConfig& cfg, obs::cov::CovMap* cov) {
+  CaseResult result;
+  const char* proto = core::protocol_kind_name(cfg.protocol);
+  const sim::Time budget = instant_budget(cfg);
+  // The settle window must exceed the synchronous 3-idle-instant resync
+  // rule so planted decoder garbage can age out before the probe.
+  const sim::Time settle = is_synchronous(cfg.protocol) ? 8 : 512;
+  // Probe payload: distinct from cfg.payload so a stale in-flight frame
+  // cannot masquerade as the probe.
+  const std::vector<std::uint8_t> probe = {
+      0xA5, static_cast<std::uint8_t>(cfg.seed),
+      static_cast<std::uint8_t>(cfg.seed >> 8)};
+
+  const auto run_stab = [&](bool corrupt, obs::cov::CovMap* cmap) {
+    StabOutcome out;
+    core::ChatNetworkOptions opt = to_options(cfg, cfg.protocol);
+    opt.record_schedule = &out.log;
+    obs::WatchdogOptions wopt;
+    wopt.check_granular = cfg.protocol == core::ProtocolKind::sliced ||
+                          cfg.protocol == core::ProtocolKind::ksegment ||
+                          cfg.protocol == core::ProtocolKind::asyncn;
+    // A scrambled parser or cursor legitimately yields CRC-corrupt frames
+    // while converging; the replayed-stream framing check would flag
+    // exactly the damage the corruption planted.
+    wopt.check_framing = !corrupt;
+    // Recovery bound: the probe must land within one fresh budget (plus
+    // the settle tail) of the corruption.
+    wopt.reconverge_budget = corrupt ? budget + settle : 0;
+    std::vector<geom::Vec2> positions = scatter(cfg.seed, cfg.n);
+    obs::Watchdog dog(wopt, positions);
+    try {
+      core::ChatNetwork net(positions, opt);
+      net.attach_event_sink(&dog);
+      net.attach_coverage(cmap);
+      if (corrupt) fault::arm_corruptions(net, cfg.fault_plan);
+      if (cfg.broadcast) {
+        net.broadcast(0, cfg.payload);
+      } else {
+        net.send(0, 1, cfg.payload);
+      }
+      out.quiescent_a = net.run_until_quiescent(budget);
+      if (out.quiescent_a) {
+        net.run(settle);
+        for (std::size_t i = 0; i < cfg.n; ++i) {
+          for (const core::Delivery& d : net.received(i)) {
+            out.phase_a.emplace_back(i, d.from, d.payload);
+          }
+        }
+        if (cfg.broadcast) {
+          net.broadcast(0, probe);
+        } else {
+          net.send(0, 1, probe);
+        }
+        out.quiescent_b = net.run_until_quiescent(budget);
+        if (out.quiescent_b) net.run(settle);
+        std::vector<DeliverySig> all;
+        for (std::size_t i = 0; i < cfg.n; ++i) {
+          for (const core::Delivery& d : net.received(i)) {
+            all.emplace_back(i, d.from, d.payload);
+          }
+        }
+        // received() accumulates in arrival order per robot, so phase B is
+        // the per-robot suffix: everything not already counted in phase A.
+        std::sort(out.phase_a.begin(), out.phase_a.end());
+        std::sort(all.begin(), all.end());
+        out.phase_b = all;
+        for (const DeliverySig& sig : out.phase_a) {
+          const auto it = std::find(out.phase_b.begin(), out.phase_b.end(),
+                                    sig);
+          if (it != out.phase_b.end()) out.phase_b.erase(it);
+        }
+      }
+      out.instants = net.engine().now();
+      dog.finalize(out.instants);
+      out.constructed = true;
+      out.violations = dog.total_violations();
+      if (!dog.ok()) {
+        const obs::WatchdogViolation& v = dog.violations().front();
+        out.violation_detail = v.invariant + ": " + v.detail;
+      }
+    } catch (const std::exception& e) {
+      out.error = e.what();
+    }
+    return out;
+  };
+
+  const StabOutcome run = run_stab(/*corrupt=*/true, cov);
+  result.schedule_digest = run.log.digest();
+  result.schedule_instants = run.log.instants();
+  result.instants = run.instants;
+
+  if (!run.constructed) {
+    result.kind = FailureKind::crash;
+    result.detail = std::string(proto) + " corrupted: " + run.error;
+    return result;
+  }
+  if (run.violations > 0) {
+    result.kind = FailureKind::watchdog_violation;
+    result.detail =
+        std::string(proto) + " corrupted: " + run.violation_detail;
+    return result;
+  }
+  if (!run.quiescent_a || !run.quiescent_b) {
+    std::ostringstream out;
+    out << proto << " corrupted: phase " << (run.quiescent_a ? "B" : "A")
+        << " not quiescent after " << budget << " instants";
+    result.kind = FailureKind::timeout;
+    result.detail = out.str();
+    return result;
+  }
+  // Payload integrity during convergence: misrouted or lost deliveries are
+  // tolerated, fabricated ones are not — every phase-A payload must be the
+  // one actually injected.
+  for (const auto& [to, from, payload] : run.phase_a) {
+    if (payload != cfg.payload) {
+      result.kind = FailureKind::payload_mismatch;
+      result.detail = std::string(proto) +
+                      " corrupted: phase A delivered a payload nobody sent";
+      return result;
+    }
+  }
+
+  // Post-recovery transcript: the probe phase must be bit-for-bit the
+  // fault-free twin's.
+  const StabOutcome twin = run_stab(/*corrupt=*/false, nullptr);
+  std::string twin_detail;
+  if (!twin.constructed || twin.violations > 0 || !twin.quiescent_a ||
+      !twin.quiescent_b) {
+    // The config is broken without any corruption: classify as the plain
+    // failure it is so the shrinker can drop the corrupt spec entirely.
+    if (!twin.constructed) {
+      result.kind = FailureKind::crash;
+      result.detail = std::string(proto) + " twin: " + twin.error;
+    } else if (twin.violations > 0) {
+      result.kind = FailureKind::watchdog_violation;
+      result.detail = std::string(proto) + " twin: " + twin.violation_detail;
+    } else {
+      result.kind = FailureKind::timeout;
+      result.detail = std::string(proto) + " twin: not quiescent within " +
+                      std::to_string(budget) + " instants";
+    }
+    return result;
+  }
+  if (run.phase_b != twin.phase_b) {
+    result.kind = FailureKind::stabilization_mismatch;
+    result.detail = std::string(proto) + " corrupted: probe transcript " +
+                    describe(run.phase_b, twin.phase_b) +
+                    " (vs fault-free twin)";
+    return result;
+  }
+  return result;
+}
+
 }  // namespace
 
 const char* failure_kind_name(FailureKind kind) {
@@ -252,6 +429,7 @@ const char* failure_kind_name(FailureKind kind) {
     case FailureKind::watchdog_violation: return "watchdog_violation";
     case FailureKind::timeout: return "timeout";
     case FailureKind::crash: return "crash";
+    case FailureKind::stabilization_mismatch: return "stabilization_mismatch";
   }
   return "none";
 }
@@ -260,7 +438,7 @@ FailureKind failure_kind_from_name(const std::string& name) {
   for (FailureKind k :
        {FailureKind::payload_mismatch, FailureKind::differential_mismatch,
         FailureKind::watchdog_violation, FailureKind::timeout,
-        FailureKind::crash}) {
+        FailureKind::crash, FailureKind::stabilization_mismatch}) {
     if (name == failure_kind_name(k)) return k;
   }
   return FailureKind::none;
@@ -271,6 +449,10 @@ CaseResult run_case(const FuzzConfig& cfg, obs::cov::CovMap* cov) {
   // single-lane path: the flip itself is under test, and the masked run
   // has no receiver to arm it on.
   if (cfg.group_size > 1 && !cfg.fault) return run_case_masked(cfg, cov);
+  // Single-lane transient corruption: the self-stabilization oracle.
+  if (cfg.group_size == 1 && !cfg.fault_plan.corrupts.empty()) {
+    return run_case_corrupted(cfg, cov);
+  }
   CaseResult result;
   const RunOutcome primary =
       run_one(cfg, cfg.protocol, /*apply_fault=*/true, cov);

@@ -24,6 +24,17 @@
 // means no lane exhausted the budget while still progressing, and the
 // delivery oracle compares the *voted* payloads — the crash-masking claim.
 // The schedule digest is then the FNV combination of the per-lane digests.
+//
+// Single-lane configs whose plan schedules a transient corruption
+// (`corrupt:` entries) run the *stabilization* oracle instead: the
+// corrupted state machines must reconverge — phase A sends the payload,
+// applies the corruption mid-flight and runs to quiescence plus a settle
+// window (misrouting and loss are tolerated while converging, garbage
+// payloads are not); phase B then sends a fresh probe, which must arrive
+// exactly like it does in a fault-free twin of the same config. Any
+// divergence of the post-recovery transcript is a stabilization_mismatch;
+// a run that never delivers again within the reconvergence budget trips
+// the watchdog's `reconverged` invariant.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +52,10 @@ enum class FailureKind : unsigned char {
   watchdog_violation,     ///< An invariant tripped (abort mode).
   timeout,                ///< Budget elapsed before quiescence.
   crash,                  ///< The engine threw something else.
+  // Appended (repro files store kinds by name, not ordinal, but keeping
+  // the order stable costs nothing).
+  stabilization_mismatch,  ///< Post-corruption transcript diverged from the
+                           ///< fault-free twin's (self-stabilization oracle).
 };
 
 /// Stable lower-case name ("payload_mismatch", ...).

@@ -72,6 +72,24 @@ ShrinkResult shrink(const FuzzConfig& failing, const CaseResult& original,
     drop_each(&fault::FaultPlan::stalls);
     drop_each(&fault::FaultPlan::jitters);
     drop_each(&fault::FaultPlan::bursts);
+    drop_each(&fault::FaultPlan::corrupts);
+    // Corruption instants shrink toward 1 — the earliest the network can
+    // apply one — which tends to minimize the pre-corruption prefix a
+    // reproducer has to wade through.
+    bool earlier = true;
+    while (earlier) {
+      earlier = false;
+      for (std::size_t i = 0; i < best.config.fault_plan.corrupts.size();
+           ++i) {
+        if (best.config.fault_plan.corrupts[i].at <= 1) continue;
+        FuzzConfig cand = best.config;
+        cand.fault_plan.corrupts[i].at /= 2;
+        if (cand.fault_plan.corrupts[i].at == 0) {
+          cand.fault_plan.corrupts[i].at = 1;
+        }
+        if (try_candidate(std::move(cand))) earlier = true;
+      }
+    }
     bool magnitudes = true;
     while (magnitudes) {
       magnitudes = false;

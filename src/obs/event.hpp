@@ -39,9 +39,10 @@ enum class EventType : unsigned char {
   StepComplete,    ///< Instant `t` finished (value = min pairwise
                    ///< separation of the new configuration).
   FaultInjected,   ///< The fault plan fired on `robot` (label = fault kind:
-                   ///< "crash", "stall", "jitter" or "burst"; value = the
-                   ///< fault's magnitude — stall length, jitter distance or
-                   ///< burst width; 0 for crash).
+                   ///< "crash", "stall", "jitter", "burst" or
+                   ///< "corrupt_<target>"; value = the fault's magnitude —
+                   ///< stall length, jitter distance, burst width or a
+                   ///< digest of the corruption garbage; 0 for crash).
   Retransmit,      ///< The reliable message layer re-sent message `aux`
                    ///< from `robot` to `peer` (value = attempt number;
                    ///< label = "retry" or "backup" once degraded to the

@@ -14,6 +14,10 @@ void RunReport::write_json(std::ostream& out) const {
   out << "  \"quiescent\": " << (quiescent ? "true" : "false") << ",\n";
   out << "  \"messages_delivered\": " << messages_delivered << ",\n";
   out << "  \"unfired_decode_faults\": " << unfired_decode_faults << ",\n";
+  out << "  \"corruptions_applied\": " << corruptions_applied << ",\n";
+  out << "  \"reconverged\": " << (reconverged ? "true" : "false") << ",\n";
+  out << "  \"convergence_instants\": " << convergence_instants << ",\n";
+  out << "  \"silence_rounds\": " << silence_rounds << ",\n";
   out << "  \"bits_sent\": " << bits_sent << ",\n";
   out << "  \"instants_per_bit\": " << json_number(instants_per_bit)
       << ",\n";

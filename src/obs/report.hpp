@@ -45,6 +45,16 @@ struct RunReport {
   /// miscalibrated `nth_bit`, and previously a silent no-op.
   std::uint64_t unfired_decode_faults = 0;
 
+  // Self-stabilization (E15-style; all zero when no corruption scheduled).
+  std::uint64_t corruptions_applied = 0;  ///< Scheduled corruptions fired.
+  bool reconverged = false;  ///< A correct delivery followed the corruption.
+  /// Instants from the first corruption to the first subsequent correct
+  /// delivery (the convergence-time measure of self-stabilization).
+  std::uint64_t convergence_instants = 0;
+  /// Trailing movement-signal-free rounds (the silence measure: how long
+  /// the swarm has been making only idle moves at the end of the run).
+  std::uint64_t silence_rounds = 0;
+
   // Headline shape numbers (E1/E2/E4-style).
   std::uint64_t bits_sent = 0;         ///< Total completed signals.
   double instants_per_bit = 0.0;

@@ -126,6 +126,33 @@ void Watchdog::on_event(const Event& e) {
         const auto it = crash_t_.find(e.robot);
         if (it == crash_t_.end() || e.t < it->second) crash_t_[e.robot] = e.t;
       }
+      if (options_.reconverge_budget > 0 && e.label != nullptr &&
+          std::strncmp(e.label, "corrupt", 7) == 0) {
+        // A later corruption re-damages state, so it re-arms the check even
+        // if an earlier one already cleared.
+        corrupt_pending_t_ = e.t;
+      }
+      return;
+    }
+    case EventType::FrameDelivered: {
+      if (!corrupt_pending_t_) return;
+      const std::uint64_t corrupt_t = *corrupt_pending_t_;
+      corrupt_pending_t_.reset();
+      if (e.t >= corrupt_t &&
+          e.t - corrupt_t > options_.reconverge_budget) {
+        WatchdogViolation v;
+        v.invariant = "reconverged";
+        v.t = e.t;
+        v.robot = e.robot;
+        v.peer = e.peer;
+        v.value = static_cast<double>(e.t - corrupt_t);
+        v.detail = "first delivery after the corruption at t=" +
+                   std::to_string(corrupt_t) + " took " +
+                   std::to_string(e.t - corrupt_t) +
+                   " instants, budget is " +
+                   std::to_string(options_.reconverge_budget);
+        violate(std::move(v));
+      }
       return;
     }
     case EventType::MaskedDelivery: {
@@ -251,6 +278,22 @@ void Watchdog::on_event(const Event& e) {
     default:
       return;
   }
+}
+
+void Watchdog::finalize(std::uint64_t end_t) {
+  if (!corrupt_pending_t_) return;
+  const std::uint64_t corrupt_t = *corrupt_pending_t_;
+  if (end_t < corrupt_t + options_.reconverge_budget) return;  // Too short.
+  corrupt_pending_t_.reset();
+  WatchdogViolation v;
+  v.invariant = "reconverged";
+  v.t = end_t;
+  v.value = static_cast<double>(end_t - corrupt_t);
+  v.detail = "no frame delivery within " +
+             std::to_string(options_.reconverge_budget) +
+             " instants of the corruption at t=" + std::to_string(corrupt_t) +
+             " (run ended at t=" + std::to_string(end_t) + ")";
+  violate(std::move(v));
 }
 
 void Watchdog::report(std::ostream& out) const {

@@ -27,6 +27,12 @@
 //                two MaskedDelivery events for the same logical stream and
 //                delivery ordinal always carry the same payload hash, and
 //                every vote has at least one agreeing lane.
+//   reconverged  after a transient state corruption (FaultInjected with a
+//                "corrupt*" label), some CRC-clean frame delivery follows
+//                within the configured instant budget — the self-
+//                stabilization contract of docs/STABILIZATION.md. Requires
+//                the harness to call finalize(end) so a run that ends
+//                without ever recovering is caught too.
 //
 // In report mode violations accumulate (bounded) and `report()` renders
 // them; in abort mode the first violation throws WatchdogError, which
@@ -75,6 +81,13 @@ struct WatchdogOptions {
   bool check_mask_agreement = true;
   /// AckObserved latency above this is a violation; 0 disables.
   double max_ack_window = 0.0;
+  /// Reconvergence budget (instants) after a transient corruption: each
+  /// FaultInjected event whose label starts with "corrupt" (re-)arms the
+  /// check; the next FrameDelivered at or after that instant clears it —
+  /// or violates if it arrives more than this many instants later. Call
+  /// finalize(end) at end of run to catch corruptions that never cleared.
+  /// 0 disables (the default: corruption-free runs never arm it anyway).
+  std::uint64_t reconverge_budget = 0;
   /// Throw WatchdogError on the first violation instead of recording.
   bool abort_on_violation = false;
   /// Violations recorded after this many are counted but not stored.
@@ -100,6 +113,17 @@ class Watchdog final : public EventSink {
                     std::vector<geom::Vec2> t0_positions = {});
 
   void on_event(const Event& e) override;
+
+  /// End-of-run check for the `reconverged` invariant: violates if a
+  /// corruption is still awaiting its recovery delivery and the run ran at
+  /// least `reconverge_budget` instants past it (a shorter run is merely
+  /// inconclusive, not a violation). Idempotent; safe without corruptions.
+  void finalize(std::uint64_t end_t);
+
+  /// A corruption fired and no frame delivery has followed it yet.
+  [[nodiscard]] bool reconverge_pending() const noexcept {
+    return corrupt_pending_t_.has_value();
+  }
 
   [[nodiscard]] bool ok() const noexcept { return total_violations_ == 0; }
   [[nodiscard]] std::uint64_t total_violations() const noexcept {
@@ -137,6 +161,8 @@ class Watchdog final : public EventSink {
            encode::FrameParser>
       streams_;
   std::map<std::int64_t, std::uint64_t> crash_t_;  ///< robot -> crash time.
+  /// Latest corruption instant still awaiting a frame delivery.
+  std::optional<std::uint64_t> corrupt_pending_t_;
   /// (receiver, sender, delivery ordinal, broadcast) -> voted payload hash.
   std::map<std::tuple<std::int64_t, std::int64_t, std::int64_t, bool>,
            std::uint32_t>

@@ -36,6 +36,15 @@ double Async2Robot::step_size() const {
 }
 
 geom::Vec2 Async2Robot::march_move(const geom::Vec2& cur) {
+  // Stabilization recovery: marching assumes the robot sits on H. A
+  // corrupted phase flag can enter the march mid-return; marching parallel
+  // to H would then signal the stale side forever — and Async2 has no idle
+  // window to heal through. Walk home first. Unreachable in a correct run
+  // (the go_back -> march transition requires distance <= tolerance / 2,
+  // and marching preserves the off-H component).
+  if (horizon_.distance(cur) > 0.5 * tolerance_) {
+    return horizon_.project(cur);  // sigma-clamped by the engine.
+  }
   const double step = step_size();
   if (options_.bound == BoundKind::unbounded) {
     return cur + north_ * step;
@@ -46,6 +55,28 @@ geom::Vec2 Async2Robot::march_move(const geom::Vec2& cur) {
   if (march_sign_ > 0 && offset + step > band) march_sign_ = -1;
   if (march_sign_ < 0 && offset - step < 0.0) march_sign_ = 1;
   return cur + north_ * (static_cast<double>(march_sign_) * step);
+}
+
+void Async2Robot::corrupt_protocol_state(CorruptKind kind,
+                                         std::uint64_t garbage) {
+  // No naming tables with two robots, so ::naming is vacuous here.
+  if (kind != CorruptKind::phase) return;
+  // Restricted-by-design envelope (docs/STABILIZATION.md): Async2 has no
+  // idle window — Remark 4.3 keeps both robots moving forever — so any
+  // corruption that inserts or deletes a stream bit (a phantom excursion,
+  // a flipped decoder side, a re-signaled bit in flight) could never be
+  // realigned. What *is* writable: the bounce direction (self-correcting
+  // at the band edges), the ack barrier (re-armed with a garbage-widened
+  // threshold — wider only delays, and the re-arm itself restores the
+  // Lemma 4.1 guarantee), and the march/go_back flags (the march recovery
+  // branch walks an off-H robot home; the re-armed barrier restores the
+  // separator guarantee). The excursion phase is left alone: leaving it
+  // early would signal the bit in flight twice.
+  march_sign_ = (garbage & 1) != 0 ? 1 : -1;
+  if (phase_ != Phase::excurse) {
+    phase_ = (garbage & 2) != 0 ? Phase::march : Phase::go_back;
+  }
+  barrier_.arm(tracker_, /*self_slot=*/1, options_.ack_changes + garbage % 8);
 }
 
 geom::Vec2 Async2Robot::on_activate(const sim::Snapshot& snap) {

@@ -68,6 +68,10 @@ class Async2Robot final : public ChatRobot {
     return i == self_t0_ ? 0 : 1;
   }
 
+ protected:
+  void corrupt_protocol_state(CorruptKind kind,
+                              std::uint64_t garbage) override;
+
  private:
   std::size_t self_t0_ = 0;  ///< Own index in the t0 snapshot.
   enum class Phase : unsigned char { march, excurse, go_back };

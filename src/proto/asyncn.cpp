@@ -98,6 +98,19 @@ void AsyncNRobot::decode(const std::vector<geom::Vec2>& pos) {
 geom::Vec2 AsyncNRobot::on_activate(const sim::Snapshot& snap) {
   note_activation(snap);
   const std::size_t self = core_.self_index();
+
+  // Granular-naming audit (stabilization): armed runs only — see
+  // SyncSlicedRobot. A repair invalidates all rank-keyed reassembly, and
+  // this protocol's idle-resync heuristic is far too slow to be trusted
+  // with it, so the repair resets everything itself.
+  if (stabilization_armed() && core_.audit_naming()) {
+    for (std::size_t j = 0; j < core_.robot_count(); ++j) {
+      reset_streams_from(j);
+      peer_state_[j] = 0;
+      peer_idle_[j] = 0;
+    }
+  }
+
   // Driver-owned scratch: slice assembly reuses capacity per activation.
   core_.associate_into(snap, pos_scratch_);
   const std::vector<geom::Vec2>& pos = pos_scratch_;
@@ -123,7 +136,13 @@ geom::Vec2 AsyncNRobot::on_activate(const sim::Snapshot& snap) {
       }
       // At the center: start the bit. The ack window opens with this move.
       const auto bit = peek_bit();
-      assert(bit && "go_center without a pending bit");
+      if (!bit) {
+        // Reachable only through a corrupted phase flag (go_center is
+        // entered with a bit pending): fall back to the idle oscillation.
+        note_phase("idle");
+        phase_ = Phase::idle;
+        return kappa_move(cur);
+      }
       // bit->first == self_slot() is the broadcast lane.
       out_signal_ = Signal{bit->first + 1,  // kappa occupies diameter 0.
                            bit->second == 0 ? geom::DiameterSide::positive
@@ -171,6 +190,37 @@ geom::Vec2 AsyncNRobot::on_activate(const sim::Snapshot& snap) {
       return kappa_move(cur);
   }
   return cur;  // Unreachable.
+}
+
+void AsyncNRobot::corrupt_protocol_state(CorruptKind kind,
+                                         std::uint64_t garbage) {
+  if (kind == CorruptKind::naming) {
+    core_.scramble_naming(garbage);
+    return;
+  }
+  // Restricted-by-design envelope (docs/STABILIZATION.md): like Async2,
+  // this protocol has no fast idle window — the 4096-neutral heuristic is
+  // far too slow to count on — so nothing that inserts or deletes a
+  // stream bit is writable: not the decoder's edge states, not the ray of
+  // a bit in flight, and not the out/back/separator phases (leaving any
+  // of them early re-signals or under-separates the bit in flight).
+  // Writable: the bounce directions (self-correcting at the band edges),
+  // the ack barrier (re-armed wider — delay only, and the re-arm restores
+  // the Lemma 4.1 guarantee), the idle<->go_center flags (mutually
+  // self-healing: idle re-enters go_center while a bit is pending, and
+  // go_center without one falls back to idle), and an idle-resync counter
+  // cleared to 0 (a pure delay of the heuristic — planting a high value
+  // could fire a spurious mid-frame reset this protocol cannot outrun).
+  kappa_sign_ = (garbage & 1) != 0 ? 1 : -1;
+  out_sign_ = (garbage & 2) != 0 ? 1 : -1;
+  if (phase_ == Phase::idle || phase_ == Phase::go_center) {
+    phase_ = (garbage & 4) != 0 ? Phase::go_center : Phase::idle;
+  }
+  barrier_.arm(tracker_, core_.self_index(),
+               options_.ack_changes + garbage % 8);
+  if (!peer_idle_.empty()) {
+    peer_idle_[(garbage >> 8) % peer_idle_.size()] = 0;
+  }
 }
 
 }  // namespace stig::proto

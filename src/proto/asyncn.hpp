@@ -75,6 +75,10 @@ class AsyncNRobot final : public ChatRobot {
 
   [[nodiscard]] const SlicedCore& core() const noexcept { return core_; }
 
+ protected:
+  void corrupt_protocol_state(CorruptKind kind,
+                              std::uint64_t garbage) override;
+
  private:
   enum class Phase : unsigned char {
     idle,       ///< Oscillating on kappa; no bit in flight.

@@ -106,6 +106,50 @@ std::vector<ReceivedMessage> ChatRobot::take_overheard() {
   return out;
 }
 
+void ChatRobot::corrupt_state(CorruptKind kind, std::uint64_t garbage) {
+  switch (kind) {
+    case CorruptKind::cursor: {
+      if (outbox_.empty()) break;  // Nothing in flight: vacuously survived.
+      OutMessage& m = outbox_.front();
+      // Jump to an *earlier* byte boundary that keeps the cursor's phase
+      // mod 8. Frames are whole bytes and every symbol width divides 8,
+      // so the emitted stream stays bit- and symbol-aligned; backward
+      // means the damage is byte-aligned *re-transmission* (insertion),
+      // which completes the in-flight frame with garbled content —
+      // CRC-rejected, then healed by the parser's resync scan once the
+      // next frame arrives. A forward jump would instead *delete* bytes
+      // and leave the receiver's parser starving mid-frame forever in the
+      // asynchronous protocols, which have no idle window to realign
+      // through — the same reasoning that pins the phase mod 8.
+      const std::size_t bytes_done = m.cursor / 8 + 1;
+      m.cursor = (m.cursor % 8) + 8 * (garbage % bytes_done);
+      break;
+    }
+    case CorruptKind::parser: {
+      if (!parsers_.empty()) {
+        auto it = parsers_.begin();
+        std::advance(it,
+                     static_cast<std::ptrdiff_t>(garbage % parsers_.size()));
+        it->second.scramble(garbage);
+        break;
+      }
+      // No streams yet: plant a scrambled parser on a garbage stream, as a
+      // transient fault would. Its fake partial buffer poisons the first
+      // real frame on that stream; CRC + resync recover the next one.
+      const std::size_t slots = slot_count() > 0 ? slot_count() : 1;
+      const auto [it, created] =
+          parsers_.try_emplace({garbage % slots, (garbage >> 8) % slots});
+      if (created && cov_ != nullptr) it->second.set_coverage(cov_);
+      it->second.scramble(garbage);
+      break;
+    }
+    case CorruptKind::phase:
+    case CorruptKind::naming:
+      corrupt_protocol_state(kind, garbage);
+      break;
+  }
+}
+
 std::optional<std::pair<std::size_t, std::uint8_t>> ChatRobot::peek_bit()
     const {
   if (outbox_.empty()) return std::nullopt;
@@ -118,16 +162,24 @@ std::optional<std::pair<std::size_t, std::uint32_t>> ChatRobot::peek_symbol(
   assert(bits >= 1 && 8 % bits == 0);
   if (outbox_.empty()) return std::nullopt;
   const OutMessage& m = outbox_.front();
-  assert(m.cursor + bits <= m.bits.size());
+  // Zero-pad past the end: a phase-corrupted driver can ask for a symbol
+  // at a ragged tail; the padded symbol garbles content only, which the
+  // frame CRC already absorbs.
   std::uint32_t symbol = 0;
   for (unsigned i = 0; i < bits; ++i) {
-    symbol = (symbol << 1) | m.bits[m.cursor + i];
+    const std::size_t idx = m.cursor + i;
+    symbol = (symbol << 1) | (idx < m.bits.size() ? m.bits[idx] : 0);
   }
   return std::make_pair(m.to, symbol);
 }
 
 void ChatRobot::advance_outbox(unsigned bits) {
-  assert(!outbox_.empty());
+  // Graceful under transient corruption: a phase-scrambled driver may
+  // complete a signal with nothing queued (drop it on the floor), and a
+  // corrupted cursor may leave fewer bits than a full symbol (telemetry
+  // emits only the bits that exist; the frame completes on overrun). In a
+  // fault-free run both conditions are unreachable.
+  if (outbox_.empty()) return;
   OutMessage& m = outbox_.front();
   if (sink_ != nullptr) {
     const bool broadcast = m.to == self_slot();
@@ -135,15 +187,14 @@ void ChatRobot::advance_outbox(unsigned bits) {
     e.type = obs::EventType::BitEmitted;
     if (!broadcast) e.peer = engine_index(m.to);
     if (broadcast) e.label = "broadcast";
-    for (unsigned b = 0; b < bits; ++b) {
+    for (unsigned b = 0; b < bits && m.cursor + b < m.bits.size(); ++b) {
       e.bit = m.bits[m.cursor + b];
       emit(e);
     }
   }
   m.cursor += bits;
   stats_.bits_sent += bits;
-  assert(m.cursor <= m.bits.size());
-  if (m.cursor == m.bits.size()) {
+  if (m.cursor >= m.bits.size()) {
     ++stats_.messages_sent;
     outbox_.pop_front();
   }

@@ -43,6 +43,16 @@ struct ChatStats {
   std::uint64_t messages_overheard = 0;///< Frames addressed to others.
 };
 
+/// Which mutable state machine ChatRobot::corrupt_state scrambles. Kept at
+/// the proto layer (mirrored by fault::CorruptTarget) so protocols never
+/// depend on the fault library.
+enum class CorruptKind : std::uint8_t {
+  phase,   ///< Driver phase counters / per-peer bookkeeping.
+  cursor,  ///< Bit cursor of the frame in flight.
+  parser,  ///< FrameParser assembly state of one stream.
+  naming,  ///< Geometry-derived naming tables (granular protocols).
+};
+
 /// A decoded message as seen by one robot. All fields are in the *receiving
 /// robot's* slot space.
 struct ReceivedMessage {
@@ -124,6 +134,27 @@ class ChatRobot : public sim::Robot {
     fault_bits_left_ = burst;
   }
 
+  /// Transient-corruption hook (fault::CorruptTarget, via
+  /// core::ChatNetwork): overwrites the targeted state machine with
+  /// arbitrary `garbage`-derived values. `cursor` jumps the in-flight
+  /// frame's bit cursor anywhere that preserves its phase modulo 8 (frames
+  /// are whole bytes and every symbol width divides 8, so byte-level
+  /// resync stays possible — a shifted bit phase would be unrecoverable on
+  /// streams without an idle-reset rule); `parser` scrambles one stream's
+  /// assembly state (or plants a scrambled parser on a garbage stream when
+  /// none exist yet); `phase`/`naming` dispatch to the driver's
+  /// corrupt_protocol_state. Recovery is the protocols' documented resync
+  /// discipline — see docs/STABILIZATION.md.
+  void corrupt_state(CorruptKind kind, std::uint64_t garbage);
+
+  /// Tells the robot a transient corruption is scheduled this run: drivers
+  /// with a naming audit (the granular protocols) re-verify their tables on
+  /// activation only when armed, keeping fault-free runs allocation-free.
+  void arm_stabilization() noexcept { stab_armed_ = true; }
+  [[nodiscard]] bool stabilization_armed() const noexcept {
+    return stab_armed_;
+  }
+
   /// True while an armed decode fault has bits left to fire. A pending
   /// fault at the end of a run means the injection never happened (the
   /// robot never decoded that many signals) — the harness asked for a
@@ -193,6 +224,19 @@ class ChatRobot : public sim::Robot {
   /// otherwise outlive the run).
   void note_phase(const char* phase);
 
+  /// Driver-owned state scrambling for CorruptKind::phase and ::naming.
+  /// The default is a no-op (a driver with no corruptible phase state — or
+  /// no naming tables — simply has nothing to lose). Overrides must keep
+  /// the damage inside the driver's *recoverable* envelope: every value
+  /// written must be one the documented resync path provably converges
+  /// from (see docs/STABILIZATION.md for each protocol's envelope and why
+  /// the excluded states are excluded).
+  virtual void corrupt_protocol_state(CorruptKind kind,
+                                      std::uint64_t garbage) {
+    (void)kind;
+    (void)garbage;
+  }
+
   /// Marks the opening of a Lemma 4.1 acknowledgment window (async
   /// protocols call this when arming the AckBarrier for a bit in flight).
   void note_ack_window() { ack_armed_t_ = now_; }
@@ -233,6 +277,7 @@ class ChatRobot : public sim::Robot {
   const char* phase_name_ = nullptr;
   std::optional<geom::Vec2> last_pos_;  ///< Self position, last activation.
   bool last_was_idle_ = false;
+  bool stab_armed_ = false;  ///< A corruption is scheduled this run.
 
   // Coverage plumbing (inactive until set_coverage).
   obs::cov::CovMap* cov_ = nullptr;      ///< Not owned; null when off.

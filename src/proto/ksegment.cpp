@@ -22,6 +22,21 @@ void KSegmentRobot::initialize(const sim::Snapshot& snap) {
 geom::Vec2 KSegmentRobot::on_activate(const sim::Snapshot& snap) {
   note_activation(snap);
   const std::size_t self = core_.self_index();
+
+  // Granular-naming audit (stabilization): armed runs only — see
+  // SyncSlicedRobot. A repair invalidates all rank-keyed reassembly.
+  if (stabilization_armed() && core_.audit_naming()) {
+    for (std::size_t j = 0; j < core_.robot_count(); ++j) {
+      reset_streams_from(j);
+      DecodeState& st = decode_[j];
+      st.digits.clear();
+      st.in_payload = false;
+      st.end_detector.reset();
+      st.last_code = 0;
+      st.idle = 0;
+    }
+  }
+
   // Driver-owned scratch: slice assembly reuses capacity per activation.
   core_.associate_into(snap, pos_scratch_);
   const std::vector<geom::Vec2>& pos = pos_scratch_;
@@ -44,7 +59,13 @@ geom::Vec2 KSegmentRobot::on_activate(const sim::Snapshot& snap) {
           if (st.digits.size() == digits_) {
             st.addressee_rank = encode::decode_index(st.digits, options_.k);
             st.digits.clear();
-            st.in_payload = true;
+            // Stabilization guard: base-k prefixes can spell indices up to
+            // k^D - 1 >= n, so a corruption-garbled prefix may name a rank
+            // no robot has. A conforming sender never does; discard the
+            // prefix and let the idle rule resync the stream.
+            if (st.addressee_rank < core_.robot_count()) {
+              st.in_payload = true;
+            }
           }
         }
         // A payload symbol (diameter 0) mid-prefix cannot be produced by a
@@ -122,6 +143,41 @@ geom::Vec2 KSegmentRobot::on_activate(const sim::Snapshot& snap) {
   }
   displaced_ = true;
   return core_.signal_point(s, amp);
+}
+
+void KSegmentRobot::corrupt_protocol_state(CorruptKind kind,
+                                           std::uint64_t garbage) {
+  if (kind == CorruptKind::naming) {
+    core_.scramble_naming(garbage);
+    return;
+  }
+  // Recoverable phase envelope. Sender side: a flipped mid-symbol flag
+  // drops or repeats one symbol, a flipped prefix flag sends a payload
+  // without a prefix (the receiver ignores it) or inserts a prefix
+  // mid-frame (ignored mid-payload), a cleared prefix truncates the
+  // address. Receiver side: one per-sender decoder gets an in-domain
+  // scramble — garbage digits (the decode_index guard catches impossible
+  // ranks), a flipped payload flag, a misrouting addressee rank. All of
+  // it loses or misroutes at most the frames in flight; the 3-idle rule
+  // clears digit state and realigns streams once the sender rests.
+  displaced_ = (garbage & 1) != 0;
+  prefix_done_ = (garbage & 2) != 0;
+  pending_digits_.clear();
+  if (!decode_.empty()) {
+    DecodeState& st = decode_[(garbage >> 8) % decode_.size()];
+    st.digits.clear();
+    if (digits_ > 1) {
+      st.digits.push_back(
+          static_cast<std::uint32_t>((garbage >> 16) % options_.k));
+    }
+    st.in_payload = (garbage & 4) != 0;
+    st.addressee_rank = (garbage >> 24) % core_.robot_count();
+    st.last_code = 0;
+    // Strictly below the 3-idle threshold: the reset fires on the ++ == 3
+    // transition, so a counter planted *at* 3 would suppress resyncs for
+    // this stream instead of forcing one.
+    st.idle = static_cast<std::uint8_t>(garbage % 3);
+  }
 }
 
 }  // namespace stig::proto

@@ -61,6 +61,10 @@ class KSegmentRobot final : public ChatRobot {
     return digits_ + payload_bits;
   }
 
+ protected:
+  void corrupt_protocol_state(CorruptKind kind,
+                              std::uint64_t garbage) override;
+
  private:
   /// Per-sender decoder: collecting the digit prefix or the payload.
   struct DecodeState {

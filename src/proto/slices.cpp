@@ -24,67 +24,29 @@ constexpr std::size_t kAssociateGridThreshold = 64;
 
 SlicedCore::SlicedCore(const sim::Snapshot& t0, NamingMode naming,
                        std::size_t diameter_count)
-    : n_(t0.robots.size()), self_(t0.self), diameters_(diameter_count) {
+    : n_(t0.robots.size()),
+      self_(t0.self),
+      diameters_(diameter_count),
+      naming_(naming) {
   assert(diameter_count >= 1);
   centers_.reserve(n_);
   for (const sim::ObservedRobot& r : t0.robots) {
     centers_.push_back(r.position);
   }
+  if (naming == NamingMode::by_ids) {
+    ids_.reserve(n_);
+    for (const sim::ObservedRobot& r : t0.robots) {
+      if (!r.id) {
+        throw std::invalid_argument(
+            "NamingMode::by_ids requires an identified system");
+      }
+      ids_.push_back(*r.id);
+    }
+  }
 
-  // Reference directions and labelings. Shared namings (by_ids,
-  // lexicographic) flatten to a single row; relative naming stores one
-  // row per observer.
-  std::vector<geom::Vec2> references(n_);
   shared_ranks_ = naming != NamingMode::relative;
-  ranks_.clear();
-  ranks_.reserve(shared_ranks_ ? n_ : n_ * n_);
-  const auto append_row = [this](const std::vector<std::size_t>& row) {
-    for (const std::size_t r : row) {
-      ranks_.push_back(static_cast<std::uint32_t>(r));
-    }
-  };
-  switch (naming) {
-    case NamingMode::by_ids: {
-      std::vector<sim::VisibleId> ids;
-      ids.reserve(n_);
-      for (const sim::ObservedRobot& r : t0.robots) {
-        if (!r.id) {
-          throw std::invalid_argument(
-              "NamingMode::by_ids requires an identified system");
-        }
-        ids.push_back(*r.id);
-      }
-      append_row(id_ranks(ids));
-      for (std::size_t i = 0; i < n_; ++i) {
-        references[i] = geom::Vec2{0.0, 1.0};  // North (sense of direction).
-      }
-      break;
-    }
-    case NamingMode::lexicographic: {
-      append_row(lex_ranks(centers_));
-      for (std::size_t i = 0; i < n_; ++i) {
-        references[i] = geom::Vec2{0.0, 1.0};
-      }
-      break;
-    }
-    case NamingMode::relative: {
-      for (std::size_t i = 0; i < n_; ++i) {
-        RelativeNaming rel = relative_naming(centers_, i);
-        append_row(rel.ranks);
-        references[i] = rel.reference;
-      }
-      break;
-    }
-  }
-
-  inverse_ranks_.assign(ranks_.size(), 0);
-  const std::size_t rows = shared_ranks_ ? 1 : n_;
-  for (std::size_t i = 0; i < rows; ++i) {
-    for (std::size_t j = 0; j < n_; ++j) {
-      inverse_ranks_[i * n_ + ranks_[i * n_ + j]] =
-          static_cast<std::uint32_t>(j);
-    }
-  }
+  std::vector<geom::Vec2> references(n_);
+  compute_ranks(ranks_, inverse_ranks_, &references);
 
   if (n_ >= kAssociateGridThreshold) {
     center_grid_.build(centers_);
@@ -102,6 +64,77 @@ SlicedCore::SlicedCore(const sim::Snapshot& t0, NamingMode naming,
     }
     granulars_.emplace_back(centers_[i], r, diameters_, references[i]);
   }
+}
+
+void SlicedCore::compute_ranks(std::vector<std::uint32_t>& ranks,
+                               std::vector<std::uint32_t>& inverse,
+                               std::vector<geom::Vec2>* references) const {
+  // Reference directions and labelings. Shared namings (by_ids,
+  // lexicographic) flatten to a single row; relative naming stores one
+  // row per observer.
+  ranks.clear();
+  ranks.reserve(shared_ranks_ ? n_ : n_ * n_);
+  const auto append_row = [&ranks](const std::vector<std::size_t>& row) {
+    for (const std::size_t r : row) {
+      ranks.push_back(static_cast<std::uint32_t>(r));
+    }
+  };
+  switch (naming_) {
+    case NamingMode::by_ids: {
+      append_row(id_ranks(ids_));
+      if (references != nullptr) {
+        for (std::size_t i = 0; i < n_; ++i) {
+          // North (sense of direction).
+          (*references)[i] = geom::Vec2{0.0, 1.0};
+        }
+      }
+      break;
+    }
+    case NamingMode::lexicographic: {
+      append_row(lex_ranks(centers_));
+      if (references != nullptr) {
+        for (std::size_t i = 0; i < n_; ++i) {
+          (*references)[i] = geom::Vec2{0.0, 1.0};
+        }
+      }
+      break;
+    }
+    case NamingMode::relative: {
+      for (std::size_t i = 0; i < n_; ++i) {
+        RelativeNaming rel = relative_naming(centers_, i);
+        append_row(rel.ranks);
+        if (references != nullptr) (*references)[i] = rel.reference;
+      }
+      break;
+    }
+  }
+
+  inverse.assign(ranks.size(), 0);
+  const std::size_t rows = shared_ranks_ ? 1 : n_;
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      inverse[i * n_ + ranks[i * n_ + j]] = static_cast<std::uint32_t>(j);
+    }
+  }
+}
+
+void SlicedCore::scramble_naming(std::uint64_t garbage) {
+  if (ranks_.empty() || n_ == 0) return;
+  ranks_[garbage % ranks_.size()] =
+      static_cast<std::uint32_t>((garbage >> 8) % n_);
+  inverse_ranks_[(garbage >> 16) % inverse_ranks_.size()] =
+      static_cast<std::uint32_t>((garbage >> 24) % n_);
+}
+
+bool SlicedCore::audit_naming() {
+  if (n_ == 0) return false;
+  std::vector<std::uint32_t> ranks;
+  std::vector<std::uint32_t> inverse;
+  compute_ranks(ranks, inverse, nullptr);
+  if (ranks == ranks_ && inverse == inverse_ranks_) return false;
+  ranks_ = std::move(ranks);
+  inverse_ranks_ = std::move(inverse);
+  return true;
 }
 
 std::vector<geom::Vec2> SlicedCore::associate(

@@ -118,7 +118,33 @@ class SlicedCore {
     return granulars_.at(i).radius();
   }
 
+  /// Transient-corruption hook (fault::CorruptTarget::naming): overwrites
+  /// one entry of each rank table with an in-domain garbage value. The
+  /// envelope is type-preserving on purpose: a rank slot holds *some*
+  /// rank, so the corruption silently misroutes signals — the interesting
+  /// failure — instead of tripping a bounds check (fail-stop, which needs
+  /// no stabilization). May be vacuous when the garbage equals the stored
+  /// value; the audit then finds nothing to repair.
+  void scramble_naming(std::uint64_t garbage);
+
+  /// Stabilization audit: recomputes the naming tables from the stored t0
+  /// geometry (and ids), compares them to the live tables, and swaps the
+  /// recomputed ones in when they differ. Returns true exactly when a
+  /// repair happened — the caller must then treat all reassembly state
+  /// keyed by ranks as suspect. Bit-exact no-op (but an O(n log n)
+  /// recompute + allocation) on an uncorrupted core, which is why drivers
+  /// only call it when stabilization is armed.
+  [[nodiscard]] bool audit_naming();
+
  private:
+  /// Computes the rank tables (and, when `references` is non-null, each
+  /// robot's reference direction) from centers_/ids_/naming_. Shared by
+  /// the constructor and the stabilization audit so the audit compares
+  /// against exactly the construction-time derivation.
+  void compute_ranks(std::vector<std::uint32_t>& ranks,
+                     std::vector<std::uint32_t>& inverse,
+                     std::vector<geom::Vec2>* references) const;
+
   [[nodiscard]] std::size_t row(std::size_t i) const {
     // Shared labelings (by_ids, lexicographic: every robot ranks every
     // robot identically) store ONE row for the whole swarm; only the
@@ -138,6 +164,8 @@ class SlicedCore {
   std::size_t self_ = 0;
   std::size_t diameters_ = 0;
   bool shared_ranks_ = false;
+  NamingMode naming_ = NamingMode::lexicographic;
+  std::vector<sim::VisibleId> ids_;  ///< t0 visible ids (by_ids only).
   std::vector<geom::Vec2> centers_;
   std::vector<geom::Granular> granulars_;
   /// Flat rank tables: row-major rows of length n_ (one shared row when

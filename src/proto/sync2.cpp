@@ -42,6 +42,25 @@ double Sync2Robot::symbol_amplitude(std::uint32_t symbol) const {
   return codec_.level(codec_.levels() - 1 - symbol);
 }
 
+void Sync2Robot::corrupt_protocol_state(CorruptKind kind,
+                                        std::uint64_t garbage) {
+  // No naming tables with two robots, so ::naming is vacuous here.
+  if (kind != CorruptKind::phase) return;
+  // Recoverable envelope: each field below only garbles or drops signals
+  // (a spurious return consumes an unsignaled symbol, a cleared mid-signal
+  // flag skips one, a flipped edge tracker misses or repeats a decode, a
+  // scrambled idle counter can fire a spurious mid-frame stream reset).
+  // All of that is frame *content/alignment* damage the CRC rejects, and
+  // the 3-idle rule realigns every stream once the peer provably rests —
+  // at the latest when the network quiesces.
+  displaced_ = (garbage & 1) != 0;
+  peer_was_off_ = (garbage & 2) != 0;
+  // Strictly below the 3-idle threshold: the reset fires on the ++ == 3
+  // transition, so a counter planted at 3 would suppress resyncs instead
+  // of forcing one.
+  peer_idle_ = static_cast<std::uint8_t>((garbage >> 2) % 3);
+}
+
 geom::Vec2 Sync2Robot::on_activate(const sim::Snapshot& snap) {
   note_activation(snap);
   const geom::Vec2 peer = snap.robots[1 - snap.self].position;

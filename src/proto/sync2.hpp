@@ -46,6 +46,10 @@ class Sync2Robot final : public ChatRobot {
     return i == self_t0_ ? 0 : 1;
   }
 
+ protected:
+  void corrupt_protocol_state(CorruptKind kind,
+                              std::uint64_t garbage) override;
+
  private:
   std::size_t self_t0_ = 0;  ///< Own index in the t0 snapshot.
   /// Signed amplitude (along the sender's "right" axis) for a symbol, and

@@ -22,8 +22,26 @@ void SyncSlicedRobot::initialize(const sim::Snapshot& snap) {
 geom::Vec2 SyncSlicedRobot::on_activate(const sim::Snapshot& snap) {
   note_activation(snap);
   const std::size_t self = core_.self_index();
+  // Stabilization: re-derive the flocking clock from observed time instead
+  // of trusting the stored counter. In a synchronous system the two are
+  // equal (bit-identical in a correct run); after a transient corruption
+  // of step_ the drift estimate self-heals on the very next activation.
+  step_ = snap.t;
   const geom::Vec2 drift = drift_at(step_);
-  ++step_;
+
+  // Granular-naming audit (stabilization): only when a corruption is
+  // scheduled this run — recomputing the tables allocates, and fault-free
+  // runs must stay allocation-free. A detected repair also resets every
+  // stream: a robot with corrupted names has been filing decoded bits
+  // under the wrong (sender, addressee) keys, so all reassembly state is
+  // suspect.
+  if (stabilization_armed() && core_.audit_naming()) {
+    for (std::size_t j = 0; j < core_.robot_count(); ++j) {
+      reset_streams_from(j);
+      peer_was_off_[j] = false;
+      peer_idle_[j] = 0;
+    }
+  }
 
   // Undo the common flocking drift to recover protocol-space positions.
   // Both paths write into driver-owned scratch: the snapshot copy and the
@@ -90,7 +108,31 @@ geom::Vec2 SyncSlicedRobot::on_activate(const sim::Snapshot& snap) {
     target = core_.center(self);
   }
 
-  return target + drift_at(step_);
+  return target + drift_at(step_ + 1);
+}
+
+void SyncSlicedRobot::corrupt_protocol_state(CorruptKind kind,
+                                             std::uint64_t garbage) {
+  if (kind == CorruptKind::naming) {
+    core_.scramble_naming(garbage);
+    return;
+  }
+  // Recoverable phase envelope: a flipped mid-bit flag drops or repeats a
+  // signal, scrambled edge/idle trackers miss, duplicate or spuriously
+  // reset a stream — all frame content/alignment damage the CRC rejects
+  // and the kResyncGap idle rule realigns once the sender rests. The
+  // flocking clock heals on the next activation (re-derived from snap.t).
+  displaced_ = (garbage & 1) != 0;
+  step_ += (garbage >> 32) | 1;
+  if (!peer_was_off_.empty()) {
+    peer_was_off_[(garbage >> 8) % peer_was_off_.size()] =
+        (garbage & 2) != 0;
+    // Strictly below kResyncGap: the reset fires on the ++ == gap
+    // transition, so a counter planted at the gap would suppress resyncs
+    // for that stream instead of forcing one.
+    peer_idle_[(garbage >> 16) % peer_idle_.size()] =
+        static_cast<std::uint8_t>(garbage % kResyncGap);
+  }
 }
 
 }  // namespace stig::proto

@@ -59,6 +59,10 @@ class SyncSlicedRobot final : public ChatRobot {
 
   [[nodiscard]] const SlicedCore& core() const noexcept { return core_; }
 
+ protected:
+  void corrupt_protocol_state(CorruptKind kind,
+                              std::uint64_t garbage) override;
+
  private:
   [[nodiscard]] geom::Vec2 drift_at(std::uint64_t t) const {
     return options_.flock_velocity * static_cast<double>(t);

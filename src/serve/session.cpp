@@ -142,6 +142,15 @@ Response Session::poll_delivery(const Request& req) {
   const auto& received = net_.received(
       static_cast<sim::RobotIndex>(req.robot));
   std::size_t& cursor = poll_cursor_[static_cast<std::size_t>(req.robot)];
+  if (cursor > received.size()) {
+    // A cursor beyond the delivery log is transient state damage (nothing
+    // in the session ever moves it backward past the log): fail-stop so
+    // the registry quarantines the session rather than letting the
+    // subtraction below underflow into fabricated deliveries.
+    throw std::out_of_range("poll cursor " + std::to_string(cursor) +
+                            " beyond " + std::to_string(received.size()) +
+                            " delivered message(s)");
+  }
   std::size_t available = received.size() - cursor;
   if (req.max_messages != 0) {
     available = std::min<std::size_t>(available, req.max_messages);
@@ -213,6 +222,20 @@ Response SessionRegistry::dispatch(const Request& req) {
       req.verb > Verb::close_session) {
     return fail(req.verb, Status::error, "unknown verb");
   }
+  if (poisoned_.count(req.session) != 0) {
+    if (req.verb == Verb::close_session) {
+      // Closing a quarantined session is the acknowledgment that clears
+      // the tombstone (the id itself is still never reused).
+      poisoned_.erase(req.session);
+      Response res;
+      res.verb = req.verb;
+      res.session = req.session;
+      return res;
+    }
+    return fail(req.verb, Status::poisoned,
+                "session " + std::to_string(req.session) +
+                    " poisoned; close it to acknowledge");
+  }
   const auto it = sessions_.find(req.session);
   if (it == sessions_.end()) {
     // Unknown *or already closed* — ids are never reused, so a stale id
@@ -227,7 +250,23 @@ Response SessionRegistry::dispatch(const Request& req) {
     res.session = req.session;
     return res;
   }
-  return it->second->apply(req);
+  try {
+    return it->second->apply(req);
+  } catch (const std::exception& e) {
+    // The session's network (or its own bookkeeping) threw: quarantine it
+    // so one damaged swarm cannot take the daemon — or its siblings —
+    // down. The session is destroyed (its state is not trustworthy) and
+    // the id tombstoned as poisoned until the client closes it.
+    sessions_.erase(req.session);
+    poisoned_.insert(req.session);
+    ++poisoned_total_;
+    if (metrics_ != nullptr) {
+      metrics_->counter("serve.sessions_poisoned").add(1);
+    }
+    return fail(req.verb, Status::poisoned,
+                "session " + std::to_string(req.session) +
+                    " poisoned: " + e.what());
+  }
 }
 
 Response SessionRegistry::open_session(const Request& req) {
@@ -259,6 +298,10 @@ void SessionRegistry::count_outcome(const Response& res) {
       metrics_->counter("serve.not_found").add(1);
       return;
     case Status::error: metrics_->counter("serve.error").add(1); return;
+    case Status::poisoned:
+      // serve.sessions_poisoned counts quarantines at the throw site;
+      // tombstone replies are not separate outcomes.
+      return;
     case Status::ok: break;
   }
   switch (res.verb) {

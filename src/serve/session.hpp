@@ -21,12 +21,20 @@
 // The registry hands out monotonically increasing session ids and never
 // reuses one: a closed id answers not_found forever, so a client racing
 // its own close cannot be captured by a stranger's new session.
+//
+// Fault isolation: a session whose ChatNetwork throws mid-request is
+// *quarantined*, not fatal — the registry destroys it, tombstones the id,
+// and answers Status::poisoned for that request and every later one on the
+// id until the client acknowledges with close_session (which clears the
+// tombstone and answers ok). Other sessions never notice; the
+// serve.sessions_poisoned counter records each quarantine.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "core/chat_network.hpp"
@@ -68,6 +76,14 @@ class Session {
     return pending_.size();
   }
   [[nodiscard]] const core::ChatNetwork& net() const noexcept { return net_; }
+
+  /// Transient-corruption hook (stabilization suite): plants an arbitrary
+  /// poll cursor, as transient memory damage would. The next poll of that
+  /// robot must fail-stop (std::out_of_range) instead of fabricating
+  /// deliveries — which the registry turns into a poisoned quarantine.
+  void corrupt_poll_cursor(std::size_t robot, std::size_t value) {
+    poll_cursor_.at(robot) = value;
+  }
 
  private:
   [[nodiscard]] Response send_message(const Request& req);
@@ -119,6 +135,17 @@ class SessionRegistry {
   [[nodiscard]] std::uint64_t sessions_opened() const noexcept {
     return opened_;
   }
+  /// Sessions quarantined after their network threw (lifetime total).
+  [[nodiscard]] std::uint64_t sessions_poisoned() const noexcept {
+    return poisoned_total_;
+  }
+
+  /// Test hook (stabilization suite): the live session with `id`, or null
+  /// — lets tests plant transient damage via Session::corrupt_poll_cursor.
+  [[nodiscard]] Session* session(std::uint64_t id) noexcept {
+    const auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : it->second.get();
+  }
 
  private:
   [[nodiscard]] Response open_session(const Request& req);
@@ -127,9 +154,11 @@ class SessionRegistry {
 
   SessionLimits limits_;
   std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+  std::set<std::uint64_t> poisoned_;  ///< Quarantined ids (tombstones).
   std::uint64_t next_id_ = 1;
   std::uint64_t id_step_ = 1;
   std::uint64_t opened_ = 0;
+  std::uint64_t poisoned_total_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;  ///< Not owned.
 };
 

@@ -86,6 +86,7 @@ const char* status_name(Status status) noexcept {
     case Status::busy: return "busy";
     case Status::not_found: return "not_found";
     case Status::error: return "error";
+    case Status::poisoned: return "poisoned";
   }
   return "unknown";
 }
@@ -218,7 +219,7 @@ std::optional<Response> decode_response(std::span<const std::uint8_t> body) {
   const std::uint8_t verb = c.u8();
   const std::uint8_t status = c.u8();
   if (!c.ok || verb > static_cast<std::uint8_t>(Verb::close_session) ||
-      status > static_cast<std::uint8_t>(Status::error)) {
+      status > static_cast<std::uint8_t>(Status::poisoned)) {
     return std::nullopt;
   }
   res.verb = static_cast<Verb>(verb);

@@ -44,6 +44,9 @@ enum class Status : std::uint8_t {
   busy = 1,       ///< Injection queue full — retry after a step.
   not_found = 2,  ///< Unknown (or already closed) session id.
   error = 3,      ///< Invalid request; detail carries the reason.
+  poisoned = 4,   ///< The session's network threw and was quarantined; the
+                  ///< id answers poisoned until the client closes it (the
+                  ///< daemon survives — fault isolation, not fault denial).
 };
 
 /// Stable lower-case verb name ("open_session", ...).
@@ -165,6 +168,16 @@ class WireParser {
   }
   /// True when a frame is partially assembled.
   [[nodiscard]] bool mid_frame() const noexcept { return !buffer_.empty(); }
+
+  /// Transient-corruption hook (stabilization suite): overwrites the
+  /// assembly buffer with garbage, as a `corrupt:parser` fault does to the
+  /// motion-channel FrameParser. Counters are preserved — they are
+  /// monotone telemetry, not parse state — and the next feed() must
+  /// re-align at a frame boundary through the standard resync scan.
+  void scramble(std::uint64_t garbage) {
+    buffer_.assign(1 + (garbage & 15), static_cast<std::uint8_t>(garbage));
+    resync_ = (garbage & 1) != 0;
+  }
 
  private:
   void parse();

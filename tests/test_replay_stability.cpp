@@ -24,7 +24,10 @@ struct PinnedCase {
 };
 
 constexpr PinnedCase kPinned[] = {
-    {1ULL, 0x79e5c43a97c703a9ULL, 68ULL, 0},
+    // Seed 1 draws the corruption dimension (recaptured when the
+    // arbitrary-state mode landed: the case routes through the
+    // stabilization oracle, whose probe phase lengthens the schedule).
+    {1ULL, 0x4d9119541f4d8885ULL, 160ULL, 0},
     {2ULL, 0x5d8939c2cac899b7ULL, 1839ULL, 0},
     {3ULL, 0xcaecb24d0a2f8d57ULL, 879ULL, 0},
     {4ULL, 0x15204d518b851359ULL, 1519ULL, 0},

@@ -308,5 +308,71 @@ TEST(ServeSession, GetReportCarriesRunReportJson) {
   EXPECT_NE(json.find("robots"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Quarantine: a session whose network throws is poisoned, not fatal.
+
+TEST(ServePoison, DamagedSessionIsQuarantinedSiblingsSurvive) {
+  obs::MetricsRegistry metrics;
+  SessionRegistry registry;
+  registry.attach_metrics(&metrics);
+  const std::uint64_t victim = registry.apply(open_request(31, 2)).session;
+  const std::uint64_t witness = registry.apply(open_request(32, 2)).session;
+
+  // Transient state damage: a poll cursor pointing past the delivery log.
+  // The next poll must fail-stop inside the session; the registry turns
+  // the throw into a quarantine instead of dying (or fabricating
+  // deliveries from the underflowed count).
+  registry.session(victim)->corrupt_poll_cursor(0, 1u << 20);
+  const Response poisoned = registry.apply(poll_request(victim, 0));
+  EXPECT_EQ(poisoned.status, Status::poisoned);
+  EXPECT_NE(poisoned.detail.find("poisoned"), std::string::npos);
+  EXPECT_EQ(registry.live_sessions(), 1u);
+  EXPECT_EQ(registry.sessions_poisoned(), 1u);
+  EXPECT_EQ(metrics.counter("serve.sessions_poisoned").value(), 1u);
+
+  // Tombstone: every verb but close keeps answering poisoned — the id is
+  // not not_found (the client must learn its session was damaged, not
+  // conclude it was cleanly closed).
+  EXPECT_EQ(registry.apply(step_request(victim, 4)).status,
+            Status::poisoned);
+  EXPECT_EQ(registry.apply(poll_request(victim, 1)).status,
+            Status::poisoned);
+
+  // Isolation: the sibling never notices.
+  EXPECT_EQ(registry.apply(send_request(witness, 0, 1, {'y'})).status,
+            Status::ok);
+  EXPECT_EQ(registry.apply(step_request(witness, 4)).status, Status::ok);
+
+  // Acknowledgment: close clears the tombstone; afterwards the id answers
+  // not_found like any other closed session, and is never reused.
+  EXPECT_EQ(registry.apply(close_request(victim)).status, Status::ok);
+  EXPECT_EQ(registry.apply(poll_request(victim, 0)).status,
+            Status::not_found);
+  const std::uint64_t next = registry.apply(open_request(33, 2)).session;
+  EXPECT_GT(next, victim);
+}
+
+TEST(ServePoison, QuarantineCountsOncePerSessionNotPerRequest) {
+  SessionRegistry registry;
+  const std::uint64_t id = registry.apply(open_request(40, 2)).session;
+  registry.session(id)->corrupt_poll_cursor(1, 999);
+  ASSERT_EQ(registry.apply(poll_request(id, 1)).status, Status::poisoned);
+  // Repeated requests on the tombstone are replies, not new quarantines.
+  ASSERT_EQ(registry.apply(poll_request(id, 1)).status, Status::poisoned);
+  ASSERT_EQ(registry.apply(step_request(id, 1)).status, Status::poisoned);
+  EXPECT_EQ(registry.sessions_poisoned(), 1u);
+}
+
+TEST(ServePoison, InRangeCursorDamageIsHarmless) {
+  // A corrupted cursor that still lies within the delivery log is
+  // indistinguishable from a slow poller: no throw, no quarantine — the
+  // fail-stop triggers only on provable damage.
+  SessionRegistry registry;
+  const std::uint64_t id = registry.apply(open_request(41, 2)).session;
+  registry.session(id)->corrupt_poll_cursor(0, 0);
+  EXPECT_EQ(registry.apply(poll_request(id, 0)).status, Status::ok);
+  EXPECT_EQ(registry.sessions_poisoned(), 0u);
+}
+
 }  // namespace
 }  // namespace stig::serve

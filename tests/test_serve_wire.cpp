@@ -446,5 +446,57 @@ TEST(ServeWireDamage, TrailingBytesRejectedByStrictDecode) {
   EXPECT_FALSE(decode_request(parsed).has_value());
 }
 
+TEST(ServeWireRoundTrip, PoisonedStatusCarriesDetail) {
+  Response res;
+  res.verb = Verb::poll_delivery;
+  res.status = Status::poisoned;
+  res.detail = "session 7 poisoned: poll cursor 42 beyond 0";
+  const Bytes body = parse_one(encode_response(res));
+  const auto back = decode_response(body);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->status, Status::poisoned);
+  EXPECT_EQ(back->detail, res.detail);
+  EXPECT_STREQ(status_name(Status::poisoned), "poisoned");
+}
+
+TEST(ServeWireDamage, ScrambledParserResyncsAtNextFrame) {
+  // The stabilization suite's transient-corruption hook: the assembly
+  // buffer is overwritten with garbage mid-stream. The scrambled junk may
+  // eat the first following frame, but the resync scan must realign at a
+  // frame boundary — the second frame always survives.
+  Request req;
+  req.verb = Verb::step;
+  req.session = 9;
+  req.instants = 7;
+  const Bytes frame = encode_request(req);
+  for (std::uint64_t garbage : {0ULL, 1ULL, 0x5aa5ULL, ~0ULL}) {
+    WireParser parser;
+    parser.scramble(garbage);
+    parser.feed(frame);
+    parser.feed(frame);
+    const auto frames = parser.take_frames();
+    ASSERT_GE(frames.size(), 1u) << "garbage " << garbage;
+    const auto decoded = decode_request(frames.back());
+    ASSERT_TRUE(decoded.has_value()) << "garbage " << garbage;
+    EXPECT_EQ(decoded->instants, 7u);
+  }
+}
+
+TEST(ServeWireDamage, ScramblePreservesLifetimeCounters) {
+  WireParser parser;
+  Request req;
+  req.verb = Verb::get_report;
+  req.session = 2;
+  const Bytes frame = encode_request(req);
+  parser.feed(frame);
+  const std::uint64_t bytes_before = parser.bytes_consumed();
+  parser.scramble(0xdeadULL);
+  EXPECT_EQ(parser.bytes_consumed(), bytes_before);
+  EXPECT_TRUE(parser.mid_frame());  // The planted garbage is pending...
+  parser.feed(frame);
+  parser.feed(frame);
+  EXPECT_GE(parser.take_frames().size(), 1u);  // ...and healed by resync.
+}
+
 }  // namespace
 }  // namespace stig::serve

@@ -60,6 +60,7 @@ struct Args {
                                       ///< random sampling when non-empty.
   std::string inject;                 ///< "" or "framing".
   bool faults = false;                ///< Force fault-masking dimensions.
+  bool corrupt = false;               ///< Force the arbitrary-state mode.
   bool no_shrink = false;
   std::size_t max_shrink = 200;
   std::size_t jobs = 1;               ///< Worker threads; 0 = all cores.
@@ -83,6 +84,11 @@ void print_help() {
       "                  a seed-derived group size (2-3 lanes) and\n"
       "                  FaultPlan (crash/stall/jitter/burst, lane 0 kept\n"
       "                  clean) — the whole batch runs crash-masked\n"
+      "  --corrupt       force the arbitrary-state mode on every case: one\n"
+      "                  seed-derived transient corruption (phase, cursor,\n"
+      "                  parser or naming) mid-flight — every case must\n"
+      "                  reconverge and match its fault-free twin's probe\n"
+      "                  transcript (the self-stabilization oracle)\n"
       "  --no-shrink     write failures un-shrunk\n"
       "  --max-shrink N  shrink attempt cap per failure (default 200)\n"
       "  --jobs N        run cases on N worker threads (default 1;\n"
@@ -149,6 +155,8 @@ bool parse(int argc, char** argv, Args& a) {
       }
     } else if (flag == "--faults") {
       a.faults = true;
+    } else if (flag == "--corrupt") {
+      a.corrupt = true;
     } else if (flag == "--no-shrink") {
       a.no_shrink = true;
     } else if (flag == "--max-shrink") {
@@ -230,7 +238,7 @@ int main(int argc, char** argv) {
       const std::size_t end = std::min(seeds.size(), begin + chunk);
       const std::vector<fuzz::BatchCase> batch = fuzz::run_cases(
           std::span(seeds).subspan(begin, end - begin), fault, args.jobs,
-          args.faults, collect_cov);
+          args.faults, collect_cov, args.corrupt);
       ran += batch.size();
       for (const fuzz::BatchCase& bc : batch) {
         if (bc.cov != nullptr) {
@@ -285,14 +293,19 @@ int main(int argc, char** argv) {
   if (!args.cov_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(args.cov_dir, ec);
+    // The corrupted corpus exercises a different edge universe (the
+    // fault.corrupt_* paths), so its map gets its own name — and its own
+    // committed baseline under bench/baselines.
+    const std::string stem = args.corrupt ? "corpus_corrupt" : "corpus";
     const std::string path =
-        (std::filesystem::path(args.cov_dir) / "COV_corpus.json").string();
+        (std::filesystem::path(args.cov_dir) / ("COV_" + stem + ".json"))
+            .string();
     std::ofstream out(path);
     if (!out) {
       std::cerr << "stigfuzz: could not write " << path << "\n";
       return kExitRuntime;
     }
-    out << corpus_cov.render_json("corpus");
+    out << corpus_cov.render_json(stem);
     std::cout << "cov: " << corpus_cov.distinct_edges() << " edge(s), "
               << corpus_cov.total_hits() << " hit(s), "
               << corpus_cov.dropped() << " dropped -> " << path << "\n";
